@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportCoversEveryArtifact(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 21, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table I:", "Table II:", "Table III:",
+		"Figure 2:", "Figure 3:", "Figure 4:",
+		"Figure 5:", "Figure 6(a):", "Figure 6(b):", "Figure 6(c):",
+		"Figure 7", "Figure 8",
+		"Detection clusters",
+		"Ablation A1:", "Ablation A2:", "Ablation A3:", "Ablation A4:", "Ablation A5:",
+		"Generality:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

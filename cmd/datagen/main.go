@@ -1,0 +1,195 @@
+// Command datagen writes the synthetic datasets to disk as TSV files —
+// one file per day plus a ground-truth manifest — so the pipelines can be
+// exercised against on-disk logs the way the paper's system consumed its
+// daily batches.
+//
+// Usage:
+//
+//	datagen -kind lanl|enterprise -out DIR [-seed N] [-days N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/gen"
+	"repro/internal/logs"
+)
+
+func main() {
+	kind := flag.String("kind", "lanl", "dataset kind: lanl or enterprise")
+	out := flag.String("out", "dataset", "output directory")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	days := flag.Int("days", 0, "limit the number of days (0 = all)")
+	flag.Parse()
+	if err := run(*kind, *out, *seed, *days); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, out string, seed int64, days int) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	switch kind {
+	case "lanl":
+		return writeLANL(out, seed, days)
+	case "enterprise":
+		return writeEnterprise(out, seed, days)
+	case "netflow":
+		return writeNetflow(out, seed, days)
+	default:
+		return fmt.Errorf("unknown dataset kind %q", kind)
+	}
+}
+
+func writeLANL(out string, seed int64, days int) error {
+	g := gen.NewLANL(gen.LANLConfig{Seed: seed})
+	n := g.NumDays()
+	if days > 0 && days < n {
+		n = days
+	}
+	total := 0
+	for day := 0; day < n; day++ {
+		name := filepath.Join(out, fmt.Sprintf("dns-%s.tsv", g.DayTime(day).Format("2006-01-02")))
+		recs := g.Day(day)
+		total += len(recs)
+		if err := writeDNSFile(name, recs); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d days, %d DNS records to %s\n", n, total, out)
+	return writeTruth(filepath.Join(out, "ground_truth.json"), g.Truth)
+}
+
+func writeEnterprise(out string, seed int64, days int) error {
+	g := gen.NewEnterprise(gen.EnterpriseConfig{Seed: seed})
+	n := g.NumDays()
+	if days > 0 && days < n {
+		n = days
+	}
+	total := 0
+	for day := 0; day < n; day++ {
+		date := g.DayTime(day).Format("2006-01-02")
+		recs := g.Day(day)
+		total += len(recs)
+		if err := writeProxyFile(filepath.Join(out, "proxy-"+date+".tsv"), recs); err != nil {
+			return err
+		}
+		// The DHCP/VPN lease map the normalizer needs.
+		leases := make(map[string]string)
+		for ip, host := range g.DHCPMap(day) {
+			leases[ip.String()] = host
+		}
+		if err := writeJSON(filepath.Join(out, "leases-"+date+".json"), leases); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d days, %d proxy records to %s\n", n, total, out)
+	return writeTruth(filepath.Join(out, "ground_truth.json"), g.Truth)
+}
+
+func writeNetflow(out string, seed int64, days int) error {
+	g := gen.NewEnterprise(gen.EnterpriseConfig{Seed: seed})
+	n := g.NumDays()
+	if days > 0 && days < n {
+		n = days
+	}
+	total := 0
+	for day := 0; day < n; day++ {
+		date := g.DayTime(day).Format("2006-01-02")
+		flows := g.FlowDay(day)
+		total += len(flows)
+		if err := writeFlowFile(filepath.Join(out, "flows-"+date+".tsv"), flows); err != nil {
+			return err
+		}
+		leases := make(map[string]string)
+		for ip, host := range g.DHCPMap(day) {
+			leases[ip.String()] = host
+		}
+		if err := writeJSON(filepath.Join(out, "leases-"+date+".json"), leases); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d days, %d flow records to %s\n", n, total, out)
+	return writeTruth(filepath.Join(out, "ground_truth.json"), g.Truth)
+}
+
+func writeFlowFile(name string, recs []logs.FlowRecord) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := logs.NewFlowWriter(f)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func writeDNSFile(name string, recs []logs.DNSRecord) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := logs.NewDNSWriter(f)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func writeProxyFile(name string, recs []logs.ProxyRecord) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := logs.NewProxyWriter(f)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func writeTruth(name string, truth *gen.GroundTruth) error {
+	type campaignOut struct {
+		ID       string   `json:"id"`
+		Case     int      `json:"case,omitempty"`
+		Day      string   `json:"day"`
+		Domains  []string `json:"domains"`
+		Hosts    []string `json:"hosts"`
+		Hints    []string `json:"hintHosts,omitempty"`
+		CCDomain string   `json:"ccDomain"`
+		PeriodS  float64  `json:"ccPeriodSeconds"`
+	}
+	var out []campaignOut
+	for _, c := range truth.Campaigns {
+		out = append(out, campaignOut{
+			ID: c.ID, Case: c.Case, Day: c.Day.Format("2006-01-02"),
+			Domains: c.Domains(), Hosts: c.Hosts, Hints: c.HintHosts,
+			CCDomain: c.CCDomain, PeriodS: c.CCPeriod.Seconds(),
+		})
+	}
+	return writeJSON(name, out)
+}
+
+func writeJSON(name string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(name, data, 0o644)
+}

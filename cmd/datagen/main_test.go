@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/logs"
+)
+
+func TestWriteLANLRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("lanl", dir, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "dns-*.tsv"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("dns files = %v (%v)", files, err)
+	}
+	f, err := os.Open(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n := 0
+	if err := logs.ReadDNS(f, func(logs.DNSRecord) error {
+		n++
+		return nil
+	}); err != nil {
+		t.Fatalf("parse back: %v", err)
+	}
+	if n == 0 {
+		t.Error("no records written")
+	}
+	assertTruth(t, dir)
+}
+
+func TestWriteEnterpriseRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("enterprise", dir, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "proxy-*.tsv"))
+	if len(files) != 1 {
+		t.Fatalf("proxy files = %v", files)
+	}
+	f, err := os.Open(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n := 0
+	if err := logs.ReadProxy(f, func(logs.ProxyRecord) error {
+		n++
+		return nil
+	}); err != nil {
+		t.Fatalf("parse back: %v", err)
+	}
+	if n == 0 {
+		t.Error("no records")
+	}
+	leases, _ := filepath.Glob(filepath.Join(dir, "leases-*.json"))
+	if len(leases) != 1 {
+		t.Fatalf("lease files = %v", leases)
+	}
+	assertTruth(t, dir)
+}
+
+func TestWriteNetflowRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("netflow", dir, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "flows-*.tsv"))
+	if len(files) != 1 {
+		t.Fatalf("flow files = %v", files)
+	}
+	f, err := os.Open(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n := 0
+	if err := logs.ReadFlows(f, func(logs.FlowRecord) error {
+		n++
+		return nil
+	}); err != nil {
+		t.Fatalf("parse back: %v", err)
+	}
+	if n == 0 {
+		t.Error("no records")
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	if err := run("bogus", t.TempDir(), 1, 1); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+}
+
+func assertTruth(t *testing.T, dir string) {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "ground_truth.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var campaigns []map[string]any
+	if err := json.Unmarshal(data, &campaigns); err != nil {
+		t.Fatalf("ground truth not valid JSON: %v", err)
+	}
+	if len(campaigns) == 0 {
+		t.Error("no campaigns in ground truth")
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunProducesAllArtifacts(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 21, false, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"calibration:", "C&C model:",
+		"Figure 5:", "Figure 6(a):", "Figure 6(b):", "Figure 6(c):",
+		"Figure 7", "Figure 8",
+		"rare=", // the -days operational log
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

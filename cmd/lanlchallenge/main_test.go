@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunProducesAllArtifacts(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 21, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table I:", "Table II:", "Table III:",
+		"Figure 2:", "Figure 3:", "Figure 4:",
+		"TDR", "graph \"figure4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

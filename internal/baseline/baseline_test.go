@@ -1,0 +1,212 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func beacon(n int, period, jitter float64, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = period + (rng.Float64()*2-1)*jitter
+	}
+	return out
+}
+
+func human(n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 10 + rng.Float64()*3000
+	}
+	return out
+}
+
+func allDetectors() []Detector {
+	return []Detector{
+		StdDev{},
+		Autocorrelation{},
+		Periodogram{},
+		StaticHistogram{},
+		Dynamic{},
+	}
+}
+
+func TestAllDetectCleanBeacon(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ivs := beacon(30, 600, 0, rng)
+	for _, d := range allDetectors() {
+		if !d.Automated(ivs) {
+			t.Errorf("%s missed a perfect 600s beacon", d.Name())
+		}
+	}
+}
+
+func TestAllRejectHumanTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	miss := 0
+	for trial := 0; trial < 10; trial++ {
+		ivs := human(30, rng)
+		for _, d := range allDetectors() {
+			if d.Automated(ivs) {
+				miss++
+				t.Logf("trial %d: %s flagged human traffic", trial, d.Name())
+			}
+		}
+	}
+	// Individual detectors may rarely fire on random data; the suite as a
+	// whole must not systematically misfire.
+	if miss > 5 {
+		t.Errorf("%d human-traffic false positives across detectors", miss)
+	}
+}
+
+func TestStdDevBreaksOnOutlier(t *testing.T) {
+	// The paper's motivating failure: one large gap destroys the stddev
+	// detector while the dynamic histogram still fires.
+	rng := rand.New(rand.NewSource(3))
+	ivs := beacon(30, 600, 2, rng)
+	ivs[15] = 14400 // laptop lid closed for 4 hours
+
+	if (StdDev{}).Automated(ivs) {
+		t.Error("stddev should break on the outlier (that is its documented flaw)")
+	}
+	if !(Dynamic{}).Automated(ivs) {
+		t.Error("dynamic histogram must survive the outlier")
+	}
+}
+
+func TestStaticBinningBoundarySplit(t *testing.T) {
+	// Intervals straddling a static bin boundary (W=10: bins [590,600) and
+	// [600,610)) split the mass; dynamic bins centered on the first
+	// interval absorb them.
+	ivs := make([]float64, 30)
+	for i := range ivs {
+		if i%2 == 0 {
+			ivs[i] = 599
+		} else {
+			ivs[i] = 601
+		}
+	}
+	if (StaticHistogram{}).Automated(ivs) {
+		t.Error("static bins should split the boundary-straddling beacon")
+	}
+	if !(Dynamic{}).Automated(ivs) {
+		t.Error("dynamic bins must absorb +-1s around the hub")
+	}
+}
+
+func TestStdDevThresholds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ivs := beacon(20, 600, 15, rng) // ~8.7s stddev
+	tight := StdDev{Threshold: 2}
+	loose := StdDev{Threshold: 30}
+	if tight.Automated(ivs) {
+		t.Error("2s threshold should reject 15s jitter")
+	}
+	if !loose.Automated(ivs) {
+		t.Error("30s threshold should accept 15s jitter")
+	}
+}
+
+func TestMinSamples(t *testing.T) {
+	short := []float64{600, 600}
+	for _, d := range allDetectors() {
+		if d.Automated(short) {
+			t.Errorf("%s fired on two intervals", d.Name())
+		}
+	}
+}
+
+func TestIndicatorSeries(t *testing.T) {
+	s := indicatorSeries([]float64{20, 20}, 10)
+	// Connections at t=0,20,40 -> slots 0,2,4.
+	want := []float64{1, 0, 1, 0, 1}
+	if len(s) != len(want) {
+		t.Fatalf("series = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("slot %d = %v, want %v", i, s[i], want[i])
+		}
+	}
+	if indicatorSeries(nil, 10) == nil {
+		// one connection at t=0 yields a single slot
+		t.Log("empty intervals yield single-slot series")
+	}
+}
+
+func TestAutocorrPerfect(t *testing.T) {
+	x := []float64{1, 0, 1, 0, 1, 0, 1, 0}
+	if r := autocorr(x, 2); r < 0.7 {
+		t.Errorf("lag-2 autocorr of alternating series = %v, want high", r)
+	}
+	if r := autocorr(x, 100); r != 0 {
+		t.Errorf("lag beyond series = %v, want 0", r)
+	}
+	flat := []float64{1, 1, 1, 1}
+	if r := autocorr(flat, 1); r != 0 {
+		t.Errorf("zero-variance series autocorr = %v, want 0", r)
+	}
+}
+
+func TestIntervalsFromTimes(t *testing.T) {
+	base := time.Date(2014, 2, 1, 0, 0, 0, 0, time.UTC)
+	ivs := IntervalsFromTimes([]time.Time{base, base.Add(10 * time.Second), base.Add(30 * time.Second)})
+	if len(ivs) != 2 || ivs[0] != 10 || ivs[1] != 20 {
+		t.Errorf("intervals = %v", ivs)
+	}
+}
+
+func TestDetectorNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range allDetectors() {
+		n := d.Name()
+		if n == "" || seen[n] {
+			t.Errorf("bad or duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+// Accuracy summary across a labeled corpus: the dynamic histogram must
+// dominate the stddev baseline in the presence of outliers (ablation A1's
+// claim).
+func TestDynamicBeatsStdDevWithOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	type sample struct {
+		ivs []float64
+		mal bool
+	}
+	var corpus []sample
+	for i := 0; i < 60; i++ {
+		if i%2 == 0 {
+			ivs := beacon(25, 300+float64(i), 3, rng)
+			// Half the beacons suffer 1-2 outliers.
+			if i%4 == 0 {
+				ivs[5] = 9000
+				ivs[17] = 7200
+			}
+			corpus = append(corpus, sample{ivs, true})
+		} else {
+			corpus = append(corpus, sample{human(25, rng), false})
+		}
+	}
+	accuracy := func(d Detector) float64 {
+		ok := 0
+		for _, s := range corpus {
+			if d.Automated(s.ivs) == s.mal {
+				ok++
+			}
+		}
+		return float64(ok) / float64(len(corpus))
+	}
+	dyn := accuracy(Dynamic{})
+	std := accuracy(StdDev{})
+	if dyn <= std {
+		t.Errorf("dynamic accuracy %v <= stddev accuracy %v", dyn, std)
+	}
+	if dyn < 0.95 {
+		t.Errorf("dynamic accuracy %v too low on clean corpus", dyn)
+	}
+}

@@ -1,0 +1,342 @@
+// Package ccdetect implements the paper's detector of C&C communication
+// (§III-D, §IV-C): the dynamic-histogram periodicity test identifies rare
+// domains receiving automated connections, a six-feature linear regression
+// (trained against external-intelligence labels) scores how C&C-like each
+// automated domain is, and domains above the threshold Tc are flagged as
+// potential C&C — even when contacted by a single host.
+//
+// The package also provides the simplified LANL heuristic of §V-B, used
+// when HTTP context and WHOIS data are unavailable: an automated domain is
+// potential C&C when at least two distinct hosts contact it at similar
+// times (within ten seconds).
+package ccdetect
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/histogram"
+	"repro/internal/profile"
+	"repro/internal/regression"
+)
+
+// AutomatedDomain is one rare domain with at least one host showing
+// automated (periodic) connections.
+type AutomatedDomain struct {
+	Domain   string
+	Activity *profile.DomainActivity
+	// AutoHosts lists the hosts whose connection pattern is automated.
+	AutoHosts []string
+	// Verdicts holds the per-host periodicity analysis.
+	Verdicts map[string]histogram.Verdict
+	// Features is filled by Score.
+	Features features.CC
+	// Score is the regression score; meaningful only after Score.
+	Score float64
+}
+
+// Period returns the dominant beacon period (seconds) among the automated
+// hosts, for reporting.
+func (a *AutomatedDomain) Period() float64 {
+	for _, h := range a.AutoHosts {
+		return a.Verdicts[h].Period
+	}
+	return 0
+}
+
+// Detector is the enterprise C&C detector.
+type Detector struct {
+	// Hist parameterizes the periodicity test (default: paper's W=10s,
+	// JT=0.06 via histogram.DefaultConfig).
+	Hist histogram.Config
+	// Extractor supplies the C&C features.
+	Extractor *features.Extractor
+	// Model is the trained scoring regression; nil until Train.
+	Model *regression.Model
+	// WithAutoHosts keeps the AutoHosts feature in the model. The paper
+	// drops it for collinearity with NoHosts, so the default is false.
+	WithAutoHosts bool
+	// Threshold is Tc: automated domains scoring at or above it are
+	// labeled potential C&C (the paper explores 0.40-0.48, §VI-C).
+	Threshold float64
+}
+
+// NewDetector returns a detector with the paper's default parameters.
+func NewDetector(x *features.Extractor) *Detector {
+	return &Detector{
+		Hist:      histogram.DefaultConfig(),
+		Extractor: x,
+		Threshold: 0.4,
+	}
+}
+
+// FindAutomated scans the day's rare destinations and returns every domain
+// with at least one host whose connections are automated, sorted by domain
+// name for determinism.
+func (d *Detector) FindAutomated(s *profile.Snapshot) []*AutomatedDomain {
+	var out []*AutomatedDomain
+	for _, domain := range s.RareDomains() {
+		da := s.Rare[domain]
+		ad := analyzeActivity(da, d.Hist)
+		if ad != nil {
+			out = append(out, ad)
+		}
+	}
+	return out
+}
+
+// FindAutomatedParallel is FindAutomated with the per-domain periodicity
+// analysis fanned out over a bounded worker pool. The output is identical
+// (same domains, same order); only wall-clock differs. workers <= 0 uses
+// GOMAXPROCS.
+func (d *Detector) FindAutomatedParallel(s *profile.Snapshot, workers int) []*AutomatedDomain {
+	domains := s.RareDomains()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(domains) {
+		workers = len(domains)
+	}
+	if workers <= 1 {
+		return d.FindAutomated(s)
+	}
+
+	slots := make([]*AutomatedDomain, len(domains))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				slots[i] = analyzeActivity(s.Rare[domains[i]], d.Hist)
+			}
+		}()
+	}
+	for i := range domains {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	out := make([]*AutomatedDomain, 0, len(slots))
+	for _, ad := range slots {
+		if ad != nil {
+			out = append(out, ad)
+		}
+	}
+	return out
+}
+
+// analyzeActivity runs the periodicity test for every contacting host and
+// returns nil when no host shows automated connections.
+func analyzeActivity(da *profile.DomainActivity, cfg histogram.Config) *AutomatedDomain {
+	ad := &AutomatedDomain{
+		Domain:   da.Domain,
+		Activity: da,
+		Verdicts: make(map[string]histogram.Verdict, len(da.Hosts)),
+	}
+	for _, h := range da.HostNames() {
+		v := histogram.AnalyzeTimes(da.Hosts[h].Times, cfg)
+		ad.Verdicts[h] = v
+		if v.Automated {
+			ad.AutoHosts = append(ad.AutoHosts, h)
+		}
+	}
+	if len(ad.AutoHosts) == 0 {
+		return nil
+	}
+	sort.Strings(ad.AutoHosts)
+	return ad
+}
+
+// FillFeatures extracts C&C features for a batch of automated domains and
+// substitutes the batch average for DomAge/DomValidity where WHOIS was
+// unparseable, as §VI-C prescribes.
+func (d *Detector) FillFeatures(ads []*AutomatedDomain, day time.Time) {
+	var sumAge, sumVal float64
+	n := 0
+	for _, ad := range ads {
+		ad.Features = d.Extractor.CC(ad.Activity, len(ad.AutoHosts), day)
+		if ad.Features.HasWhois {
+			sumAge += ad.Features.DomAge
+			sumVal += ad.Features.DomValidity
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	avgAge, avgVal := sumAge/float64(n), sumVal/float64(n)
+	for _, ad := range ads {
+		if !ad.Features.HasWhois {
+			ad.Features.DomAge = avgAge
+			ad.Features.DomValidity = avgVal
+		}
+	}
+}
+
+// TrainingExample pairs a feature vector with its external-intelligence
+// label: Reported is true when at least one scanner engine flags the
+// domain at training time.
+type TrainingExample struct {
+	Domain   string
+	Features features.CC
+	Reported bool
+}
+
+// Train fits the scoring regression on labeled automated domains (the
+// paper uses two weeks of labeled data) and installs it on the detector.
+func (d *Detector) Train(examples []TrainingExample) (*regression.Model, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("ccdetect: no training examples")
+	}
+	x := make([][]float64, len(examples))
+	y := make([]float64, len(examples))
+	for i, ex := range examples {
+		x[i] = ex.Features.Vector(d.WithAutoHosts)
+		if ex.Reported {
+			y[i] = 1
+		}
+	}
+	m, err := regression.Fit(x, y)
+	if errors.Is(err, regression.ErrSingular) {
+		// A feature can be constant across a small calibration batch;
+		// a tiny ridge penalty restores a usable fit.
+		m, err = regression.FitRidge(x, y, 1e-6)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ccdetect: train: %w", err)
+	}
+	d.Model = m
+	return m, nil
+}
+
+// Score computes the regression score of one automated domain (features
+// must already be filled). Without a model the score is zero.
+func (d *Detector) Score(ad *AutomatedDomain) float64 {
+	if d.Model == nil {
+		return 0
+	}
+	v, err := d.Model.Predict(ad.Features.Vector(d.WithAutoHosts))
+	if err != nil {
+		return 0
+	}
+	ad.Score = v
+	return v
+}
+
+// DetectCC runs the full pipeline on a day snapshot: find automated rare
+// domains, extract and default-fill features, score, and return the
+// domains at or above Tc sorted by descending score.
+func (d *Detector) DetectCC(s *profile.Snapshot) []*AutomatedDomain {
+	ads := d.FindAutomated(s)
+	d.FillFeatures(ads, s.Day)
+	var out []*AutomatedDomain
+	for _, ad := range ads {
+		if d.Score(ad) >= d.Threshold {
+			out = append(out, ad)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}
+
+// IsCC scores a single rare domain against the trained model, the form
+// Algorithm 1's Detect_C&C step uses during belief propagation.
+func (d *Detector) IsCC(da *profile.DomainActivity, day time.Time) bool {
+	ad := analyzeActivity(da, d.Hist)
+	if ad == nil {
+		return false
+	}
+	ad.Features = d.Extractor.CC(ad.Activity, len(ad.AutoHosts), day)
+	return d.Score(ad) >= d.Threshold
+}
+
+// LANLDetector is the simplified C&C heuristic of §V-B for DNS-only data:
+// an automated rare domain is potential C&C when at least two distinct
+// hosts communicate with it at similar time periods.
+type LANLDetector struct {
+	// Hist parameterizes the periodicity test.
+	Hist histogram.Config
+	// SyncWindow is the cross-host alignment tolerance (paper: 10s).
+	SyncWindow time.Duration
+	// MinMatches is the minimum number of cross-host connection pairs that
+	// must align within SyncWindow (default 3).
+	MinMatches int
+}
+
+// NewLANLDetector returns the §V-B parameterization.
+func NewLANLDetector() *LANLDetector {
+	return &LANLDetector{
+		Hist:       histogram.DefaultConfig(),
+		SyncWindow: 10 * time.Second,
+		MinMatches: 3,
+	}
+}
+
+func (d *LANLDetector) minMatches() int {
+	if d.MinMatches <= 0 {
+		return 3
+	}
+	return d.MinMatches
+}
+
+// IsCC applies the heuristic to one rare domain's daily activity.
+func (d *LANLDetector) IsCC(da *profile.DomainActivity, _ time.Time) bool {
+	ad := analyzeActivity(da, d.Hist)
+	if ad == nil || len(ad.AutoHosts) < 2 {
+		return false
+	}
+	// Require the automated hosts' connections to actually line up in
+	// time, not merely share a period.
+	for i := 0; i < len(ad.AutoHosts); i++ {
+		for j := i + 1; j < len(ad.AutoHosts); j++ {
+			a := da.Hosts[ad.AutoHosts[i]].Times
+			b := da.Hosts[ad.AutoHosts[j]].Times
+			if countAligned(a, b, d.SyncWindow) >= d.minMatches() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FindCC scans a snapshot and returns the heuristic's C&C domains sorted by
+// name.
+func (d *LANLDetector) FindCC(s *profile.Snapshot) []*AutomatedDomain {
+	var out []*AutomatedDomain
+	for _, domain := range s.RareDomains() {
+		da := s.Rare[domain]
+		if d.IsCC(da, s.Day) {
+			out = append(out, analyzeActivity(da, d.Hist))
+		}
+	}
+	return out
+}
+
+// countAligned counts the elements of a (sorted) that have a counterpart in
+// b (sorted) within w.
+func countAligned(a, b []time.Time, w time.Duration) int {
+	n := 0
+	j := 0
+	for _, ta := range a {
+		for j < len(b) && b[j].Before(ta.Add(-w)) {
+			j++
+		}
+		if j < len(b) && !b[j].After(ta.Add(w)) {
+			n++
+		}
+	}
+	return n
+}

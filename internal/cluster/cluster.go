@@ -1,0 +1,310 @@
+// Package cluster groups detected malicious domains into campaign-shaped
+// clusters, automating the manual analysis of §VI-C/D: the paper found
+// five domains sharing the URL pattern "/logo.gif?" (Sality), fifteen
+// sharing another URL pattern, a cluster of ten 4-5 character .info DGA
+// domains redirecting through "/tan2.html", and a cluster of ten
+// 20-character .info DGA domains. Three signals are used:
+//
+//   - shared normalized URL paths across domains,
+//   - DGA-style name morphology (character-class runs, length, entropy)
+//     grouped by TLD and length band,
+//   - co-location in the same /24 subnet.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates how a cluster was formed.
+type Kind int
+
+// Cluster kinds.
+const (
+	// KindURLPattern groups domains serving the same normalized URL path.
+	KindURLPattern Kind = iota + 1
+	// KindDGA groups algorithmically generated names with the same shape.
+	KindDGA
+	// KindSubnet groups domains hosted in the same /24.
+	KindSubnet
+)
+
+// String returns a short label.
+func (k Kind) String() string {
+	switch k {
+	case KindURLPattern:
+		return "url-pattern"
+	case KindDGA:
+		return "dga"
+	case KindSubnet:
+		return "subnet"
+	default:
+		return "unknown"
+	}
+}
+
+// DomainInfo is the per-domain evidence clustering consumes.
+type DomainInfo struct {
+	Domain string
+	Paths  []string // observed URL paths ("" entries ignored)
+	IP     netip.Addr
+}
+
+// Cluster is a group of detected domains sharing campaign-shaped
+// structure.
+type Cluster struct {
+	Kind Kind
+	// Key describes the shared property (the URL path, the DGA shape, or
+	// the /24 prefix).
+	Key string
+	// Domains are the members, sorted.
+	Domains []string
+}
+
+// MinClusterSize is the smallest group worth reporting.
+const MinClusterSize = 2
+
+// Find derives all clusters of at least MinClusterSize from the detected
+// domain set, deterministically ordered by kind then key.
+func Find(infos []DomainInfo) []Cluster {
+	var out []Cluster
+	out = append(out, byURLPattern(infos)...)
+	out = append(out, byDGAShape(infos)...)
+	out = append(out, bySubnet(infos)...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+func byURLPattern(infos []DomainInfo) []Cluster {
+	byPath := make(map[string]map[string]bool)
+	for _, info := range infos {
+		for _, p := range info.Paths {
+			np := NormalizePath(p)
+			if np == "" || np == "/" {
+				continue
+			}
+			if byPath[np] == nil {
+				byPath[np] = make(map[string]bool)
+			}
+			byPath[np][info.Domain] = true
+		}
+	}
+	return collect(KindURLPattern, byPath)
+}
+
+func byDGAShape(infos []DomainInfo) []Cluster {
+	byShape := make(map[string]map[string]bool)
+	for _, info := range infos {
+		shape, ok := DGAShape(info.Domain)
+		if !ok {
+			continue
+		}
+		if byShape[shape] == nil {
+			byShape[shape] = make(map[string]bool)
+		}
+		byShape[shape][info.Domain] = true
+	}
+	return collect(KindDGA, byShape)
+}
+
+func bySubnet(infos []DomainInfo) []Cluster {
+	bySub := make(map[string]map[string]bool)
+	for _, info := range infos {
+		if !info.IP.IsValid() {
+			continue
+		}
+		p, err := info.IP.Prefix(24)
+		if err != nil {
+			continue
+		}
+		key := p.String()
+		if bySub[key] == nil {
+			bySub[key] = make(map[string]bool)
+		}
+		bySub[key][info.Domain] = true
+	}
+	return collect(KindSubnet, bySub)
+}
+
+func collect(kind Kind, groups map[string]map[string]bool) []Cluster {
+	var out []Cluster
+	for key, members := range groups {
+		if len(members) < MinClusterSize {
+			continue
+		}
+		c := Cluster{Kind: kind, Key: key, Domains: make([]string, 0, len(members))}
+		for d := range members {
+			c.Domains = append(c.Domains, d)
+		}
+		sort.Strings(c.Domains)
+		out = append(out, c)
+	}
+	return out
+}
+
+// NormalizePath canonicalizes a URL path for pattern matching: digit runs
+// collapse to "N" and long hex tokens to "H", so "/stage2.bin" and
+// "/stage7.bin" share a pattern while "/logo.gif?" stays itself.
+func NormalizePath(p string) string {
+	var b strings.Builder
+	b.Grow(len(p))
+	i := 0
+	for i < len(p) {
+		if !isHexChar(p[i]) {
+			b.WriteByte(p[i])
+			i++
+			continue
+		}
+		// Maximal [0-9a-fA-F]+ run.
+		j := i
+		hasDigit := false
+		for j < len(p) && isHexChar(p[j]) {
+			if p[j] >= '0' && p[j] <= '9' {
+				hasDigit = true
+			}
+			j++
+		}
+		if j-i >= 12 && hasDigit {
+			b.WriteByte('H')
+		} else {
+			// Re-emit the run with digit sub-runs collapsed to N.
+			for k := i; k < j; {
+				if p[k] >= '0' && p[k] <= '9' {
+					for k < j && p[k] >= '0' && p[k] <= '9' {
+						k++
+					}
+					b.WriteByte('N')
+				} else {
+					b.WriteByte(p[k])
+					k++
+				}
+			}
+		}
+		i = j
+	}
+	return b.String()
+}
+
+func isHexChar(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// DGAShape classifies a domain name as algorithmically generated and
+// returns its shape key ("tld/len-band/class"), following the §VI-C/D
+// examples: short label clusters (4-5 chars) and long random clusters
+// (e.g. 20 hex characters), both grouped under their TLD.
+func DGAShape(domain string) (string, bool) {
+	labels := strings.Split(domain, ".")
+	if len(labels) < 2 {
+		return "", false
+	}
+	tld := labels[len(labels)-1]
+	name := labels[len(labels)-2]
+	if !LooksDGA(name) {
+		return "", false
+	}
+	band := lengthBand(len(name))
+	class := "alpha"
+	if isHexString(name) {
+		class = "hex"
+	}
+	return fmt.Sprintf("%s/%s/%s", tld, band, class), true
+}
+
+func lengthBand(n int) string {
+	switch {
+	case n <= 6:
+		return "short"
+	case n <= 12:
+		return "medium"
+	default:
+		return "long"
+	}
+}
+
+// LooksDGA applies a morphology heuristic to a single label: high
+// character entropy plus either hex composition, an implausibly low vowel
+// ratio, or extreme length. It is deliberately conservative — clustering
+// only reports groups, so isolated false shapes are harmless.
+func LooksDGA(name string) bool {
+	if len(name) < 4 {
+		return false
+	}
+	if isHexString(name) && len(name) >= 10 {
+		return true
+	}
+	vowels := 0
+	letters := 0
+	for _, r := range name {
+		if r >= 'a' && r <= 'z' {
+			letters++
+			switch r {
+			case 'a', 'e', 'i', 'o', 'u', 'y':
+				vowels++
+			}
+		}
+	}
+	if letters == 0 {
+		return false
+	}
+	vowelRatio := float64(vowels) / float64(letters)
+	ent := entropy(name)
+	switch {
+	case len(name) >= 16 && ent > 3.2:
+		return true
+	case vowelRatio < 0.16 && len(name) >= 6:
+		return true
+	case len(name) <= 6 && vowelRatio < 0.25:
+		// Short DGA labels like "mgwg" — almost vowel-free.
+		return true
+	default:
+		return false
+	}
+}
+
+func isHexString(s string) bool {
+	if s == "" {
+		return false
+	}
+	hasDigit := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			hasDigit = true
+		case c >= 'a' && c <= 'f':
+		default:
+			return false
+		}
+	}
+	return hasDigit
+}
+
+// entropy returns the Shannon entropy (bits/char) of a string.
+func entropy(s string) float64 {
+	if s == "" {
+		return 0
+	}
+	var counts [256]int
+	for i := 0; i < len(s); i++ {
+		counts[s[i]]++
+	}
+	var h float64
+	n := float64(len(s))
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+)
+
+func TestNormalizePath(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"/logo.gif?", "/logo.gif?"},
+		{"/stage2.bin", "/stageN.bin"},
+		{"/stage17.bin", "/stageN.bin"},
+		{"/tan2.html", "/tanN.html"},
+		{"/f03712a9bcdef0123456/x", "/H/x"},
+		{"/page", "/page"},
+		{"/", "/"},
+		{"", ""},
+	}
+	for _, tt := range tests {
+		if got := NormalizePath(tt.in); got != tt.want {
+			t.Errorf("NormalizePath(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestLooksDGA(t *testing.T) {
+	dga := []string{
+		"f0371288e0a20a541328", // 20-char hex (§VI-D)
+		"mgwg",                 // 4-char vowel-free .info style (§VI-C)
+		"xkcdqzwrtv",           // long consonant-heavy
+		"bpffqzzjgnw",
+	}
+	for _, n := range dga {
+		if !LooksDGA(n) {
+			t.Errorf("LooksDGA(%q) = false, want true", n)
+		}
+	}
+	benign := []string{
+		"google", "facebook", "nbc", "amazon", "wikipedia",
+		"mail", "update", "images", "toolbar",
+	}
+	for _, n := range benign {
+		if LooksDGA(n) {
+			t.Errorf("LooksDGA(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestDGAShape(t *testing.T) {
+	s1, ok := DGAShape("f0371288e0a20a541328.info")
+	if !ok || s1 != "info/long/hex" {
+		t.Errorf("shape = %q, %v", s1, ok)
+	}
+	s2, ok := DGAShape("mgwg.info")
+	if !ok || s2 != "info/short/alpha" {
+		t.Errorf("shape = %q, %v", s2, ok)
+	}
+	if _, ok := DGAShape("wikipedia.org"); ok {
+		t.Error("wikipedia.org must not have a DGA shape")
+	}
+	if _, ok := DGAShape("localhost"); ok {
+		t.Error("single label cannot have a shape")
+	}
+}
+
+func TestFindURLPatternCluster(t *testing.T) {
+	// The Sality case: five domains hosting /logo.gif? URLs.
+	var infos []DomainInfo
+	for _, d := range []string{"a.ru", "b.ru", "c.in", "d.com", "e.biz"} {
+		infos = append(infos, DomainInfo{Domain: d, Paths: []string{"/logo.gif?"}})
+	}
+	infos = append(infos, DomainInfo{Domain: "lone.org", Paths: []string{"/unique.html"}})
+
+	clusters := Find(infos)
+	var urlClusters []Cluster
+	for _, c := range clusters {
+		if c.Kind == KindURLPattern {
+			urlClusters = append(urlClusters, c)
+		}
+	}
+	if len(urlClusters) != 1 {
+		t.Fatalf("url clusters = %+v", urlClusters)
+	}
+	c := urlClusters[0]
+	if c.Key != "/logo.gif?" || len(c.Domains) != 5 {
+		t.Errorf("cluster = %+v", c)
+	}
+	want := []string{"a.ru", "b.ru", "c.in", "d.com", "e.biz"}
+	if !reflect.DeepEqual(c.Domains, want) {
+		t.Errorf("domains = %v", c.Domains)
+	}
+}
+
+func TestFindDGACluster(t *testing.T) {
+	// The §VI-D case: ten 20-char hex .info domains.
+	var infos []DomainInfo
+	hexes := []string{
+		"f0371288e0a20a541328", "ab12cd34ef56ab78cd90", "0123456789abcdef0123",
+		"deadbeefdeadbeef0123", "cafebabe012345678901",
+	}
+	for _, h := range hexes {
+		infos = append(infos, DomainInfo{Domain: h + ".info"})
+	}
+	infos = append(infos, DomainInfo{Domain: "plain-site.com"})
+
+	clusters := Find(infos)
+	found := false
+	for _, c := range clusters {
+		if c.Kind == KindDGA && c.Key == "info/long/hex" {
+			found = true
+			if len(c.Domains) != len(hexes) {
+				t.Errorf("DGA cluster size = %d, want %d", len(c.Domains), len(hexes))
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no info/long/hex cluster in %+v", clusters)
+	}
+}
+
+func TestFindSubnetCluster(t *testing.T) {
+	infos := []DomainInfo{
+		{Domain: "a.ru", IP: netip.MustParseAddr("198.51.100.4")},
+		{Domain: "b.ru", IP: netip.MustParseAddr("198.51.100.200")},
+		{Domain: "c.ru", IP: netip.MustParseAddr("203.0.113.1")},
+		{Domain: "noip.ru"},
+	}
+	clusters := Find(infos)
+	found := false
+	for _, c := range clusters {
+		if c.Kind == KindSubnet {
+			found = true
+			if c.Key != "198.51.100.0/24" || len(c.Domains) != 2 {
+				t.Errorf("subnet cluster = %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Error("no subnet cluster found")
+	}
+}
+
+func TestFindDeterministicOrder(t *testing.T) {
+	infos := []DomainInfo{
+		{Domain: "zzz9zz.ru", Paths: []string{"/x.gif?"}, IP: netip.MustParseAddr("198.51.100.4")},
+		{Domain: "qqq8qq.ru", Paths: []string{"/x.gif?"}, IP: netip.MustParseAddr("198.51.100.7")},
+	}
+	a := Find(infos)
+	b := Find(infos)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Find must be deterministic")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindURLPattern: "url-pattern", KindDGA: "dga", KindSubnet: "subnet", Kind(0): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if e := entropy("aaaa"); e != 0 {
+		t.Errorf("entropy(aaaa) = %v", e)
+	}
+	if e := entropy("abcdefgh"); e != 3 {
+		t.Errorf("entropy(abcdefgh) = %v, want 3", e)
+	}
+	if entropy("") != 0 {
+		t.Error("entropy of empty string")
+	}
+}
+
+func TestMinClusterSize(t *testing.T) {
+	infos := []DomainInfo{{Domain: "only.ru", Paths: []string{"/p.gif?"}}}
+	if clusters := Find(infos); len(clusters) != 0 {
+		t.Errorf("singleton groups must not be reported: %+v", clusters)
+	}
+}

@@ -1,0 +1,20 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Detected domains sharing the Sality URL pattern group into one cluster.
+func ExampleFind() {
+	infos := []cluster.DomainInfo{
+		{Domain: "parfumonline.in", Paths: []string{"/logo.gif?"}},
+		{Domain: "neoparfumonline.in", Paths: []string{"/logo.gif?"}},
+		{Domain: "unrelated.org", Paths: []string{"/index.html"}},
+	}
+	for _, c := range cluster.Find(infos) {
+		fmt.Printf("%s %s: %v\n", c.Kind, c.Key, c.Domains)
+	}
+	// Output: url-pattern /logo.gif?: [neoparfumonline.in parfumonline.in]
+}

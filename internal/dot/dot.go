@@ -1,0 +1,118 @@
+// Package dot renders detected communities of compromised hosts and
+// malicious domains as Graphviz DOT documents, in the style of the paper's
+// Figures 4, 7 and 8: hosts and domains as the two node classes of the
+// bipartite graph, with node shapes encoding the validation status (seed,
+// intelligence-confirmed, SOC-confirmed, or new discovery).
+package dot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeKind selects the figure styling of a node.
+type NodeKind int
+
+// Node kinds, matching the legend of Figure 8.
+const (
+	// KindSeed is the seed domain (yellow diamond).
+	KindSeed NodeKind = iota + 1
+	// KindIntel marks nodes confirmed by external intelligence
+	// (purple ellipse).
+	KindIntel
+	// KindSOC marks nodes confirmed by the SOC (red hexagon).
+	KindSOC
+	// KindNew marks unconfirmed new discoveries (grey rectangle).
+	KindNew
+	// KindHost marks internal hosts.
+	KindHost
+)
+
+func (k NodeKind) attrs() string {
+	switch k {
+	case KindSeed:
+		return `shape=diamond, style=filled, fillcolor=gold`
+	case KindIntel:
+		return `shape=ellipse, style=filled, fillcolor=plum`
+	case KindSOC:
+		return `shape=hexagon, style=filled, fillcolor=tomato`
+	case KindNew:
+		return `shape=box, style=filled, fillcolor=lightgrey`
+	case KindHost:
+		return `shape=circle, style=filled, fillcolor=lightblue`
+	default:
+		return `shape=box`
+	}
+}
+
+// Graph is a community under construction.
+type Graph struct {
+	Name  string
+	nodes map[string]NodeKind
+	edges map[[2]string]string // (from, to) -> label
+}
+
+// NewGraph returns an empty community graph.
+func NewGraph(name string) *Graph {
+	return &Graph{
+		Name:  name,
+		nodes: make(map[string]NodeKind),
+		edges: make(map[[2]string]string),
+	}
+}
+
+// AddNode registers a node; later registrations win so callers can upgrade
+// a node's status (e.g. new -> SOC-confirmed).
+func (g *Graph) AddNode(name string, kind NodeKind) {
+	g.nodes[name] = kind
+}
+
+// AddEdge connects a host to a domain with an optional label (e.g.
+// "beacon 600s").
+func (g *Graph) AddEdge(host, domain, label string) {
+	g.edges[[2]string{host, domain}] = label
+}
+
+// NodeCount returns the number of registered nodes.
+func (g *Graph) NodeCount() int { return len(g.nodes) }
+
+// EdgeCount returns the number of registered edges.
+func (g *Graph) EdgeCount() int { return len(g.edges) }
+
+// String renders the DOT document deterministically (nodes and edges in
+// sorted order).
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", g.Name)
+	b.WriteString("  rankdir=LR;\n")
+
+	names := make([]string, 0, len(g.nodes))
+	for n := range g.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %q [%s];\n", n, g.nodes[n].attrs())
+	}
+
+	keys := make([][2]string, 0, len(g.edges))
+	for k := range g.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		if label := g.edges[k]; label != "" {
+			fmt.Fprintf(&b, "  %q -- %q [label=%q];\n", k[0], k[1], label)
+		} else {
+			fmt.Fprintf(&b, "  %q -- %q;\n", k[0], k[1])
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphRendering(t *testing.T) {
+	g := NewGraph("community")
+	g.AddNode("xtremesoftnow.ru", KindSeed)
+	g.AddNode("kuqcuqmaggguqum.org", KindIntel)
+	g.AddNode("uogwoigiuweyccsw.org", KindNew)
+	g.AddNode("host5", KindHost)
+	g.AddEdge("host5", "xtremesoftnow.ru", "beacon 600s")
+	g.AddEdge("host5", "kuqcuqmaggguqum.org", "")
+
+	s := g.String()
+	for _, want := range []string{
+		`graph "community"`,
+		`"xtremesoftnow.ru" [shape=diamond`,
+		`"kuqcuqmaggguqum.org" [shape=ellipse`,
+		`"uogwoigiuweyccsw.org" [shape=box`,
+		`"host5" [shape=circle`,
+		`"host5" -- "xtremesoftnow.ru" [label="beacon 600s"]`,
+		`"host5" -- "kuqcuqmaggguqum.org";`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	if g.NodeCount() != 4 || g.EdgeCount() != 2 {
+		t.Errorf("counts: %d nodes, %d edges", g.NodeCount(), g.EdgeCount())
+	}
+}
+
+func TestGraphDeterministic(t *testing.T) {
+	build := func() string {
+		g := NewGraph("g")
+		for _, n := range []string{"z", "a", "m"} {
+			g.AddNode(n, KindNew)
+		}
+		g.AddEdge("z", "a", "")
+		g.AddEdge("a", "m", "")
+		return g.String()
+	}
+	if build() != build() {
+		t.Error("rendering must be deterministic")
+	}
+}
+
+func TestNodeUpgrade(t *testing.T) {
+	g := NewGraph("g")
+	g.AddNode("d.org", KindNew)
+	g.AddNode("d.org", KindSOC) // later status wins
+	if !strings.Contains(g.String(), "hexagon") {
+		t.Error("node status not upgraded")
+	}
+	if g.NodeCount() != 1 {
+		t.Error("duplicate node")
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	g := NewGraph("g")
+	g.AddNode("x", NodeKind(99))
+	if !strings.Contains(g.String(), "shape=box") {
+		t.Error("unknown kind should fall back to box")
+	}
+}

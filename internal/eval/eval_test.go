@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TruePositives: 59, FalsePositives: 1, FalseNegatives: 4}
+	if got := c.TDR(); got < 0.98 || got > 0.99 {
+		t.Errorf("TDR = %v", got)
+	}
+	if got := c.FDR(); got < 0.016 || got > 0.017 {
+		t.Errorf("FDR = %v", got)
+	}
+	if got := c.FNR(); got < 0.06 || got > 0.07 {
+		t.Errorf("FNR = %v", got)
+	}
+	var zero Confusion
+	if zero.TDR() != 0 || zero.FDR() != 0 || zero.FNR() != 0 {
+		t.Error("zero confusion must yield zero rates")
+	}
+}
+
+func TestTDRPlusFDRIsOne(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		c := Confusion{int(tp), int(fp), int(fn)}
+		if c.TruePositives+c.FalsePositives == 0 {
+			return true
+		}
+		return c.TDR()+c.FDR() > 0.999 && c.TDR()+c.FDR() < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTally(t *testing.T) {
+	mal := map[string]bool{"a": true, "b": true, "c": true}
+	c := Tally([]string{"a", "b", "x"}, func(d string) bool { return mal[d] }, []string{"a", "b", "c"})
+	if c.TruePositives != 2 || c.FalsePositives != 1 || c.FalseNegatives != 1 {
+		t.Errorf("tally = %+v", c)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := Breakdown{KnownMalicious: 191, NewMalicious: 70, Suspicious: 28, Legitimate: 86}
+	if b.Detected() != 375 {
+		t.Errorf("Detected = %d", b.Detected())
+	}
+	if tdr := b.TDR(); tdr < 0.77 || tdr > 0.78 {
+		t.Errorf("TDR = %v, want ~0.7707 (the paper's 77.07%%)", tdr)
+	}
+	if ndr := b.NDR(); ndr < 0.26 || ndr > 0.27 {
+		t.Errorf("NDR = %v, want ~0.2613 (the paper's 26.13%%)", ndr)
+	}
+	var zero Breakdown
+	if zero.TDR() != 0 || zero.NDR() != 0 {
+		t.Error("zero breakdown rates")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	if c.At(0) != 0 {
+		t.Errorf("At(0) = %v", c.At(0))
+	}
+	if c.At(3) != 0.6 {
+		t.Errorf("At(3) = %v", c.At(3))
+	}
+	if c.At(10) != 1 {
+		t.Errorf("At(10) = %v", c.At(10))
+	}
+	if c.N() != 5 {
+		t.Errorf("N = %d", c.N())
+	}
+	if q := c.Quantile(0.5); q != 3 {
+		t.Errorf("median = %v", q)
+	}
+	if q := c.Quantile(0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := c.Quantile(1); q != 5 {
+		t.Errorf("q1 = %v", q)
+	}
+	empty := NewCDF(nil)
+	if empty.At(1) != 0 || empty.Quantile(0.5) != 0 {
+		t.Error("empty CDF must be all zeros")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(samples []float64, a, b float64) bool {
+		c := NewCDF(samples)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return c.At(lo) <= c.At(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Headers: []string{"A", "Blong"}}
+	tab.AddRow("x", "y")
+	tab.AddRow("longer", "z")
+	s := tab.String()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "Blong") || !strings.Contains(s, "longer") {
+		t.Errorf("render:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.9833) != "98.33%" {
+		t.Errorf("Pct = %q", Pct(0.9833))
+	}
+}

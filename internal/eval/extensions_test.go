@@ -1,0 +1,137 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestClustersOnEnterpriseRun(t *testing.T) {
+	run := entRun(t)
+	clusters, tab := Clusters(run)
+	// The generator injects DGA campaigns and per-campaign /24 subnets, so
+	// a run with multiple caught campaigns should yield at least one
+	// cluster of some kind.
+	if len(clusters) == 0 {
+		t.Skip("no clusters at this scale/seed (acceptable)")
+	}
+	kinds := map[cluster.Kind]int{}
+	for _, c := range clusters {
+		kinds[c.Kind]++
+		if len(c.Domains) < cluster.MinClusterSize {
+			t.Errorf("cluster %v/%s below minimum size", c.Kind, c.Key)
+		}
+	}
+	if len(tab.Rows) != len(clusters) {
+		t.Error("table rows mismatch")
+	}
+	t.Logf("clusters by kind: %v", kinds)
+}
+
+func TestAblationEvasionShape(t *testing.T) {
+	points, tab := AblationEvasion(3, 100)
+	if len(points) < 5 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Perfect beacons are always caught.
+	if points[0].JitterSeconds != 0 || points[0].DetectionRate < 0.99 {
+		t.Errorf("zero-jitter detection = %v", points[0].DetectionRate)
+	}
+	// §VIII: resilient to small randomization (within the bin width)...
+	for _, p := range points {
+		if p.JitterSeconds <= 5 && p.DetectionRate < 0.95 {
+			t.Errorf("jitter %vs: detection %v, want near-perfect", p.JitterSeconds, p.DetectionRate)
+		}
+	}
+	// ...but fully randomized timing evades the detector (the open
+	// problem the paper concedes).
+	last := points[len(points)-1]
+	if last.DetectionRate > 0.2 {
+		t.Errorf("jitter %vs: detection %v, heavy randomization should evade", last.JitterSeconds, last.DetectionRate)
+	}
+	// Monotone non-increasing (allowing small sampling wiggle).
+	for i := 1; i < len(points); i++ {
+		if points[i].DetectionRate > points[i-1].DetectionRate+0.05 {
+			t.Errorf("detection rate rose with jitter: %+v", points)
+		}
+	}
+	if len(tab.Rows) != len(points) {
+		t.Error("table rows mismatch")
+	}
+}
+
+func TestAblationDistanceMetric(t *testing.T) {
+	points, tab := AblationDistanceMetric(4, 60)
+	if len(points) != 2 {
+		t.Fatalf("points = %+v", points)
+	}
+	jeff, l1 := points[0], points[1]
+	if jeff.Metric != "jeffrey" || l1.Metric != "l1" {
+		t.Fatalf("order = %+v", points)
+	}
+	// The paper: "the results were very similar".
+	if l1.Agreement < 0.95 {
+		t.Errorf("L1 agreement with Jeffrey = %v, want >= 0.95", l1.Agreement)
+	}
+	diff := jeff.Accuracy - l1.Accuracy
+	if diff < -0.05 || diff > 0.05 {
+		t.Errorf("accuracies diverge: jeffrey=%v l1=%v", jeff.Accuracy, l1.Accuracy)
+	}
+	if len(tab.Rows) != 2 {
+		t.Error("table rows")
+	}
+}
+
+func TestGenerality(t *testing.T) {
+	res, tab := Generality(ScaleSmall, 21)
+	if res.Campaigns == 0 {
+		t.Fatal("no campaigns")
+	}
+	// §II-C: the C&C pattern must survive both projections for (nearly)
+	// every campaign.
+	if res.ProxyVisible < res.Campaigns {
+		t.Errorf("proxy view missed campaigns: %d/%d", res.ProxyVisible, res.Campaigns)
+	}
+	if res.FlowVisible < res.Campaigns {
+		t.Errorf("flow view missed campaigns: %d/%d", res.FlowVisible, res.Campaigns)
+	}
+	if len(tab.Rows) != res.Campaigns+1 {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestLANLRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed run")
+	}
+	sum, tab := LANLRobustness(ScaleSmall, 100, 3)
+	if sum.Seeds != 3 {
+		t.Fatalf("seeds = %d", sum.Seeds)
+	}
+	if sum.TDRMin < 0.80 {
+		t.Errorf("worst-seed TDR = %v, want >= 0.80 (paper: 0.98)", sum.TDRMin)
+	}
+	if sum.FNRMax > 0.30 {
+		t.Errorf("worst-seed FNR = %v, want <= 0.30", sum.FNRMax)
+	}
+	if len(tab.Rows) != 5 { // 3 seeds + mean + worst
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestAblationRareRestriction(t *testing.T) {
+	run := lanlRun(t)
+	res, tab := AblationRareRestriction(run)
+	if res.RareDomains == 0 || res.AllDomains == 0 {
+		t.Fatalf("degenerate populations: %+v", res)
+	}
+	if res.Factor < 2 {
+		t.Errorf("reduction factor = %.1f, want well above 1 (paper: >100 at full volume)", res.Factor)
+	}
+	if res.AutomatedRare > res.RareDomains {
+		t.Errorf("automated rare (%d) exceeds rare (%d)", res.AutomatedRare, res.RareDomains)
+	}
+	if len(tab.Rows) != 4 {
+		t.Errorf("table rows = %d", len(tab.Rows))
+	}
+}

@@ -1,0 +1,209 @@
+// Package eval provides the evaluation machinery: the paper's metrics
+// (TDR, FDR, FNR, NDR — §V-C, §VI-B), empirical CDFs, plain-text rendering
+// of tables and figure series, and the experiment drivers that regenerate
+// every table and figure of the paper on the synthetic datasets (see
+// DESIGN.md §3 for the experiment index).
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Confusion tallies detection outcomes against ground truth.
+type Confusion struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Add merges another tally.
+func (c *Confusion) Add(o Confusion) {
+	c.TruePositives += o.TruePositives
+	c.FalsePositives += o.FalsePositives
+	c.FalseNegatives += o.FalseNegatives
+}
+
+// TDR is the true detection rate: the fraction of true positives among all
+// detected domains (§V-C).
+func (c Confusion) TDR() float64 {
+	det := c.TruePositives + c.FalsePositives
+	if det == 0 {
+		return 0
+	}
+	return float64(c.TruePositives) / float64(det)
+}
+
+// FDR is the false detection rate: the fraction of false positives among
+// all detected domains. By construction FDR = 1 - TDR when anything was
+// detected.
+func (c Confusion) FDR() float64 {
+	det := c.TruePositives + c.FalsePositives
+	if det == 0 {
+		return 0
+	}
+	return float64(c.FalsePositives) / float64(det)
+}
+
+// FNR is the false negative rate: the fraction of malicious domains the
+// detector labeled legitimate.
+func (c Confusion) FNR() float64 {
+	actual := c.TruePositives + c.FalseNegatives
+	if actual == 0 {
+		return 0
+	}
+	return float64(c.FalseNegatives) / float64(actual)
+}
+
+// Tally scores a detection set against the malicious ground truth set.
+func Tally(detected []string, isMalicious func(string) bool, allMalicious []string) Confusion {
+	var c Confusion
+	det := make(map[string]bool, len(detected))
+	for _, d := range detected {
+		det[d] = true
+		if isMalicious(d) {
+			c.TruePositives++
+		} else {
+			c.FalsePositives++
+		}
+	}
+	for _, m := range allMalicious {
+		if !det[m] {
+			c.FalseNegatives++
+		}
+	}
+	return c
+}
+
+// Breakdown categorizes detections the way §VI-B validates them.
+type Breakdown struct {
+	KnownMalicious int // reported by VirusTotal or on the IOC list
+	NewMalicious   int // confirmed malicious, unknown to intelligence
+	Suspicious     int
+	Legitimate     int
+}
+
+// Detected returns the total number of detections in the breakdown.
+func (b Breakdown) Detected() int {
+	return b.KnownMalicious + b.NewMalicious + b.Suspicious + b.Legitimate
+}
+
+// TDR is the fraction of known + new malicious + suspicious detections —
+// the paper counts all three as true detections (§VI-B).
+func (b Breakdown) TDR() float64 {
+	d := b.Detected()
+	if d == 0 {
+		return 0
+	}
+	return float64(b.KnownMalicious+b.NewMalicious+b.Suspicious) / float64(d)
+}
+
+// NDR is the new-discovery rate: the share of detections that are new
+// malicious or suspicious (unknown to VirusTotal and the SOC).
+func (b Breakdown) NDR() float64 {
+	d := b.Detected()
+	if d == 0 {
+		return 0
+	}
+	return float64(b.NewMalicious+b.Suspicious) / float64(d)
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	values []float64
+}
+
+// NewCDF builds an empirical CDF from samples.
+func NewCDF(samples []float64) *CDF {
+	v := make([]float64, len(samples))
+	copy(v, samples)
+	sort.Float64s(v)
+	return &CDF{values: v}
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.values) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.values, x)
+	for i < len(c.values) && c.values[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(c.values))
+}
+
+// Quantile returns the q-th empirical quantile, q in [0,1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.values) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.values[0]
+	}
+	if q >= 1 {
+		return c.values[len(c.values)-1]
+	}
+	idx := int(q * float64(len(c.values)))
+	if idx >= len(c.values) {
+		idx = len(c.values) - 1
+	}
+	return c.values[idx]
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.values) }
+
+// Table is a simple plain-text table for report output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }

@@ -1,0 +1,51 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// SeedSummary aggregates the headline metrics across independent dataset
+// seeds — the repository's answer to "is the reproduction stable or a
+// lucky seed?".
+type SeedSummary struct {
+	Seeds   int
+	TDRMean float64
+	TDRMin  float64
+	FNRMean float64
+	FNRMax  float64
+	FDRMean float64
+	FDRMax  float64
+}
+
+// LANLRobustness runs the full LANL challenge across n seeds and
+// aggregates Table III's metrics.
+func LANLRobustness(scale Scale, baseSeed int64, n int) (SeedSummary, *Table) {
+	s := SeedSummary{Seeds: n, TDRMin: math.Inf(1)}
+	t := &Table{
+		Title:   fmt.Sprintf("Robustness: Table III metrics across %d seeds", n),
+		Headers: []string{"Seed", "TDR", "FDR", "FNR"},
+	}
+	for i := 0; i < n; i++ {
+		seed := baseSeed + int64(i)
+		run := RunLANL(scale, seed)
+		res, _ := Table3(run)
+		tot := res.Totals()
+		s.TDRMean += tot.TDR() / float64(n)
+		s.FNRMean += tot.FNR() / float64(n)
+		s.FDRMean += tot.FDR() / float64(n)
+		if tot.TDR() < s.TDRMin {
+			s.TDRMin = tot.TDR()
+		}
+		if tot.FNR() > s.FNRMax {
+			s.FNRMax = tot.FNR()
+		}
+		if tot.FDR() > s.FDRMax {
+			s.FDRMax = tot.FDR()
+		}
+		t.AddRow(fmt.Sprintf("%d", seed), Pct(tot.TDR()), Pct(tot.FDR()), Pct(tot.FNR()))
+	}
+	t.AddRow("mean", Pct(s.TDRMean), Pct(s.FDRMean), Pct(s.FNRMean))
+	t.AddRow("worst", Pct(s.TDRMin), Pct(s.FDRMax), Pct(s.FNRMax))
+	return s, t
+}

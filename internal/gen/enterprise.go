@@ -1,0 +1,532 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/logs"
+)
+
+// EnterpriseConfig parameterizes the synthetic AC-style web-proxy dataset.
+// The zero value of any field is replaced by the documented default.
+type EnterpriseConfig struct {
+	// Seed makes the dataset fully reproducible.
+	Seed int64
+	// Start is the first day of the training month (default 2014-01-01).
+	Start time.Time
+	// TrainingDays is the profiling/bootstrap period length (default 31).
+	TrainingDays int
+	// OperationDays is the detection period length (default 28).
+	OperationDays int
+	// Hosts is the number of internal hosts (default 200).
+	Hosts int
+	// PopularDomains is the size of the Zipf-popular benign destination
+	// population (default 400).
+	PopularDomains int
+	// NewRarePerDay is the number of fresh benign long-tail domains that
+	// appear each day and are visited by one or two hosts (default 60).
+	NewRarePerDay int
+	// BenignAutoPerDay is the number of fresh benign domains per day that
+	// receive automated (periodic) connections — site refreshers, update
+	// pollers — the false-positive pool for the C&C detector (default 6).
+	BenignAutoPerDay int
+	// Campaigns is the number of malicious campaigns injected across the
+	// operation period (default 24).
+	Campaigns int
+	// MaxHostsPerCampaign bounds the infection size (default 4; the
+	// minimum is always 1 — the paper stresses single-host detection).
+	MaxHostsPerCampaign int
+	// SessionsPerDay is the mean number of browsing sessions per host-day
+	// (default 5).
+	SessionsPerDay float64
+	// UnpopularThreshold mirrors the profiling threshold so the generator
+	// keeps benign rare domains under it (default 10).
+	UnpopularThreshold int
+}
+
+func (c *EnterpriseConfig) setDefaults() {
+	if c.Start.IsZero() {
+		c.Start = time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.TrainingDays == 0 {
+		c.TrainingDays = 31
+	}
+	if c.OperationDays == 0 {
+		c.OperationDays = 28
+	}
+	if c.Hosts == 0 {
+		c.Hosts = 200
+	}
+	if c.PopularDomains == 0 {
+		c.PopularDomains = 400
+	}
+	if c.NewRarePerDay == 0 {
+		c.NewRarePerDay = 60
+	}
+	if c.BenignAutoPerDay == 0 {
+		c.BenignAutoPerDay = 6
+	}
+	if c.Campaigns == 0 {
+		c.Campaigns = 24
+	}
+	if c.MaxHostsPerCampaign == 0 {
+		c.MaxHostsPerCampaign = 4
+	}
+	if c.SessionsPerDay == 0 {
+		c.SessionsPerDay = 5
+	}
+	if c.UnpopularThreshold == 0 {
+		c.UnpopularThreshold = 10
+	}
+}
+
+// Enterprise generates the synthetic web-proxy dataset day by day.
+type Enterprise struct {
+	cfg   EnterpriseConfig
+	Truth *GroundTruth
+
+	popular    []string
+	popularIP  []netip.Addr
+	uas        []string
+	hostUA     [][]string // user-agent set per host
+	hostTZ     []int      // capture-device timezone offset per host
+	benignAuto map[int][]autoService
+	rareReg    map[string]Registration // explicit registrations for benign domains
+}
+
+// autoService is one benign periodic service active on a given day.
+type autoService struct {
+	domain string
+	hosts  []int
+	period time.Duration
+	jitter time.Duration
+	start  time.Duration // offset from midnight
+	dur    time.Duration
+	ua     string
+	recent bool // registered recently (hard negative for the regression)
+}
+
+// NewEnterprise precomputes the static world (hosts, UA populations,
+// popular destinations, campaign schedule); per-day traffic is derived
+// deterministically in Day.
+func NewEnterprise(cfg EnterpriseConfig) *Enterprise {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	e := &Enterprise{
+		cfg:        cfg,
+		Truth:      newGroundTruth(),
+		benignAuto: make(map[int][]autoService),
+		rareReg:    make(map[string]Registration),
+	}
+
+	// Popular benign destinations with Zipf popularity.
+	tlds := []string{"com", "com", "com", "net", "org"}
+	seen := map[string]bool{}
+	for len(e.popular) < cfg.PopularDomains {
+		d := fmt.Sprintf("%s.%s", randWord(rng, 5+rng.Intn(8)), tlds[rng.Intn(len(tlds))])
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		e.popular = append(e.popular, d)
+		e.popularIP = append(e.popularIP, randPublicIP(rng))
+	}
+
+	// Global UA population; per-host UA sets of 7-9 with popularity skew
+	// toward the head of the pool (§IV-C: users average 7-9 UAs).
+	e.uas = uaPool(rng, 40)
+	e.hostUA = make([][]string, cfg.Hosts)
+	e.hostTZ = make([]int, cfg.Hosts)
+	zones := []int{0, -5, -5, -8, 1, 8}
+	for h := 0; h < cfg.Hosts; h++ {
+		n := 7 + rng.Intn(3)
+		set := make([]string, 0, n)
+		used := map[int]bool{}
+		for len(set) < n {
+			// Squared-uniform index skews toward popular UAs.
+			idx := int(float64(len(e.uas)) * rng.Float64() * rng.Float64())
+			if idx >= len(e.uas) || used[idx] {
+				continue
+			}
+			used[idx] = true
+			set = append(set, e.uas[idx])
+		}
+		e.hostUA[h] = set
+		e.hostTZ[h] = zones[rng.Intn(len(zones))]
+	}
+
+	e.buildCampaigns(rng)
+	e.buildBenignAuto(rng)
+	return e
+}
+
+// randPublicIP draws an address outside RFC1918 space.
+func randPublicIP(rng *rand.Rand) netip.Addr {
+	for {
+		a := netip.AddrFrom4([4]byte{
+			byte(1 + rng.Intn(222)), byte(rng.Intn(256)),
+			byte(rng.Intn(256)), byte(1 + rng.Intn(254)),
+		})
+		b := a.As4()
+		if b[0] == 10 || (b[0] == 172 && b[1] >= 16 && b[1] < 32) || (b[0] == 192 && b[1] == 168) || b[0] == 127 {
+			continue
+		}
+		return a
+	}
+}
+
+func (e *Enterprise) buildCampaigns(rng *rand.Rand) {
+	cfg := e.cfg
+	periods := []time.Duration{
+		2 * time.Minute, 5 * time.Minute, 10 * time.Minute,
+		20 * time.Minute, time.Hour,
+	}
+	for i := 0; i < cfg.Campaigns; i++ {
+		// Spread campaigns across operation days, skipping none.
+		opDay := (i * cfg.OperationDays) / cfg.Campaigns
+		day := e.DayTime(cfg.TrainingDays + opDay)
+		dga := i%5 == 3
+		subnet := netip.PrefixFrom(netip.AddrFrom4([4]byte{
+			byte(185 + rng.Intn(18)), byte(rng.Intn(256)), byte(rng.Intn(256)), 0,
+		}), 24)
+
+		mkDomain := func() string {
+			if dga {
+				if i%2 == 0 {
+					return randHex(rng, 20) + ".info"
+				}
+				return randWord(rng, 4+rng.Intn(2)) + ".info"
+			}
+			return randWord(rng, 7+rng.Intn(10)) + []string{".ru", ".in", ".org", ".com", ".biz"}[rng.Intn(5)]
+		}
+
+		c := &Campaign{
+			ID:       fmt.Sprintf("ac-c%02d", i),
+			Day:      day,
+			CCDomain: mkDomain(),
+			CCPeriod: periods[rng.Intn(len(periods))],
+			CCJitter: time.Duration(rng.Intn(5)) * time.Second,
+			DGA:      dga,
+			Subnet:   subnet,
+		}
+		nDelivery := 2 + rng.Intn(3)
+		for d := 0; d < nDelivery; d++ {
+			c.DeliveryDomains = append(c.DeliveryDomains, mkDomain())
+		}
+		for d := 0; d < rng.Intn(3); d++ {
+			c.SecondStageDomains = append(c.SecondStageDomains, mkDomain())
+		}
+		nHosts := 1 + rng.Intn(cfg.MaxHostsPerCampaign)
+		used := map[int]bool{}
+		for len(c.Hosts) < nHosts {
+			h := rng.Intn(cfg.Hosts)
+			if used[h] {
+				continue
+			}
+			used[h] = true
+			c.Hosts = append(c.Hosts, hostName(h))
+		}
+		switch rng.Intn(5) {
+		case 0, 1, 2: // custom implant UA, rare by construction
+			c.MalwareUA = fmt.Sprintf("WinHttp.WinHttpRequest.5.%d", rng.Intn(9))
+		case 3: // no UA at all
+			c.MalwareUA = ""
+		case 4: // blends in with a common UA (hard case)
+			c.MalwareUA = e.uas[rng.Intn(5)]
+		}
+
+		// Registration ground truth: young, short validity. A slice of DGA
+		// domains is registered only after the campaign day (§VI-D).
+		for j, d := range c.Domains() {
+			reg := day.AddDate(0, 0, -(5 + rng.Intn(55)))
+			if dga && j%3 == 2 {
+				reg = day.AddDate(0, 0, 1+rng.Intn(7))
+			}
+			e.Truth.Registrations[d] = Registration{
+				Registered:  reg,
+				Expires:     reg.AddDate(0, 0, 30+rng.Intn(335)),
+				Unparseable: rng.Float64() < 0.08,
+			}
+			// Hosting IPs cluster in the campaign subnet; some stray into
+			// the surrounding /16 only.
+			base := subnet.Addr().As4()
+			ip := netip.AddrFrom4([4]byte{base[0], base[1], base[2], byte(1 + rng.Intn(254))})
+			if rng.Float64() < 0.2 {
+				ip = netip.AddrFrom4([4]byte{base[0], base[1], byte(rng.Intn(256)), byte(1 + rng.Intn(254))})
+			}
+			e.Truth.DomainIP[d] = ip
+		}
+		e.Truth.addCampaign(c)
+	}
+}
+
+func (e *Enterprise) buildBenignAuto(rng *rand.Rand) {
+	cfg := e.cfg
+	periods := []time.Duration{
+		5 * time.Minute, 10 * time.Minute, 15 * time.Minute,
+		30 * time.Minute, time.Hour,
+	}
+	total := cfg.TrainingDays + cfg.OperationDays
+	for day := 0; day < total; day++ {
+		for s := 0; s < cfg.BenignAutoPerDay; s++ {
+			domain := fmt.Sprintf("%s-sync%02d.%s",
+				randWord(rng, 6+rng.Intn(6)), day, []string{"com", "net", "io"}[rng.Intn(3)])
+			// Legitimate pollers (updaters, site refreshers) overwhelmingly
+			// use UA strings shared by large host populations; only the
+			// odd niche tool carries a rare one.
+			ua := e.uas[rng.Intn(6)]
+			if rng.Float64() < 0.15 {
+				ua = e.uas[rng.Intn(len(e.uas))]
+			}
+			svc := autoService{
+				domain: domain,
+				period: periods[rng.Intn(len(periods))],
+				jitter: time.Duration(rng.Intn(4)) * time.Second,
+				start:  time.Duration(6+rng.Intn(8)) * time.Hour,
+				dur:    time.Duration(3+rng.Intn(9)) * time.Hour,
+				ua:     ua,
+				recent: rng.Float64() < 0.25,
+			}
+			nh := 1
+			if rng.Float64() < 0.3 {
+				nh = 2
+			}
+			for len(svc.hosts) < nh {
+				svc.hosts = append(svc.hosts, rng.Intn(cfg.Hosts))
+			}
+			if svc.recent {
+				reg := e.DayTime(day).AddDate(0, 0, -(30 + rng.Intn(170)))
+				e.rareReg[domain] = Registration{
+					Registered: reg,
+					Expires:    reg.AddDate(1+rng.Intn(2), 0, 0),
+				}
+			}
+			e.benignAuto[day] = append(e.benignAuto[day], svc)
+		}
+	}
+}
+
+// Config returns the effective configuration with defaults applied.
+func (e *Enterprise) Config() EnterpriseConfig { return e.cfg }
+
+// NumDays returns the total number of generated days.
+func (e *Enterprise) NumDays() int { return e.cfg.TrainingDays + e.cfg.OperationDays }
+
+// DayTime returns UTC midnight of day index i.
+func (e *Enterprise) DayTime(i int) time.Time { return e.cfg.Start.AddDate(0, 0, i) }
+
+// DHCPMap returns the source-IP-to-hostname assignment for day i. The
+// mapping is a day-dependent rotation of the 10.0.0.0/16 pool, modeling
+// DHCP churn; every tenth host connects through the 10.8.0.0/16 VPN pool
+// instead.
+func (e *Enterprise) DHCPMap(i int) map[netip.Addr]string {
+	m := make(map[netip.Addr]string, e.cfg.Hosts)
+	for h := 0; h < e.cfg.Hosts; h++ {
+		m[e.hostIP(h, i)] = hostName(h)
+	}
+	return m
+}
+
+func (e *Enterprise) hostIP(h, day int) netip.Addr {
+	if h%10 == 7 { // VPN host
+		slot := (h/10 + day*7) % 60000
+		return netip.AddrFrom4([4]byte{10, 8, byte(slot / 250), byte(2 + slot%250)})
+	}
+	slot := (h + day*13) % 60000
+	return netip.AddrFrom4([4]byte{10, 0, byte(slot / 250), byte(2 + slot%250)})
+}
+
+// Day materializes every proxy record for day index i. Records carry the
+// raw (pre-normalization) view: empty Host, DHCP-assigned SrcIP, and
+// timestamps in the capture device's local timezone with TZOffset set.
+func (e *Enterprise) Day(i int) []logs.ProxyRecord {
+	rng := rand.New(rand.NewSource(daySeed(e.cfg.Seed, i, 1)))
+	// The popularity sampler is rebuilt from the day RNG so that Day(i) is
+	// a pure function of (seed, i) regardless of which days were
+	// materialized before.
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(e.cfg.PopularDomains-1))
+	day := e.DayTime(i)
+	var recs []logs.ProxyRecord
+
+	emit := func(h int, t time.Time, domain string, ip netip.Addr, url, ua, ref string, status int) {
+		tz := e.hostTZ[h]
+		recs = append(recs, logs.ProxyRecord{
+			Time:      t.Add(time.Duration(tz) * time.Hour), // device-local clock
+			SrcIP:     e.hostIP(h, i),
+			Domain:    domain,
+			DestIP:    ip,
+			URL:       url,
+			Method:    "GET",
+			Status:    status,
+			UserAgent: ua,
+			Referer:   ref,
+			TZOffset:  tz,
+		})
+	}
+
+	e.genBrowsing(rng, zipf, day, i, emit)
+	e.genRareBenign(rng, zipf, day, i, emit)
+	e.genBenignAuto(rng, day, i, emit)
+	e.genCampaigns(rng, day, emit)
+	return recs
+}
+
+type emitFn func(h int, t time.Time, domain string, ip netip.Addr, url, ua, ref string, status int)
+
+// genBrowsing produces the bulk human traffic: Zipf-popular destinations
+// visited in referer-chained sessions.
+func (e *Enterprise) genBrowsing(rng *rand.Rand, zipf *rand.Zipf, day time.Time, dayIdx int, emit emitFn) {
+	for h := 0; h < e.cfg.Hosts; h++ {
+		sessions := poisson(rng, e.cfg.SessionsPerDay)
+		for s := 0; s < sessions; s++ {
+			domIdx := int(zipf.Uint64())
+			domain := e.popular[domIdx]
+			ip := e.popularIP[domIdx]
+			t := day.Add(time.Duration(8*3600+rng.Intn(12*3600)) * time.Second)
+			ua := e.hostUA[h][rng.Intn(len(e.hostUA[h]))]
+			visits := 3 + rng.Intn(9)
+			ref := ""
+			for v := 0; v < visits; v++ {
+				url := fmt.Sprintf("http://%s/%s", domain, randWord(rng, 6))
+				status := 200
+				if rng.Float64() < 0.03 {
+					status = 404
+				}
+				r := ref
+				if rng.Float64() < 0.05 { // iframe/JS wipes the referer
+					r = ""
+				}
+				emit(h, t, domain, ip, url, ua, r, status)
+				ref = url
+				t = t.Add(time.Duration(5+rng.Intn(55)) * time.Second)
+			}
+		}
+	}
+}
+
+// genRareBenign produces the daily stream of fresh long-tail destinations:
+// new domains visited by one or two hosts with human timing and referers.
+func (e *Enterprise) genRareBenign(rng *rand.Rand, zipf *rand.Zipf, day time.Time, dayIdx int, emit emitFn) {
+	for r := 0; r < e.cfg.NewRarePerDay; r++ {
+		domain := fmt.Sprintf("%s-%02dd%02d.%s", randWord(rng, 7+rng.Intn(7)), r, dayIdx,
+			[]string{"com", "net", "org", "info"}[rng.Intn(4)])
+		ip := randPublicIP(rng)
+		nHosts := 1
+		if rng.Float64() < 0.25 {
+			nHosts = 2
+		}
+		for n := 0; n < nHosts; n++ {
+			h := rng.Intn(e.cfg.Hosts)
+			t := day.Add(time.Duration(8*3600+rng.Intn(12*3600)) * time.Second)
+			ua := e.hostUA[h][rng.Intn(len(e.hostUA[h]))]
+			visits := 1 + rng.Intn(5)
+			for v := 0; v < visits; v++ {
+				ref := fmt.Sprintf("http://%s/", e.popular[int(zipf.Uint64())])
+				if rng.Float64() < 0.15 {
+					ref = ""
+				}
+				emit(h, t, domain, ip, fmt.Sprintf("http://%s/page%d", domain, v), ua, ref, 200)
+				t = t.Add(time.Duration(10+rng.Intn(590)) * time.Second)
+			}
+		}
+	}
+}
+
+// genBenignAuto produces the benign periodic services active on this day —
+// the legitimate automated domains the C&C scorer must rank below real C&C.
+func (e *Enterprise) genBenignAuto(rng *rand.Rand, day time.Time, dayIdx int, emit emitFn) {
+	for _, svc := range e.benignAuto[dayIdx] {
+		ip := randPublicIP(rng)
+		for _, h := range svc.hosts {
+			// Independent hosts polling the same service are not
+			// phase-locked: each starts at its own offset.
+			t := day.Add(svc.start + time.Duration(rng.Intn(3600))*time.Second)
+			end := t.Add(svc.dur)
+			for t.Before(end) {
+				emit(h, t, svc.domain, ip,
+					fmt.Sprintf("http://%s/poll", svc.domain), svc.ua, "", 200)
+				t = t.Add(jitterDur(rng, svc.period, svc.jitter))
+			}
+		}
+	}
+}
+
+// genCampaigns produces the malicious traffic for campaigns whose infection
+// day is this day: the delivery chain, second-stage downloads, and the
+// periodic C&C beacon.
+func (e *Enterprise) genCampaigns(rng *rand.Rand, day time.Time, emit emitFn) {
+	for _, c := range e.Truth.CampaignsOn(day) {
+		campaignStart := time.Duration(9*3600+rng.Intn(5*3600)) * time.Second
+		for _, hn := range c.Hosts {
+			var h int
+			fmt.Sscanf(hn, "host%04d", &h)
+			// Hosts of one campaign are infected within minutes of each
+			// other (spear-phishing wave).
+			t0 := day.Add(campaignStart + time.Duration(rng.Intn(1800))*time.Second)
+
+			// Delivery: redirection chain through the delivery domains.
+			t := t0
+			browserUA := e.hostUA[h][rng.Intn(len(e.hostUA[h]))]
+			prevURL := ""
+			for _, d := range c.DeliveryDomains {
+				url := fmt.Sprintf("http://%s/%s.html", d, randWord(rng, 5))
+				ref := prevURL
+				if rng.Float64() < 0.5 {
+					ref = "" // email link / stripped referer
+				}
+				emit(h, t, d, e.Truth.DomainIP[d], url, browserUA, ref, 200)
+				prevURL = url
+				t = t.Add(time.Duration(5+rng.Intn(115)) * time.Second)
+			}
+
+			// Second stage: payload fetches with the implant UA.
+			for _, d := range c.SecondStageDomains {
+				t = t.Add(time.Duration(60+rng.Intn(1740)) * time.Second)
+				emit(h, t, d, e.Truth.DomainIP[d],
+					fmt.Sprintf("http://%s/stage2.bin", d), c.MalwareUA, "", 200)
+			}
+
+			// C&C: beacon from shortly after foothold until end of day.
+			bt := t0.Add(3 * time.Minute)
+			dayEnd := day.Add(24 * time.Hour)
+			ccURL := fmt.Sprintf("http://%s/logo.gif?", c.CCDomain)
+			for bt.Before(dayEnd) {
+				emit(h, bt, c.CCDomain, e.Truth.DomainIP[c.CCDomain], ccURL, c.MalwareUA, "", 200)
+				bt = bt.Add(jitterDur(rng, c.CCPeriod, c.CCJitter))
+			}
+		}
+	}
+}
+
+// RareRegistrations returns explicit WHOIS ground truth for benign rare
+// domains (recently registered benign services), merged with the malicious
+// registrations by PopulateWHOIS.
+func (e *Enterprise) RareRegistrations() map[string]Registration { return e.rareReg }
+
+// FlowDay renders day i of the same traffic as NetFlow records — the
+// border-router view of the proxy connections: no URLs, UAs or referers,
+// just flow 5-tuples with sizes. Timestamps are already UTC (routers clock
+// in UTC even when proxy appliances log local time).
+func (e *Enterprise) FlowDay(i int) []logs.FlowRecord {
+	rng := rand.New(rand.NewSource(daySeed(e.cfg.Seed, i, 3)))
+	recs := e.Day(i)
+	flows := make([]logs.FlowRecord, 0, len(recs))
+	for _, r := range recs {
+		port := uint16(80)
+		if rng.Float64() < 0.35 {
+			port = 443
+		}
+		flows = append(flows, logs.FlowRecord{
+			Time:     r.Time.Add(-time.Duration(r.TZOffset) * time.Hour),
+			SrcIP:    r.SrcIP,
+			DstIP:    r.DestIP,
+			DstPort:  port,
+			Protocol: "tcp",
+			Bytes:    200 + int64(rng.Intn(40000)),
+			Packets:  2 + int64(rng.Intn(60)),
+		})
+	}
+	return flows
+}

@@ -1,0 +1,227 @@
+// Package gen builds the synthetic datasets that stand in for the paper's
+// two evaluation corpora: the anonymized LANL DNS logs with 20 simulated
+// APT campaigns (§V) and the AC enterprise web-proxy logs (§VI). Both
+// generators are fully deterministic under a seed and are constructed
+// day-by-day so that multi-month datasets never need to be held in memory.
+//
+// The generators reproduce the statistical structure the detectors key on —
+// Zipf-popular benign destinations, human browsing sessions with referers,
+// per-host user-agent populations, benign periodic services, DHCP churn,
+// and campaign traffic that follows the paper's infection pattern
+// (delivery chain → foothold → periodic C&C) — while remaining laptop
+// scale. DESIGN.md §2 records the substitution rationale.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"time"
+)
+
+// Campaign is the ground truth for one simulated infection campaign.
+type Campaign struct {
+	// ID is a stable identifier such as "lanl-03-19" or "ac-c03".
+	ID string
+	// Case is the LANL challenge case (1-4, Table I); 0 for enterprise
+	// campaigns.
+	Case int
+	// Day is the infection day (UTC midnight).
+	Day time.Time
+	// DeliveryDomains are visited in quick succession during the delivery
+	// stage, before the C&C channel comes up.
+	DeliveryDomains []string
+	// SecondStageDomains host additional payloads fetched after foothold.
+	SecondStageDomains []string
+	// CCDomain receives the periodic beacon.
+	CCDomain string
+	// CCPeriod and CCJitter parameterize the beacon.
+	CCPeriod time.Duration
+	CCJitter time.Duration
+	// Hosts are the compromised internal hosts.
+	Hosts []string
+	// HintHosts is the subset revealed to the analyst (LANL cases 1-3).
+	HintHosts []string
+	// MalwareUA is the user-agent string the implant uses ("" == no UA).
+	MalwareUA string
+	// DGA marks campaigns whose domains are algorithmically generated.
+	DGA bool
+	// Subnet is the /24 most of the campaign's infrastructure sits in.
+	Subnet netip.Prefix
+}
+
+// Domains returns every malicious domain of the campaign.
+func (c *Campaign) Domains() []string {
+	out := make([]string, 0, len(c.DeliveryDomains)+len(c.SecondStageDomains)+1)
+	out = append(out, c.DeliveryDomains...)
+	out = append(out, c.SecondStageDomains...)
+	if c.CCDomain != "" {
+		out = append(out, c.CCDomain)
+	}
+	return out
+}
+
+// Registration captures the ground-truth WHOIS data for one domain.
+type Registration struct {
+	Registered time.Time
+	Expires    time.Time
+	// Unparseable models WHOIS records the paper could not parse; the
+	// detector must fall back to average feature values.
+	Unparseable bool
+}
+
+// GroundTruth aggregates everything the evaluation needs to score the
+// detectors: campaign membership, per-domain registration data, and the
+// hosting IP of each malicious domain.
+type GroundTruth struct {
+	Campaigns []*Campaign
+
+	domainCampaign map[string]*Campaign
+	hostCampaigns  map[string][]*Campaign
+
+	// Registrations holds ground-truth WHOIS data for malicious domains
+	// (benign domains are synthesized by the whois registry).
+	Registrations map[string]Registration
+	// DomainIP is the hosting address of each malicious domain.
+	DomainIP map[string]netip.Addr
+}
+
+func newGroundTruth() *GroundTruth {
+	return &GroundTruth{
+		domainCampaign: make(map[string]*Campaign),
+		hostCampaigns:  make(map[string][]*Campaign),
+		Registrations:  make(map[string]Registration),
+		DomainIP:       make(map[string]netip.Addr),
+	}
+}
+
+func (g *GroundTruth) addCampaign(c *Campaign) {
+	g.Campaigns = append(g.Campaigns, c)
+	for _, d := range c.Domains() {
+		g.domainCampaign[d] = c
+	}
+	for _, h := range c.Hosts {
+		g.hostCampaigns[h] = append(g.hostCampaigns[h], c)
+	}
+}
+
+// IsMalicious reports whether a (folded) domain belongs to any campaign.
+func (g *GroundTruth) IsMalicious(domain string) bool {
+	_, ok := g.domainCampaign[domain]
+	return ok
+}
+
+// CampaignOf returns the campaign a domain belongs to, or nil.
+func (g *GroundTruth) CampaignOf(domain string) *Campaign {
+	return g.domainCampaign[domain]
+}
+
+// IsCompromised reports whether a host is compromised in any campaign.
+func (g *GroundTruth) IsCompromised(host string) bool {
+	return len(g.hostCampaigns[host]) > 0
+}
+
+// MaliciousDomains returns all campaign domains.
+func (g *GroundTruth) MaliciousDomains() []string {
+	out := make([]string, 0, len(g.domainCampaign))
+	for d := range g.domainCampaign {
+		out = append(out, d)
+	}
+	return out
+}
+
+// CampaignsOn returns the campaigns whose infection day equals day.
+func (g *GroundTruth) CampaignsOn(day time.Time) []*Campaign {
+	var out []*Campaign
+	for _, c := range g.Campaigns {
+		if c.Day.Equal(day) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ---- deterministic random helpers ----
+
+// daySeed derives an independent stream seed for (seed, day, stream).
+func daySeed(seed int64, day, stream int) int64 {
+	h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(day)*0xbf58476d1ce4e5b9 + uint64(stream)*0x94d049bb133111eb
+	h ^= h >> 31
+	h *= 0xd6e8feb86659fd93
+	h ^= h >> 27
+	return int64(h & math.MaxInt64)
+}
+
+// poisson draws a Poisson-distributed count (Knuth's algorithm; fine for
+// the small means used here).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+const letters = "abcdefghijklmnopqrstuvwxyz"
+
+// randWord builds a pronounceable-ish random label of length n.
+func randWord(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// randHex builds a random hex label of length n (DGA style).
+func randHex(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = hexDigits[rng.Intn(len(hexDigits))]
+	}
+	return string(b)
+}
+
+// jitterDur returns d plus a uniform jitter in [-j, +j].
+func jitterDur(rng *rand.Rand, d, j time.Duration) time.Duration {
+	if j <= 0 {
+		return d
+	}
+	return d + time.Duration((rng.Float64()*2-1)*float64(j))
+}
+
+// hostName formats the canonical synthetic host name.
+func hostName(i int) string { return fmt.Sprintf("host%04d", i) }
+
+// uaPool builds a global population of user-agent strings with the most
+// common browsers first; popularity is assigned Zipf-style by the callers.
+func uaPool(rng *rand.Rand, n int) []string {
+	out := make([]string, 0, n)
+	families := []string{
+		"Mozilla/5.0 (Windows NT 6.1; WOW64) Chrome/%d.0",
+		"Mozilla/5.0 (Windows NT 6.1) Firefox/%d.0",
+		"Mozilla/5.0 (Windows NT 6.3; Trident/7.0; rv:%d.0) like Gecko",
+		"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_9) Safari/%d.0",
+		"Microsoft-CryptoAPI/%d.1",
+		"Java/1.%d.0_45",
+	}
+	for i := 0; i < n; i++ {
+		f := families[i%len(families)]
+		out = append(out, fmt.Sprintf(f, 20+i/len(families)+rng.Intn(3)))
+	}
+	return out
+}

@@ -1,0 +1,525 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/intel"
+	"repro/internal/logs"
+	"repro/internal/whois"
+)
+
+// smallEnterprise returns a fast configuration for tests.
+func smallEnterprise(seed int64) *Enterprise {
+	return NewEnterprise(EnterpriseConfig{
+		Seed:           seed,
+		TrainingDays:   3,
+		OperationDays:  4,
+		Hosts:          30,
+		PopularDomains: 50,
+		NewRarePerDay:  10,
+		Campaigns:      4,
+	})
+}
+
+func TestEnterpriseDeterministic(t *testing.T) {
+	a := smallEnterprise(42)
+	b := smallEnterprise(42)
+	for day := 0; day < a.NumDays(); day++ {
+		ra, rb := a.Day(day), b.Day(day)
+		if len(ra) != len(rb) {
+			t.Fatalf("day %d: %d vs %d records", day, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("day %d record %d differs: %+v vs %+v", day, i, ra[i], rb[i])
+			}
+		}
+	}
+	c := smallEnterprise(43)
+	if len(a.Day(0)) == len(c.Day(0)) {
+		// Different seeds almost surely differ in volume; if not, compare content.
+		ra, rc := a.Day(0), c.Day(0)
+		same := true
+		for i := range ra {
+			if ra[i] != rc[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traffic")
+		}
+	}
+}
+
+func TestDayIsPureFunction(t *testing.T) {
+	// Regression test: materializing a day must not depend on which days
+	// were materialized before (a shared popularity sampler once leaked
+	// state between calls).
+	e := smallEnterprise(44)
+	first := e.Day(2)
+	_ = e.Day(0) // consume other days
+	_ = e.Day(5)
+	again := e.Day(2)
+	if len(first) != len(again) {
+		t.Fatalf("repeat Day(2): %d vs %d records", len(first), len(again))
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("Day(2) differs at record %d after other days were generated", i)
+		}
+	}
+
+	g := smallLANL(44)
+	f1 := g.Day(3)
+	_ = g.Day(1)
+	f2 := g.Day(3)
+	if len(f1) != len(f2) {
+		t.Fatalf("LANL repeat Day(3): %d vs %d", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("LANL Day(3) differs at record %d", i)
+		}
+	}
+
+	flows1 := e.FlowDay(2)
+	_ = e.Day(4)
+	flows2 := e.FlowDay(2)
+	for i := range flows1 {
+		if flows1[i] != flows2[i] {
+			t.Fatalf("FlowDay(2) differs at record %d", i)
+		}
+	}
+}
+
+func TestEnterpriseCampaignsScheduledInOperation(t *testing.T) {
+	e := smallEnterprise(1)
+	cfg := e.Config()
+	if len(e.Truth.Campaigns) != cfg.Campaigns {
+		t.Fatalf("campaigns = %d, want %d", len(e.Truth.Campaigns), cfg.Campaigns)
+	}
+	opStart := e.DayTime(cfg.TrainingDays)
+	for _, c := range e.Truth.Campaigns {
+		if c.Day.Before(opStart) {
+			t.Errorf("campaign %s scheduled during training (%v)", c.ID, c.Day)
+		}
+		if len(c.Hosts) == 0 || len(c.Hosts) > cfg.MaxHostsPerCampaign {
+			t.Errorf("campaign %s has %d hosts", c.ID, len(c.Hosts))
+		}
+		if c.CCDomain == "" || len(c.DeliveryDomains) < 2 {
+			t.Errorf("campaign %s lacks infrastructure: %+v", c.ID, c)
+		}
+		if c.CCPeriod <= 0 {
+			t.Errorf("campaign %s has no beacon period", c.ID)
+		}
+	}
+}
+
+func TestEnterpriseCampaignTrafficPresent(t *testing.T) {
+	e := smallEnterprise(2)
+	cfg := e.Config()
+	for _, c := range e.Truth.Campaigns {
+		dayIdx := int(c.Day.Sub(e.DayTime(0)).Hours() / 24)
+		recs := e.Day(dayIdx)
+		ccVisits := 0
+		deliverySeen := map[string]bool{}
+		for _, r := range recs {
+			if r.Domain == c.CCDomain {
+				ccVisits++
+			}
+			for _, d := range c.DeliveryDomains {
+				if r.Domain == d {
+					deliverySeen[d] = true
+				}
+			}
+		}
+		// Beacon should fire many times over the rest of the day.
+		minBeacons := int(6*time.Hour/c.CCPeriod) * len(c.Hosts) / 2
+		if ccVisits < minBeacons {
+			t.Errorf("campaign %s: %d C&C visits, want >= %d", c.ID, ccVisits, minBeacons)
+		}
+		if len(deliverySeen) != len(c.DeliveryDomains) {
+			t.Errorf("campaign %s: delivery domains seen %d/%d", c.ID, len(deliverySeen), len(c.DeliveryDomains))
+		}
+	}
+	_ = cfg
+}
+
+func TestEnterpriseMaliciousDomainsNotInBenignTraffic(t *testing.T) {
+	e := smallEnterprise(3)
+	// On a training day (no campaigns), no malicious domain may appear.
+	recs := e.Day(0)
+	for _, r := range recs {
+		if e.Truth.IsMalicious(r.Domain) {
+			t.Fatalf("malicious domain %s in training-day traffic", r.Domain)
+		}
+	}
+}
+
+func TestEnterpriseDHCPMapBijective(t *testing.T) {
+	e := smallEnterprise(4)
+	for day := 0; day < e.NumDays(); day++ {
+		m := e.DHCPMap(day)
+		if len(m) != e.Config().Hosts {
+			t.Fatalf("day %d: DHCP map has %d entries, want %d", day, len(m), e.Config().Hosts)
+		}
+		hosts := map[string]bool{}
+		for _, h := range m {
+			if hosts[h] {
+				t.Fatalf("day %d: host %s mapped twice", day, h)
+			}
+			hosts[h] = true
+		}
+	}
+	// The mapping must actually churn across days.
+	if e.hostIP(3, 0) == e.hostIP(3, 1) {
+		t.Error("expected DHCP churn for host 3 across days")
+	}
+}
+
+func TestEnterpriseRecordsResolveViaDHCP(t *testing.T) {
+	e := smallEnterprise(5)
+	day := e.Config().TrainingDays // first operation day
+	m := e.DHCPMap(day)
+	recs := e.Day(day)
+	if len(recs) == 0 {
+		t.Fatal("no records generated")
+	}
+	for _, r := range recs {
+		if _, ok := m[r.SrcIP]; !ok {
+			t.Fatalf("record source %s not in DHCP map", r.SrcIP)
+		}
+		if r.Host != "" {
+			t.Fatal("raw records must not carry a resolved hostname")
+		}
+	}
+}
+
+func TestEnterpriseTimezonesPresent(t *testing.T) {
+	e := smallEnterprise(6)
+	recs := e.Day(0)
+	offsets := map[int]bool{}
+	for _, r := range recs {
+		offsets[r.TZOffset] = true
+	}
+	if len(offsets) < 2 {
+		t.Errorf("expected multiple capture timezones, got %v", offsets)
+	}
+}
+
+func TestEnterpriseUAPopulations(t *testing.T) {
+	e := smallEnterprise(7)
+	for h, set := range e.hostUA {
+		if len(set) < 7 || len(set) > 9 {
+			t.Errorf("host %d has %d UAs, want 7-9 (§IV-C)", h, len(set))
+		}
+	}
+}
+
+func TestEnterpriseBeaconTiming(t *testing.T) {
+	e := smallEnterprise(8)
+	c := e.Truth.Campaigns[0]
+	dayIdx := int(c.Day.Sub(e.DayTime(0)).Hours() / 24)
+	recs := e.Day(dayIdx)
+	var times []time.Time
+	host := ""
+	for _, r := range recs {
+		if r.Domain != c.CCDomain {
+			continue
+		}
+		h := r.SrcIP.String()
+		if host == "" {
+			host = h
+		}
+		if h == host {
+			// Undo the device-local clock shift for interval math (constant
+			// per host, so intervals are unaffected; this is just tidy).
+			times = append(times, r.Time.Add(-time.Duration(r.TZOffset)*time.Hour))
+		}
+	}
+	if len(times) < 5 {
+		t.Fatalf("only %d beacons for %s", len(times), c.CCDomain)
+	}
+	for i := 1; i < len(times); i++ {
+		gap := times[i].Sub(times[i-1])
+		dev := gap - c.CCPeriod
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > c.CCJitter+time.Second {
+			t.Errorf("beacon gap %v deviates from period %v beyond jitter %v", gap, c.CCPeriod, c.CCJitter)
+		}
+	}
+}
+
+// ---- LANL ----
+
+func smallLANL(seed int64) *LANL {
+	return NewLANL(LANLConfig{
+		Seed:              seed,
+		Hosts:             40,
+		Servers:           3,
+		PopularDomains:    60,
+		NewRarePerDay:     10,
+		QueriesPerHostDay: 15,
+	})
+}
+
+func TestLANLScheduleMatchesTableI(t *testing.T) {
+	g := smallLANL(1)
+	if len(g.Truth.Campaigns) != 20 {
+		t.Fatalf("campaigns = %d, want 20", len(g.Truth.Campaigns))
+	}
+	caseCount := map[int]int{}
+	for _, c := range g.Truth.Campaigns {
+		caseCount[c.Case]++
+		switch c.Case {
+		case 1, 3:
+			if len(c.HintHosts) != 1 {
+				t.Errorf("%s: case %d should reveal one hint host, got %d", c.ID, c.Case, len(c.HintHosts))
+			}
+		case 2:
+			if len(c.HintHosts) < 3 {
+				t.Errorf("%s: case 2 should reveal >=3 hint hosts, got %d", c.ID, len(c.HintHosts))
+			}
+		case 4:
+			if len(c.HintHosts) != 0 {
+				t.Errorf("%s: case 4 must reveal no hints", c.ID)
+			}
+		}
+		if len(c.Hosts) < 2 {
+			t.Errorf("%s: LANL simulations always infect multiple hosts, got %d", c.ID, len(c.Hosts))
+		}
+	}
+	want := map[int]int{1: 5, 2: 7, 3: 7, 4: 1}
+	for cs, n := range want {
+		if caseCount[cs] != n {
+			t.Errorf("case %d has %d campaigns, want %d (Table I)", cs, caseCount[cs], n)
+		}
+	}
+}
+
+func TestLANLDeterministic(t *testing.T) {
+	a, b := smallLANL(9), smallLANL(9)
+	for _, day := range []int{0, 28, 29 + 18} {
+		ra, rb := a.Day(day), b.Day(day)
+		if len(ra) != len(rb) {
+			t.Fatalf("day %d: %d vs %d", day, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("day %d record %d differs", day, i)
+			}
+		}
+	}
+}
+
+func TestLANLRecordMix(t *testing.T) {
+	g := smallLANL(10)
+	recs := g.Day(0)
+	var internal, nonA, server int
+	for _, r := range recs {
+		if r.Internal {
+			internal++
+		}
+		if r.Type != logs.TypeA {
+			nonA++
+		}
+		if r.Server {
+			server++
+		}
+	}
+	if internal == 0 || nonA == 0 || server == 0 {
+		t.Errorf("record mix missing categories: internal=%d nonA=%d server=%d", internal, nonA, server)
+	}
+}
+
+func TestLANLCampaignBeaconSynchronized(t *testing.T) {
+	g := smallLANL(11)
+	var c *Campaign
+	for _, cc := range g.Truth.Campaigns {
+		if len(cc.Hosts) >= 2 {
+			c = cc
+			break
+		}
+	}
+	if c == nil {
+		t.Fatal("no multi-host campaign")
+	}
+	dayIdx := int(c.Day.Sub(g.DayTime(0)).Hours() / 24)
+	recs := g.Day(dayIdx)
+
+	perHost := map[string][]time.Time{}
+	for _, r := range recs {
+		if r.Query == c.CCDomain {
+			perHost[r.SrcIP.String()] = append(perHost[r.SrcIP.String()], r.Time)
+		}
+	}
+	if len(perHost) < 2 {
+		t.Fatalf("C&C %s contacted by %d hosts, want >=2", c.CCDomain, len(perHost))
+	}
+	// Beacons of different hosts must line up within 10 seconds — the
+	// basis of the LANL C&C heuristic (§V-B).
+	var series [][]time.Time
+	for _, ts := range perHost {
+		series = append(series, ts)
+	}
+	matched := 0
+	for _, t0 := range series[0] {
+		for _, t1 := range series[1] {
+			d := t0.Sub(t1)
+			if d < 0 {
+				d = -d
+			}
+			if d <= 10*time.Second {
+				matched++
+				break
+			}
+		}
+	}
+	if matched < len(series[0])/2 {
+		t.Errorf("only %d/%d beacons synchronized across hosts", matched, len(series[0]))
+	}
+}
+
+func TestLANLHostForIP(t *testing.T) {
+	g := smallLANL(12)
+	name, ok := g.HostForIP(g.HostIP(5))
+	if !ok || name != "host0005" {
+		t.Errorf("HostForIP = %q, %v", name, ok)
+	}
+	if _, ok := g.HostForIP(g.serverIPs[0]); ok {
+		t.Error("server IPs must not resolve to host names")
+	}
+}
+
+// ---- populate ----
+
+func TestPopulateWHOIS(t *testing.T) {
+	e := smallEnterprise(13)
+	reg := whois.NewRegistry()
+	ref := e.DayTime(e.NumDays())
+	PopulateWHOIS(reg, e.Truth, e.RareRegistrations(), ref)
+
+	youngCount, total := 0, 0
+	for _, c := range e.Truth.Campaigns {
+		for _, d := range c.Domains() {
+			age, err := reg.Age(d, c.Day)
+			if err != nil {
+				continue // unparseable entries are expected
+			}
+			total++
+			if age < 90 {
+				youngCount++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no malicious registrations resolvable")
+	}
+	if youngCount*100 < total*70 {
+		t.Errorf("only %d/%d malicious domains are young", youngCount, total)
+	}
+
+	// Benign fallback must synthesize old registrations.
+	age, err := reg.Age("benign-example.com", ref)
+	if err != nil {
+		t.Fatalf("synthesized lookup failed: %v", err)
+	}
+	if age < 365 {
+		t.Errorf("synthesized benign age = %v days, want >= 365", age)
+	}
+}
+
+func TestPopulateOracle(t *testing.T) {
+	e := NewEnterprise(EnterpriseConfig{
+		Seed: 14, TrainingDays: 3, OperationDays: 10,
+		Hosts: 40, PopularDomains: 50, Campaigns: 20,
+	})
+	o := intel.NewOracle()
+	PopulateOracle(o, e.Truth, OracleConfig{Seed: 14})
+
+	late := e.DayTime(e.NumDays() + 90) // validation three months later
+	reported, newDiscoveries, suspicious, total := 0, 0, 0, 0
+	for _, d := range e.Truth.MaliciousDomains() {
+		total++
+		switch o.Validate(d, late) {
+		case intel.VerdictKnownMalicious:
+			reported++
+		case intel.VerdictNewMalicious:
+			newDiscoveries++
+		case intel.VerdictSuspicious:
+			suspicious++
+		}
+	}
+	if reported == 0 || newDiscoveries == 0 {
+		t.Errorf("oracle coverage degenerate: reported=%d new=%d of %d", reported, newDiscoveries, total)
+	}
+	if reported+newDiscoveries+suspicious != total {
+		t.Errorf("campaign domains must validate as malicious or suspicious: %d+%d+%d != %d",
+			reported, newDiscoveries, suspicious, total)
+	}
+	if len(o.IOCs()) == 0 {
+		t.Error("expected some IOC seeds")
+	}
+	for _, ioc := range o.IOCs() {
+		if !e.Truth.IsMalicious(ioc) {
+			t.Errorf("IOC %s is not malicious", ioc)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	e := NewEnterprise(EnterpriseConfig{Seed: 1, TrainingDays: 1, OperationDays: 1, Hosts: 5, PopularDomains: 10, Campaigns: 1})
+	cfg := e.Config()
+	if cfg.UnpopularThreshold != 10 || cfg.MaxHostsPerCampaign != 4 || cfg.SessionsPerDay != 5 {
+		t.Errorf("enterprise defaults not applied: %+v", cfg)
+	}
+	if cfg.Start.IsZero() {
+		t.Error("Start default missing")
+	}
+
+	g := NewLANL(LANLConfig{Seed: 1, Hosts: 5, PopularDomains: 10, QueriesPerHostDay: 1})
+	lcfg := g.Config()
+	if lcfg.TrainingDays != 28 || lcfg.OperationDays != 31 {
+		t.Errorf("LANL period defaults: %+v", lcfg)
+	}
+	if lcfg.InternalFrac == 0 || lcfg.NonAFrac == 0 {
+		t.Errorf("LANL mix defaults: %+v", lcfg)
+	}
+	if !lcfg.Start.Equal(time.Date(2013, 2, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("LANL start = %v", lcfg.Start)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	var sum float64
+	n := 5000
+	for i := 0; i < n; i++ {
+		sum += float64(poisson(rng, 5))
+	}
+	mean := sum / float64(n)
+	if mean < 4.5 || mean > 5.5 {
+		t.Errorf("poisson(5) mean = %v", mean)
+	}
+	if poisson(rng, 0) != 0 {
+		t.Error("poisson(0) should be 0")
+	}
+}
+
+func TestDaySeedIndependence(t *testing.T) {
+	seen := map[int64]bool{}
+	for day := 0; day < 100; day++ {
+		for stream := 0; stream < 3; stream++ {
+			s := daySeed(1, day, stream)
+			if seen[s] {
+				t.Fatalf("daySeed collision at day=%d stream=%d", day, stream)
+			}
+			seen[s] = true
+		}
+	}
+}

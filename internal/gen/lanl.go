@@ -1,0 +1,366 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/logs"
+)
+
+// LANLConfig parameterizes the synthetic LANL-style DNS dataset with its 20
+// simulated APT campaigns (§V-A, Table I). Zero fields take the documented
+// defaults.
+type LANLConfig struct {
+	// Seed makes the dataset reproducible.
+	Seed int64
+	// Start is the first day of the profiling month (default 2013-02-01).
+	Start time.Time
+	// TrainingDays is the bootstrap period (default 28, i.e. February).
+	TrainingDays int
+	// OperationDays is the challenge period (default 31, i.e. March).
+	OperationDays int
+	// Hosts is the number of internal user hosts (default 150).
+	Hosts int
+	// Servers is the number of internal servers whose queries the
+	// reduction stage filters out (default 8).
+	Servers int
+	// PopularDomains sizes the benign destination population (default 300).
+	PopularDomains int
+	// NewRarePerDay is the number of fresh benign rare domains appearing
+	// each day (default 50).
+	NewRarePerDay int
+	// BenignAutoPerDay is the number of fresh benign domains per day with
+	// periodic (TTL-refresh style) query patterns (default 5).
+	BenignAutoPerDay int
+	// InternalFrac is the fraction of queries for internal resources
+	// (default 0.25; pruned by reduction).
+	InternalFrac float64
+	// NonAFrac is the fraction of non-A-record queries (default 0.30,
+	// matching the paper's 30.4% average prune rate).
+	NonAFrac float64
+	// QueriesPerHostDay is the mean benign A-record query count per
+	// host-day (default 40).
+	QueriesPerHostDay float64
+}
+
+func (c *LANLConfig) setDefaults() {
+	if c.Start.IsZero() {
+		c.Start = time.Date(2013, 2, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.TrainingDays == 0 {
+		c.TrainingDays = 28
+	}
+	if c.OperationDays == 0 {
+		c.OperationDays = 31
+	}
+	if c.Hosts == 0 {
+		c.Hosts = 150
+	}
+	if c.Servers == 0 {
+		c.Servers = 8
+	}
+	if c.PopularDomains == 0 {
+		c.PopularDomains = 300
+	}
+	if c.NewRarePerDay == 0 {
+		c.NewRarePerDay = 50
+	}
+	if c.BenignAutoPerDay == 0 {
+		c.BenignAutoPerDay = 5
+	}
+	if c.InternalFrac == 0 {
+		c.InternalFrac = 0.25
+	}
+	if c.NonAFrac == 0 {
+		c.NonAFrac = 0.30
+	}
+	if c.QueriesPerHostDay == 0 {
+		c.QueriesPerHostDay = 40
+	}
+}
+
+// lanlChallengeSchedule lists the March day-of-month and challenge case of
+// each of the 20 simulated campaigns, following Table I.
+var lanlChallengeSchedule = []struct {
+	DayOfMonth int
+	Case       int
+}{
+	{2, 1}, {3, 1}, {4, 1}, {9, 1}, {10, 1},
+	{5, 2}, {6, 2}, {7, 2}, {8, 2}, {11, 2}, {12, 2}, {13, 2},
+	{14, 3}, {15, 3}, {17, 3}, {18, 3}, {19, 3}, {20, 3}, {21, 3},
+	{22, 4},
+}
+
+// LANLTrainingAttackDays lists the day-of-month of the attacks the paper
+// places in its parameter-selection training split (§V-B).
+var LANLTrainingAttackDays = map[int]bool{
+	2: true, 3: true, 4: true, 5: true, 7: true,
+	12: true, 14: true, 15: true, 17: true, 18: true,
+}
+
+// LANL generates the synthetic anonymized DNS dataset day by day.
+type LANL struct {
+	cfg   LANLConfig
+	Truth *GroundTruth
+
+	popular   []string
+	popularIP []netip.Addr
+	internal  []string
+	hostIPs   []netip.Addr // static assignment (LANL IPs are static)
+	serverIPs []netip.Addr
+}
+
+// NewLANL precomputes the static world and campaign schedule.
+func NewLANL(cfg LANLConfig) *LANL {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &LANL{cfg: cfg, Truth: newGroundTruth()}
+
+	seen := map[string]bool{}
+	for len(g.popular) < cfg.PopularDomains {
+		// Anonymized LANL style: opaque label under an anonymized TLD.
+		d := fmt.Sprintf("%s.c%d", randWord(rng, 5+rng.Intn(8)), 1+rng.Intn(3))
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		g.popular = append(g.popular, d)
+		g.popularIP = append(g.popularIP, randPublicIP(rng))
+	}
+
+	for i := 0; i < 30; i++ {
+		g.internal = append(g.internal, fmt.Sprintf("%s.lanl.internal", randWord(rng, 6)))
+	}
+	// LANL IP addresses are statically assigned (§IV-A).
+	g.hostIPs = make([]netip.Addr, cfg.Hosts)
+	for h := range g.hostIPs {
+		g.hostIPs[h] = netip.AddrFrom4([4]byte{74, 92, byte(144 + h/250), byte(2 + h%250)})
+	}
+	g.serverIPs = make([]netip.Addr, cfg.Servers)
+	for s := range g.serverIPs {
+		g.serverIPs[s] = netip.AddrFrom4([4]byte{74, 92, 10, byte(2 + s)})
+	}
+
+	g.buildCampaigns(rng)
+	return g
+}
+
+func (g *LANL) buildCampaigns(rng *rand.Rand) {
+	cfg := g.cfg
+	for i, sched := range lanlChallengeSchedule {
+		day := time.Date(2013, 3, sched.DayOfMonth, 0, 0, 0, 0, time.UTC)
+		subnet := netip.PrefixFrom(netip.AddrFrom4([4]byte{
+			byte(185 + rng.Intn(18)), byte(rng.Intn(200)), byte(rng.Intn(256)), 0,
+		}), 24)
+		c := &Campaign{
+			ID:       fmt.Sprintf("lanl-03-%02d", sched.DayOfMonth),
+			Case:     sched.Case,
+			Day:      day,
+			CCDomain: fmt.Sprintf("%s.c3", randWord(rng, 6+rng.Intn(5))),
+			// The paper observes ~10-minute class beaconing; small jitter.
+			CCPeriod: []time.Duration{5 * time.Minute, 10 * time.Minute, 15 * time.Minute}[rng.Intn(3)],
+			CCJitter: time.Duration(rng.Intn(4)) * time.Second,
+			Subnet:   subnet,
+		}
+		nDelivery := 3 + rng.Intn(3)
+		for d := 0; d < nDelivery; d++ {
+			c.DeliveryDomains = append(c.DeliveryDomains, fmt.Sprintf("%s.c3", randWord(rng, 6+rng.Intn(5))))
+		}
+		// Every LANL simulation infects multiple hosts (§V-B); case-2
+		// campaigns reveal three or four hint hosts (Table I), so they
+		// must infect at least that many.
+		nHosts := 2 + rng.Intn(3)
+		if sched.Case == 2 {
+			nHosts = 3 + rng.Intn(2)
+		}
+		used := map[int]bool{}
+		for len(c.Hosts) < nHosts {
+			h := rng.Intn(cfg.Hosts)
+			if used[h] {
+				continue
+			}
+			used[h] = true
+			c.Hosts = append(c.Hosts, hostName(h))
+		}
+		switch sched.Case {
+		case 1, 3:
+			c.HintHosts = c.Hosts[:1]
+		case 2:
+			n := 3
+			if len(c.Hosts) < 3 {
+				n = len(c.Hosts)
+			}
+			c.HintHosts = c.Hosts[:n]
+		case 4:
+			// no hints
+		}
+		// Hosting IPs cluster: most in the /24, some only in the /16.
+		base := subnet.Addr().As4()
+		for j, d := range c.Domains() {
+			ip := netip.AddrFrom4([4]byte{base[0], base[1], base[2], byte(1 + rng.Intn(254))})
+			if j%4 == 3 {
+				ip = netip.AddrFrom4([4]byte{base[0], base[1], byte(rng.Intn(256)), byte(1 + rng.Intn(254))})
+			}
+			g.Truth.DomainIP[d] = ip
+		}
+		g.Truth.addCampaign(c)
+		_ = i
+	}
+}
+
+// Config returns the effective configuration.
+func (g *LANL) Config() LANLConfig { return g.cfg }
+
+// NumDays returns the total number of generated days.
+func (g *LANL) NumDays() int { return g.cfg.TrainingDays + g.cfg.OperationDays }
+
+// DayTime returns UTC midnight of day index i.
+func (g *LANL) DayTime(i int) time.Time { return g.cfg.Start.AddDate(0, 0, i) }
+
+// HostIP returns the static address of a host index.
+func (g *LANL) HostIP(h int) netip.Addr { return g.hostIPs[h] }
+
+// HostForIP resolves a static host address back to its name; ok is false
+// for server and unknown addresses.
+func (g *LANL) HostForIP(a netip.Addr) (string, bool) {
+	for h, ip := range g.hostIPs {
+		if ip == a {
+			return hostName(h), true
+		}
+	}
+	return "", false
+}
+
+// Day materializes every DNS record for day index i.
+func (g *LANL) Day(i int) []logs.DNSRecord {
+	rng := rand.New(rand.NewSource(daySeed(g.cfg.Seed, i, 2)))
+	// Rebuilt per day so Day(i) is a pure function of (seed, i).
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(g.cfg.PopularDomains-1))
+	day := g.DayTime(i)
+	var recs []logs.DNSRecord
+
+	emit := func(src netip.Addr, t time.Time, q string, typ logs.RecordType, ans netip.Addr, internal, server bool) {
+		recs = append(recs, logs.DNSRecord{
+			Time: t, SrcIP: src, Query: q, Type: typ, Answer: ans,
+			Internal: internal, Server: server,
+		})
+	}
+
+	// Benign host queries.
+	for h := 0; h < g.cfg.Hosts; h++ {
+		src := g.hostIPs[h]
+		n := poisson(rng, g.cfg.QueriesPerHostDay)
+		for q := 0; q < n; q++ {
+			t := day.Add(time.Duration(rng.Intn(86400)) * time.Second)
+			switch {
+			case rng.Float64() < g.cfg.InternalFrac:
+				d := g.internal[rng.Intn(len(g.internal))]
+				emit(src, t, d, logs.TypeA, netip.AddrFrom4([4]byte{10, 10, 1, byte(1 + rng.Intn(200))}), true, false)
+			case rng.Float64() < g.cfg.NonAFrac:
+				idx := int(zipf.Uint64())
+				typ := []logs.RecordType{logs.TypeTXT, logs.TypeMX, logs.TypeAAAA, logs.TypePTR}[rng.Intn(4)]
+				emit(src, t, g.popular[idx], typ, netip.Addr{}, false, false)
+			default:
+				idx := int(zipf.Uint64())
+				emit(src, t, g.popular[idx], logs.TypeA, g.popularIP[idx], false, false)
+			}
+		}
+	}
+
+	// Internal server queries (filtered by reduction).
+	for s := 0; s < g.cfg.Servers; s++ {
+		src := g.serverIPs[s]
+		n := poisson(rng, g.cfg.QueriesPerHostDay*3)
+		for q := 0; q < n; q++ {
+			t := day.Add(time.Duration(rng.Intn(86400)) * time.Second)
+			idx := int(zipf.Uint64())
+			emit(src, t, g.popular[idx], logs.TypeA, g.popularIP[idx], false, true)
+		}
+	}
+
+	// Fresh benign rare domains.
+	for r := 0; r < g.cfg.NewRarePerDay; r++ {
+		domain := fmt.Sprintf("%sd%02dr%02d.c3", randWord(rng, 5+rng.Intn(5)), i, r)
+		ip := randPublicIP(rng)
+		nHosts := 1
+		if rng.Float64() < 0.3 {
+			nHosts = 2
+		}
+		for n := 0; n < nHosts; n++ {
+			h := rng.Intn(g.cfg.Hosts)
+			t := day.Add(time.Duration(rng.Intn(86400)) * time.Second)
+			visits := 1 + rng.Intn(4)
+			for v := 0; v < visits; v++ {
+				emit(g.hostIPs[h], t, domain, logs.TypeA, ip, false, false)
+				t = t.Add(time.Duration(20+rng.Intn(1200)) * time.Second)
+			}
+		}
+	}
+
+	// Fresh benign automated domains (TTL-refresh style periodic queries
+	// from a single host; occasionally two hosts with *different* phases,
+	// which must not trip the "two hosts within 10s" C&C heuristic).
+	for r := 0; r < g.cfg.BenignAutoPerDay; r++ {
+		domain := fmt.Sprintf("%sauto%02dd%02d.c3", randWord(rng, 5), r, i)
+		ip := randPublicIP(rng)
+		period := time.Duration(300+rng.Intn(3300)) * time.Second
+		nHosts := 1
+		if rng.Float64() < 0.2 {
+			nHosts = 2
+		}
+		for n := 0; n < nHosts; n++ {
+			h := rng.Intn(g.cfg.Hosts)
+			t := day.Add(time.Duration(6*3600+rng.Intn(6*3600)) * time.Second)
+			end := t.Add(time.Duration(3+rng.Intn(8)) * time.Hour)
+			for t.Before(end) {
+				emit(g.hostIPs[h], t, domain, logs.TypeA, ip, false, false)
+				t = t.Add(jitterDur(rng, period, 2*time.Second))
+			}
+		}
+	}
+
+	g.genCampaignDNS(rng, day, emit)
+	return recs
+}
+
+type dnsEmitFn func(src netip.Addr, t time.Time, q string, typ logs.RecordType, ans netip.Addr, internal, server bool)
+
+// genCampaignDNS produces the attack traffic: per-host delivery chains and
+// a C&C beacon that is phase-synchronized across the campaign's hosts to
+// within a few seconds (the structure behind the LANL C&C heuristic).
+func (g *LANL) genCampaignDNS(rng *rand.Rand, day time.Time, emit dnsEmitFn) {
+	for _, c := range g.Truth.CampaignsOn(day) {
+		infectionStart := day.Add(time.Duration(9*3600+rng.Intn(4*3600)) * time.Second)
+
+		// Shared beacon schedule: all infected hosts beacon at the same
+		// epochs, offset by a per-host skew < 10s.
+		var beacons []time.Time
+		bt := infectionStart.Add(5 * time.Minute)
+		dayEnd := day.Add(24 * time.Hour)
+		for bt.Before(dayEnd) {
+			beacons = append(beacons, bt)
+			bt = bt.Add(jitterDur(rng, c.CCPeriod, c.CCJitter))
+		}
+
+		for hi, hn := range c.Hosts {
+			var h int
+			fmt.Sscanf(hn, "host%04d", &h)
+			src := g.hostIPs[h]
+
+			// Delivery chain: the paper measures 56% of (mal,mal) first
+			// visits within 160s of each other (Figure 3).
+			t := infectionStart.Add(time.Duration(hi*7+rng.Intn(30)) * time.Second)
+			for _, d := range c.DeliveryDomains {
+				emit(src, t, d, logs.TypeA, g.Truth.DomainIP[d], false, false)
+				t = t.Add(time.Duration(5+rng.Intn(50)) * time.Second)
+			}
+
+			skew := time.Duration(rng.Intn(8)) * time.Second
+			for _, b := range beacons {
+				emit(src, b.Add(skew), c.CCDomain, logs.TypeA, g.Truth.DomainIP[c.CCDomain], false, false)
+			}
+		}
+	}
+}

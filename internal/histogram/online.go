@@ -1,0 +1,101 @@
+package histogram
+
+import "time"
+
+// Online is an incremental variant of the detector for streaming
+// deployments: connections are observed one at a time (e.g. from a live
+// proxy feed) and the dynamic histogram is maintained in place, so the
+// verdict for a (host, domain) pair is available at any instant without
+// re-clustering the day's intervals. Results are identical to the batch
+// Analyze over the same connection sequence because the dynamic binning
+// rule of §IV-C is itself sequential: each interval joins the first
+// existing cluster whose hub is within W, else opens a new cluster.
+//
+// Online is not safe for concurrent use; shard by (host, domain) instead.
+type Online struct {
+	cfg      Config
+	last     time.Time
+	hist     Histogram
+	nConns   int
+	outOfOrd int
+}
+
+// NewOnline returns a streaming analyzer with the given configuration.
+func NewOnline(cfg Config) *Online {
+	return &Online{cfg: cfg}
+}
+
+// Observe feeds one connection timestamp. Out-of-order timestamps (clock
+// skew between capture devices) are tolerated: a connection earlier than
+// its predecessor contributes the absolute interval, matching what batch
+// analysis over the sorted series would see in the common small-skew case,
+// and is counted in OutOfOrder for monitoring.
+func (o *Online) Observe(t time.Time) {
+	o.nConns++
+	if o.nConns == 1 {
+		o.last = t
+		return
+	}
+	iv := t.Sub(o.last).Seconds()
+	if iv < 0 {
+		iv = -iv
+		o.outOfOrd++
+	}
+	o.addInterval(iv)
+	if t.After(o.last) {
+		o.last = t
+	}
+}
+
+// addInterval applies the sequential clustering rule.
+func (o *Online) addInterval(iv float64) {
+	placed := false
+	for i := range o.hist.Bins {
+		if abs(iv-o.hist.Bins[i].Hub) <= o.cfg.BinWidth {
+			o.hist.Bins[i].Count++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		o.hist.Bins = append(o.hist.Bins, Bin{Hub: iv, Count: 1})
+	}
+	o.hist.Total++
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Connections returns the number of observations so far.
+func (o *Online) Connections() int { return o.nConns }
+
+// OutOfOrder returns the number of out-of-order observations.
+func (o *Online) OutOfOrder() int { return o.outOfOrd }
+
+// Verdict returns the current periodicity verdict.
+func (o *Online) Verdict() Verdict {
+	if o.nConns < o.cfg.minConns() {
+		return Verdict{Samples: o.hist.Total}
+	}
+	period, _ := o.hist.DominantHub()
+	ref := PeriodicReference(period, o.hist.Total)
+	div := JeffreyDivergence(o.hist, ref, o.cfg.BinWidth)
+	return Verdict{
+		Automated:  div <= o.cfg.Threshold,
+		Period:     period,
+		Divergence: div,
+		Samples:    o.hist.Total,
+	}
+}
+
+// Reset clears the analyzer for a new day window.
+func (o *Online) Reset() {
+	o.last = time.Time{}
+	o.hist = Histogram{}
+	o.nConns = 0
+	o.outOfOrd = 0
+}

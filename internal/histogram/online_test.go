@@ -1,0 +1,93 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cfg := DefaultConfig()
+	base := time.Date(2014, 2, 13, 9, 0, 0, 0, time.UTC)
+
+	for trial := 0; trial < 30; trial++ {
+		// Random mixed series: beacons, human, short.
+		n := 2 + rng.Intn(40)
+		times := make([]time.Time, 0, n)
+		tm := base
+		for i := 0; i < n; i++ {
+			var gap time.Duration
+			if trial%2 == 0 {
+				gap = time.Duration(600+rng.Intn(9)-4) * time.Second
+			} else {
+				gap = time.Duration(10+rng.Intn(3000)) * time.Second
+			}
+			tm = tm.Add(gap)
+			times = append(times, tm)
+		}
+
+		batch := AnalyzeTimes(times, cfg)
+		online := NewOnline(cfg)
+		for _, ts := range times {
+			online.Observe(ts)
+		}
+		got := online.Verdict()
+		if got.Automated != batch.Automated || got.Samples != batch.Samples {
+			t.Errorf("trial %d: online %+v vs batch %+v", trial, got, batch)
+		}
+		if got.Automated && got.Period != batch.Period {
+			t.Errorf("trial %d: period %v vs %v", trial, got.Period, batch.Period)
+		}
+	}
+}
+
+func TestOnlineIncrementalVerdictFlips(t *testing.T) {
+	cfg := DefaultConfig()
+	o := NewOnline(cfg)
+	base := time.Date(2014, 2, 13, 9, 0, 0, 0, time.UTC)
+	// Too few samples: no verdict.
+	for i := 0; i < 3; i++ {
+		o.Observe(base.Add(time.Duration(i) * 10 * time.Minute))
+		if o.Verdict().Automated {
+			t.Fatalf("verdict fired with %d connections", o.Connections())
+		}
+	}
+	// Fourth beacon crosses the sample floor.
+	o.Observe(base.Add(30 * time.Minute))
+	if v := o.Verdict(); !v.Automated || v.Period != 600 {
+		t.Errorf("verdict after 4 beacons: %+v", v)
+	}
+}
+
+func TestOnlineOutOfOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	o := NewOnline(cfg)
+	base := time.Date(2014, 2, 13, 9, 0, 0, 0, time.UTC)
+	o.Observe(base)
+	o.Observe(base.Add(10 * time.Minute))
+	o.Observe(base.Add(9*time.Minute + 55*time.Second)) // skewed capture device
+	o.Observe(base.Add(20 * time.Minute))
+	if o.OutOfOrder() != 1 {
+		t.Errorf("OutOfOrder = %d, want 1", o.OutOfOrder())
+	}
+	if o.Connections() != 4 {
+		t.Errorf("Connections = %d", o.Connections())
+	}
+}
+
+func TestOnlineReset(t *testing.T) {
+	cfg := DefaultConfig()
+	o := NewOnline(cfg)
+	base := time.Date(2014, 2, 13, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		o.Observe(base.Add(time.Duration(i) * 5 * time.Minute))
+	}
+	if !o.Verdict().Automated {
+		t.Fatal("precondition: beacon detected")
+	}
+	o.Reset()
+	if o.Connections() != 0 || o.Verdict().Automated || o.Verdict().Samples != 0 {
+		t.Error("Reset did not clear state")
+	}
+}

@@ -1,0 +1,159 @@
+// Package intel simulates the external threat-intelligence sources used in
+// the paper's evaluation (§VI-B): a VirusTotal-like multi-engine scanner
+// with incomplete coverage and detection lag, and the SOC's IOC (Indicator
+// of Compromise) list. These sources are used to label training data and to
+// validate detections — never as detector inputs — exactly as in the paper,
+// where a fraction of truly malicious domains remain unreported ("new
+// discoveries") months after detection.
+package intel
+
+import (
+	"sync"
+	"time"
+)
+
+// Verdict classifies a domain at validation time, mirroring §VI-B.
+type Verdict int
+
+// Validation categories from the paper's methodology.
+const (
+	// VerdictKnownMalicious: reported by at least one scanner engine or on
+	// the SOC IOC list at query time.
+	VerdictKnownMalicious Verdict = iota + 1
+	// VerdictNewMalicious: confirmed malicious by manual analysis but not
+	// reported by any engine (a "new discovery").
+	VerdictNewMalicious
+	// VerdictSuspicious: questionable activity, unresolvable or parked.
+	VerdictSuspicious
+	// VerdictLegitimate: no suspicious behavior observed.
+	VerdictLegitimate
+	// VerdictUnknown: validation infrastructure error (e.g. HTTP 504).
+	VerdictUnknown
+)
+
+// String returns a human-readable label.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictKnownMalicious:
+		return "known-malicious"
+	case VerdictNewMalicious:
+		return "new-malicious"
+	case VerdictSuspicious:
+		return "suspicious"
+	case VerdictLegitimate:
+		return "legitimate"
+	case VerdictUnknown:
+		return "unknown"
+	default:
+		return "invalid"
+	}
+}
+
+// Report is the oracle's knowledge about one domain.
+type Report struct {
+	Domain string
+	// Malicious is the ground truth (what careful manual investigation
+	// would eventually conclude).
+	Malicious bool
+	// Engines is the number of scanner engines flagging the domain once
+	// ReportedFrom has passed (0 == never reported by any engine).
+	Engines int
+	// ReportedFrom is the earliest time any engine flags the domain;
+	// queries before it return no detections (detection lag).
+	ReportedFrom time.Time
+	// Suspicious marks domains that manual analysis classifies as
+	// suspicious rather than outright malicious.
+	Suspicious bool
+}
+
+// Oracle is a thread-safe simulated VirusTotal + SOC IOC database.
+type Oracle struct {
+	mu      sync.RWMutex
+	reports map[string]Report
+	iocs    map[string]bool
+}
+
+// NewOracle returns an empty oracle.
+func NewOracle() *Oracle {
+	return &Oracle{
+		reports: make(map[string]Report),
+		iocs:    make(map[string]bool),
+	}
+}
+
+// AddReport registers the oracle's knowledge about a domain.
+func (o *Oracle) AddReport(r Report) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.reports[r.Domain] = r
+}
+
+// AddIOC places a domain on the SOC's IOC list.
+func (o *Oracle) AddIOC(domain string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.iocs[domain] = true
+}
+
+// IOCs returns the SOC IOC list (used to seed SOC-hints mode).
+func (o *Oracle) IOCs() []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]string, 0, len(o.iocs))
+	for d := range o.iocs {
+		out = append(out, d)
+	}
+	return out
+}
+
+// IsIOC reports whether the SOC already knows the domain.
+func (o *Oracle) IsIOC(domain string) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.iocs[domain]
+}
+
+// Reported reports whether at least one engine flags the domain when
+// queried at time t — the paper's criterion for labeling an automated
+// domain "reported" during regression training.
+func (o *Oracle) Reported(domain string, t time.Time) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	r, ok := o.reports[domain]
+	if !ok {
+		return false
+	}
+	return r.Engines > 0 && !t.Before(r.ReportedFrom)
+}
+
+// Validate classifies a detected domain the way §VI-B does: query the
+// scanner and IOC list at time t (the paper waits three months after
+// detection), fall back to manual-analysis ground truth for the rest.
+func (o *Oracle) Validate(domain string, t time.Time) Verdict {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if o.iocs[domain] {
+		return VerdictKnownMalicious
+	}
+	r, ok := o.reports[domain]
+	if !ok {
+		return VerdictLegitimate
+	}
+	if r.Engines > 0 && !t.Before(r.ReportedFrom) {
+		return VerdictKnownMalicious
+	}
+	if r.Malicious {
+		return VerdictNewMalicious
+	}
+	if r.Suspicious {
+		return VerdictSuspicious
+	}
+	return VerdictLegitimate
+}
+
+// Len returns the number of domains the oracle knows about.
+func (o *Oracle) Len() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.reports)
+}

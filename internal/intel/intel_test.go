@@ -1,0 +1,105 @@
+package intel
+
+import (
+	"testing"
+	"time"
+)
+
+var (
+	campaignDay = time.Date(2014, 2, 10, 0, 0, 0, 0, time.UTC)
+	later       = campaignDay.AddDate(0, 3, 0) // validation 3 months later
+)
+
+func TestReportedLag(t *testing.T) {
+	o := NewOracle()
+	o.AddReport(Report{
+		Domain: "evil.ru", Malicious: true, Engines: 3,
+		ReportedFrom: campaignDay.AddDate(0, 0, 20),
+	})
+	if o.Reported("evil.ru", campaignDay) {
+		t.Error("domain must not be reported before the lag elapses")
+	}
+	if !o.Reported("evil.ru", later) {
+		t.Error("domain must be reported after the lag")
+	}
+	if o.Reported("unknown.com", later) {
+		t.Error("unknown domain must not be reported")
+	}
+}
+
+func TestValidateCategories(t *testing.T) {
+	o := NewOracle()
+	o.AddReport(Report{Domain: "known.ru", Malicious: true, Engines: 2, ReportedFrom: campaignDay})
+	o.AddReport(Report{Domain: "new.ru", Malicious: true}) // never reported
+	o.AddReport(Report{Domain: "susp.ru", Suspicious: true})
+	o.AddIOC("ioc.ru")
+
+	tests := []struct {
+		domain string
+		want   Verdict
+	}{
+		{"known.ru", VerdictKnownMalicious},
+		{"new.ru", VerdictNewMalicious},
+		{"susp.ru", VerdictSuspicious},
+		{"ioc.ru", VerdictKnownMalicious},
+		{"benign.com", VerdictLegitimate},
+	}
+	for _, tt := range tests {
+		if got := o.Validate(tt.domain, later); got != tt.want {
+			t.Errorf("Validate(%s) = %v, want %v", tt.domain, got, tt.want)
+		}
+	}
+}
+
+func TestValidateBeforeLagIsNewDiscovery(t *testing.T) {
+	// A malicious domain whose engines lag behind the validation query is a
+	// new discovery at that point — the paper's NDR story.
+	o := NewOracle()
+	o.AddReport(Report{
+		Domain: "slow.ru", Malicious: true, Engines: 1,
+		ReportedFrom: later.AddDate(1, 0, 0),
+	})
+	if got := o.Validate("slow.ru", later); got != VerdictNewMalicious {
+		t.Errorf("Validate = %v, want VerdictNewMalicious", got)
+	}
+}
+
+func TestIOCs(t *testing.T) {
+	o := NewOracle()
+	o.AddIOC("a.ru")
+	o.AddIOC("b.ru")
+	o.AddIOC("a.ru") // idempotent
+	iocs := o.IOCs()
+	if len(iocs) != 2 {
+		t.Errorf("IOCs = %v", iocs)
+	}
+	if !o.IsIOC("a.ru") || o.IsIOC("c.ru") {
+		t.Error("IsIOC wrong")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		VerdictKnownMalicious: "known-malicious",
+		VerdictNewMalicious:   "new-malicious",
+		VerdictSuspicious:     "suspicious",
+		VerdictLegitimate:     "legitimate",
+		VerdictUnknown:        "unknown",
+		Verdict(99):           "invalid",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+}
+
+func TestLen(t *testing.T) {
+	o := NewOracle()
+	if o.Len() != 0 {
+		t.Error("empty oracle")
+	}
+	o.AddReport(Report{Domain: "x.ru"})
+	if o.Len() != 1 {
+		t.Error("Len after add")
+	}
+}

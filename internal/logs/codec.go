@@ -1,0 +1,227 @@
+package logs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The TSV codec mirrors how the raw datasets are stored on disk: one record
+// per line, tab-separated fields, streamed so that multi-gigabyte files
+// never have to fit in memory. cmd/datagen writes this format and the
+// normalization pipeline reads it back.
+
+// timeLayout keeps full sub-second precision: beacon jitter is fractional
+// and the detectors' interval math must survive a disk round trip.
+const timeLayout = time.RFC3339Nano
+
+// DNSWriter streams DNSRecords to an io.Writer in TSV form.
+type DNSWriter struct {
+	w *bufio.Writer
+}
+
+// NewDNSWriter returns a writer that buffers output to w.
+func NewDNSWriter(w io.Writer) *DNSWriter {
+	return &DNSWriter{w: bufio.NewWriter(w)}
+}
+
+// Write appends one record.
+func (dw *DNSWriter) Write(r DNSRecord) error {
+	answer := ""
+	if r.Answer.IsValid() {
+		answer = r.Answer.String()
+	}
+	_, err := fmt.Fprintf(dw.w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+		r.Time.UTC().Format(timeLayout), r.SrcIP, r.Query, r.Type,
+		answer, boolField(r.Internal), boolField(r.Server))
+	return err
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (dw *DNSWriter) Flush() error { return dw.w.Flush() }
+
+// ReadDNS parses every DNS record from r, invoking fn for each. It stops at
+// the first malformed line or when fn returns an error.
+func ReadDNS(r io.Reader, fn func(DNSRecord) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		rec, err := parseDNSLine(sc.Text())
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func parseDNSLine(s string) (DNSRecord, error) {
+	fields := strings.Split(s, "\t")
+	if len(fields) != 7 {
+		return DNSRecord{}, fmt.Errorf("expected 7 fields, got %d", len(fields))
+	}
+	t, err := time.Parse(timeLayout, fields[0])
+	if err != nil {
+		return DNSRecord{}, fmt.Errorf("timestamp: %w", err)
+	}
+	src, err := netip.ParseAddr(fields[1])
+	if err != nil {
+		return DNSRecord{}, fmt.Errorf("source IP: %w", err)
+	}
+	typ, err := ParseRecordType(fields[3])
+	if err != nil {
+		return DNSRecord{}, err
+	}
+	var answer netip.Addr
+	if fields[4] != "" {
+		answer, err = netip.ParseAddr(fields[4])
+		if err != nil {
+			return DNSRecord{}, fmt.Errorf("answer IP: %w", err)
+		}
+	}
+	return DNSRecord{
+		Time:     t,
+		SrcIP:    src,
+		Query:    fields[2],
+		Type:     typ,
+		Answer:   answer,
+		Internal: fields[5] == "1",
+		Server:   fields[6] == "1",
+	}, nil
+}
+
+// ProxyWriter streams ProxyRecords to an io.Writer in TSV form.
+type ProxyWriter struct {
+	w *bufio.Writer
+}
+
+// NewProxyWriter returns a writer that buffers output to w.
+func NewProxyWriter(w io.Writer) *ProxyWriter {
+	return &ProxyWriter{w: bufio.NewWriter(w)}
+}
+
+// Write appends one record.
+func (pw *ProxyWriter) Write(r ProxyRecord) error {
+	dest := ""
+	if r.DestIP.IsValid() {
+		dest = r.DestIP.String()
+	}
+	_, err := fmt.Fprintf(pw.w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d\t%s\t%s\t%d\n",
+		r.Time.UTC().Format(timeLayout), r.Host, r.SrcIP, r.Domain, dest,
+		escapeField(r.URL), r.Method, r.Status,
+		escapeField(r.UserAgent), escapeField(r.Referer), r.TZOffset)
+	return err
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (pw *ProxyWriter) Flush() error { return pw.w.Flush() }
+
+// ReadProxy parses every proxy record from r, invoking fn for each.
+func ReadProxy(r io.Reader, fn func(ProxyRecord) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		rec, err := parseProxyLine(sc.Text())
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func parseProxyLine(s string) (ProxyRecord, error) {
+	fields := strings.Split(s, "\t")
+	if len(fields) != 11 {
+		return ProxyRecord{}, fmt.Errorf("expected 11 fields, got %d", len(fields))
+	}
+	t, err := time.Parse(timeLayout, fields[0])
+	if err != nil {
+		return ProxyRecord{}, fmt.Errorf("timestamp: %w", err)
+	}
+	src, err := netip.ParseAddr(fields[2])
+	if err != nil {
+		return ProxyRecord{}, fmt.Errorf("source IP: %w", err)
+	}
+	var dest netip.Addr
+	if fields[4] != "" {
+		dest, err = netip.ParseAddr(fields[4])
+		if err != nil {
+			return ProxyRecord{}, fmt.Errorf("dest IP: %w", err)
+		}
+	}
+	status, err := strconv.Atoi(fields[7])
+	if err != nil {
+		return ProxyRecord{}, fmt.Errorf("status: %w", err)
+	}
+	tz, err := strconv.Atoi(fields[10])
+	if err != nil {
+		return ProxyRecord{}, fmt.Errorf("tz offset: %w", err)
+	}
+	return ProxyRecord{
+		Time:      t,
+		Host:      fields[1],
+		SrcIP:     src,
+		Domain:    fields[3],
+		DestIP:    dest,
+		URL:       unescapeField(fields[5]),
+		Method:    fields[6],
+		Status:    status,
+		UserAgent: unescapeField(fields[8]),
+		Referer:   unescapeField(fields[9]),
+		TZOffset:  tz,
+	}, nil
+}
+
+func boolField(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// escapeField protects the TSV framing against tabs and newlines inside
+// free-text fields (URLs and user-agent strings can contain anything).
+func escapeField(s string) string {
+	r := strings.NewReplacer("\\", "\\\\", "\t", "\\t", "\n", "\\n")
+	return r.Replace(s)
+}
+
+func unescapeField(s string) string {
+	if !strings.Contains(s, "\\") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 == len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 't':
+			b.WriteByte('\t')
+		case 'n':
+			b.WriteByte('\n')
+		case '\\':
+			b.WriteByte('\\')
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package logs
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlowCodecRoundTrip(t *testing.T) {
+	recs := []FlowRecord{
+		{
+			Time:  time.Date(2014, 2, 13, 9, 0, 0, 0, time.UTC),
+			SrcIP: netip.MustParseAddr("10.0.0.5"), DstIP: netip.MustParseAddr("203.0.113.9"),
+			DstPort: 443, Protocol: "tcp", Bytes: 12345, Packets: 42,
+		},
+		{
+			Time:  time.Date(2014, 2, 13, 9, 0, 1, 0, time.UTC),
+			SrcIP: netip.MustParseAddr("10.0.0.6"), DstIP: netip.MustParseAddr("198.51.100.1"),
+			DstPort: 80, Protocol: "udp", Bytes: 1, Packets: 1,
+		},
+	}
+	var sb strings.Builder
+	w := NewFlowWriter(&sb)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got []FlowRecord
+	if err := ReadFlows(strings.NewReader(sb.String()), func(r FlowRecord) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadFlowsMalformed(t *testing.T) {
+	bad := []string{
+		"too\tfew\tfields",
+		"bad-time\t10.0.0.1\t203.0.113.9\t80\ttcp\t1\t1",
+		"2014-02-13T09:00:00Z\tnot-ip\t203.0.113.9\t80\ttcp\t1\t1",
+		"2014-02-13T09:00:00Z\t10.0.0.1\tnot-ip\t80\ttcp\t1\t1",
+		"2014-02-13T09:00:00Z\t10.0.0.1\t203.0.113.9\t99999\ttcp\t1\t1", // port overflow
+		"2014-02-13T09:00:00Z\t10.0.0.1\t203.0.113.9\t80\ttcp\tx\t1",
+		"2014-02-13T09:00:00Z\t10.0.0.1\t203.0.113.9\t80\ttcp\t1\tx",
+	}
+	for _, line := range bad {
+		if err := ReadFlows(strings.NewReader(line+"\n"), func(FlowRecord) error { return nil }); err == nil {
+			t.Errorf("expected error for %q", line)
+		}
+	}
+}

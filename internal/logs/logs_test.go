@@ -1,0 +1,303 @@
+package logs
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFoldDomain(t *testing.T) {
+	tests := []struct {
+		name   string
+		domain string
+		n      int
+		want   string
+	}{
+		{"second level", "news.nbc.com", 2, "nbc.com"},
+		{"already second level", "nbc.com", 2, "nbc.com"},
+		{"single label", "localhost", 2, "localhost"},
+		{"deep subdomain", "a.b.c.d.example.org", 2, "example.org"},
+		{"third level", "a.b.c.d.example.org", 3, "d.example.org"},
+		{"trailing dot", "news.nbc.com.", 2, "nbc.com"},
+		{"uppercase", "News.NBC.Com", 2, "nbc.com"},
+		{"zero level returns whole", "news.nbc.com", 0, "news.nbc.com"},
+		{"anonymized lanl style", "rainbow-.c3", 3, "rainbow-.c3"},
+		{"empty", "", 2, ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := FoldDomain(tt.domain, tt.n); got != tt.want {
+				t.Errorf("FoldDomain(%q, %d) = %q, want %q", tt.domain, tt.n, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFoldDomainIdempotent(t *testing.T) {
+	f := func(labels []uint8, n uint8) bool {
+		if len(labels) == 0 {
+			labels = []uint8{0}
+		}
+		// Build a random domain out of small labels.
+		parts := make([]string, 0, len(labels)%6+1)
+		for i := 0; i < len(labels)%6+1; i++ {
+			parts = append(parts, string(rune('a'+int(labels[i%len(labels)]%26))))
+		}
+		d := strings.Join(parts, ".")
+		lvl := int(n%4) + 1
+		once := FoldDomain(d, lvl)
+		twice := FoldDomain(once, lvl)
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestIsIPLiteral(t *testing.T) {
+	if !IsIPLiteral("10.2.3.4") {
+		t.Error("10.2.3.4 should be an IP literal")
+	}
+	if !IsIPLiteral("2001:db8::1") {
+		t.Error("2001:db8::1 should be an IP literal")
+	}
+	if IsIPLiteral("example.com") {
+		t.Error("example.com should not be an IP literal")
+	}
+}
+
+func TestSubnets(t *testing.T) {
+	a := netip.MustParseAddr("192.0.2.17")
+	b := netip.MustParseAddr("192.0.2.200")
+	c := netip.MustParseAddr("192.0.3.17")
+	d := netip.MustParseAddr("198.51.100.1")
+
+	if !SameSubnet24(a, b) {
+		t.Error("a and b share a /24")
+	}
+	if SameSubnet24(a, c) {
+		t.Error("a and c do not share a /24")
+	}
+	if !SameSubnet16(a, c) {
+		t.Error("a and c share a /16")
+	}
+	if SameSubnet16(a, d) {
+		t.Error("a and d do not share a /16")
+	}
+	if SameSubnet24(netip.Addr{}, a) || SameSubnet16(a, netip.Addr{}) {
+		t.Error("invalid addresses never share subnets")
+	}
+}
+
+func TestSubnet24ImpliesSubnet16(t *testing.T) {
+	f := func(x, y [4]byte) bool {
+		a := netip.AddrFrom4(x)
+		b := netip.AddrFrom4(y)
+		if SameSubnet24(a, b) && !SameSubnet16(a, b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDay(t *testing.T) {
+	loc := time.FixedZone("plus5", 5*3600)
+	ts := time.Date(2014, 2, 13, 2, 30, 0, 0, loc) // 2014-02-12 21:30 UTC
+	got := Day(ts)
+	want := time.Date(2014, 2, 12, 0, 0, 0, 0, time.UTC)
+	if !got.Equal(want) {
+		t.Errorf("Day(%v) = %v, want %v", ts, got, want)
+	}
+	if DayString(ts) != "2014-02-12" {
+		t.Errorf("DayString = %q", DayString(ts))
+	}
+}
+
+func TestRecordTypeRoundTrip(t *testing.T) {
+	for _, typ := range []RecordType{TypeA, TypeAAAA, TypeTXT, TypeMX, TypeCNAME, TypePTR} {
+		got, err := ParseRecordType(typ.String())
+		if err != nil {
+			t.Fatalf("ParseRecordType(%v): %v", typ, err)
+		}
+		if got != typ {
+			t.Errorf("round trip %v -> %v", typ, got)
+		}
+	}
+	if _, err := ParseRecordType("BOGUS"); err == nil {
+		t.Error("expected error for unknown type")
+	}
+	if s := RecordType(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown type String = %q", s)
+	}
+}
+
+func TestDNSCodecRoundTrip(t *testing.T) {
+	recs := []DNSRecord{
+		{
+			Time:   time.Date(2013, 3, 4, 12, 0, 0, 0, time.UTC),
+			SrcIP:  netip.MustParseAddr("74.92.144.170"),
+			Query:  "rainbow-.c3",
+			Type:   TypeA,
+			Answer: netip.MustParseAddr("191.146.166.145"),
+		},
+		{
+			Time:     time.Date(2013, 3, 4, 12, 0, 1, 0, time.UTC),
+			SrcIP:    netip.MustParseAddr("10.0.0.1"),
+			Query:    "printer.lanl.internal",
+			Type:     TypeA,
+			Internal: true,
+			Server:   true,
+		},
+		{
+			Time:  time.Date(2013, 3, 4, 12, 0, 2, 0, time.UTC),
+			SrcIP: netip.MustParseAddr("10.0.0.2"),
+			Query: "mail.example.com",
+			Type:  TypeTXT, // no answer address
+		},
+	}
+	var sb strings.Builder
+	w := NewDNSWriter(&sb)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []DNSRecord
+	if err := ReadDNS(strings.NewReader(sb.String()), func(r DNSRecord) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !got[i].Time.Equal(recs[i].Time) || got[i].SrcIP != recs[i].SrcIP ||
+			got[i].Query != recs[i].Query || got[i].Type != recs[i].Type ||
+			got[i].Answer != recs[i].Answer || got[i].Internal != recs[i].Internal ||
+			got[i].Server != recs[i].Server {
+			t.Errorf("record %d mismatch: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestProxyCodecRoundTrip(t *testing.T) {
+	recs := []ProxyRecord{
+		{
+			Time:      time.Date(2014, 2, 13, 9, 0, 0, 0, time.UTC),
+			Host:      "host1",
+			SrcIP:     netip.MustParseAddr("10.1.2.3"),
+			Domain:    "usteeptyshehoaboochu.ru",
+			DestIP:    netip.MustParseAddr("198.51.100.7"),
+			URL:       "http://usteeptyshehoaboochu.ru/logo.gif?x=1",
+			Method:    "GET",
+			Status:    200,
+			UserAgent: "Mozilla/5.0 (Windows NT 6.1)",
+			Referer:   "",
+			TZOffset:  -5,
+		},
+		{
+			Time:      time.Date(2014, 2, 13, 9, 0, 1, 0, time.UTC),
+			Host:      "host2",
+			SrcIP:     netip.MustParseAddr("10.1.2.4"),
+			Domain:    "example.org",
+			URL:       "http://example.org/a\tb\nc", // hostile characters
+			Method:    "POST",
+			Status:    504,
+			UserAgent: "agent with\ttab",
+			Referer:   "http://ref.example.org/",
+		},
+	}
+	var sb strings.Builder
+	w := NewProxyWriter(&sb)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(sb.String(), "\n"); lines != len(recs) {
+		t.Fatalf("escaping failed: %d lines for %d records", lines, len(recs))
+	}
+
+	var got []ProxyRecord
+	if err := ReadProxy(strings.NewReader(sb.String()), func(r ProxyRecord) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].URL != recs[i].URL || got[i].UserAgent != recs[i].UserAgent ||
+			got[i].Referer != recs[i].Referer || got[i].Status != recs[i].Status ||
+			got[i].TZOffset != recs[i].TZOffset || got[i].Host != recs[i].Host {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestEscapeRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		esc := escapeField(s)
+		if strings.ContainsAny(esc, "\t\n") {
+			return false
+		}
+		return unescapeField(esc) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadDNSMalformed(t *testing.T) {
+	bad := []string{
+		"not\tenough\tfields",
+		"2013-03-04T12:00:00Z\tnot-an-ip\tq.c3\tA\t\t0\t0",
+		"bad-time\t10.0.0.1\tq.c3\tA\t\t0\t0",
+		"2013-03-04T12:00:00Z\t10.0.0.1\tq.c3\tBOGUS\t\t0\t0",
+		"2013-03-04T12:00:00Z\t10.0.0.1\tq.c3\tA\tnot-an-ip\t0\t0",
+	}
+	for _, line := range bad {
+		if err := ReadDNS(strings.NewReader(line+"\n"), func(DNSRecord) error { return nil }); err == nil {
+			t.Errorf("expected error for line %q", line)
+		}
+	}
+}
+
+func TestReadProxyMalformed(t *testing.T) {
+	bad := []string{
+		"too\tfew",
+		"bad-time\th\t10.0.0.1\td.com\t\tu\tGET\t200\tua\tref\t0",
+		"2014-02-13T09:00:00Z\th\tnot-ip\td.com\t\tu\tGET\t200\tua\tref\t0",
+		"2014-02-13T09:00:00Z\th\t10.0.0.1\td.com\tbad-ip\tu\tGET\t200\tua\tref\t0",
+		"2014-02-13T09:00:00Z\th\t10.0.0.1\td.com\t\tu\tGET\tnotint\tua\tref\t0",
+		"2014-02-13T09:00:00Z\th\t10.0.0.1\td.com\t\tu\tGET\t200\tua\tref\tnotint",
+	}
+	for _, line := range bad {
+		if err := ReadProxy(strings.NewReader(line+"\n"), func(ProxyRecord) error { return nil }); err == nil {
+			t.Errorf("expected error for line %q", line)
+		}
+	}
+}

@@ -1,0 +1,474 @@
+package pipeline
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/ccdetect"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/logs"
+	"repro/internal/normalize"
+	"repro/internal/profile"
+	"repro/internal/scoring"
+	"repro/internal/whois"
+)
+
+// EnterpriseConfig parameterizes the web-proxy pipeline of §VI.
+type EnterpriseConfig struct {
+	// UnpopularThreshold is the rare-destination host threshold
+	// (default 10).
+	UnpopularThreshold int
+	// CCThreshold is Tc for labeling automated domains as C&C. Zero (the
+	// default) selects the threshold from the calibration score
+	// distribution by maximizing TPR-FPR — the paper likewise picks Tc
+	// "based on the model" from the training tradeoff curve (§IV-C,
+	// Figure 5); its published operating point is 0.40.
+	CCThreshold float64
+	// SimThreshold is Ts for belief propagation. Zero (the default)
+	// selects it from the calibration similarity-score distribution the
+	// same way Tc is selected; the paper's published operating points
+	// sweep 0.33-0.85 (§VI-C/D).
+	SimThreshold float64
+	// MaxIterations bounds belief propagation (default 10 — "configurable
+	// according to the SOC's processing capacity").
+	MaxIterations int
+	// CalibrationDays is the number of operation days whose automated
+	// domains are collected (with intelligence labels) before the
+	// regressions are fit; the paper uses two weeks (default 14).
+	CalibrationDays int
+	// LabelLagDays is how far in the future the intelligence source is
+	// queried when labeling calibration data — the paper labels February
+	// traffic with VirusTotal results gathered well after the fact
+	// (default 90, matching its three-month validation delay).
+	LabelLagDays int
+}
+
+func (c *EnterpriseConfig) setDefaults() {
+	if c.UnpopularThreshold == 0 {
+		c.UnpopularThreshold = 10
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 10
+	}
+	if c.CalibrationDays == 0 {
+		c.CalibrationDays = 14
+	}
+	if c.LabelLagDays == 0 {
+		c.LabelLagDays = 90
+	}
+}
+
+// Enterprise is the full web-proxy pipeline: profiling, regression
+// calibration against external-intelligence labels, the C&C detector, and
+// belief propagation in both modes.
+type Enterprise struct {
+	cfg       EnterpriseConfig
+	hist      *profile.History
+	extractor *features.Extractor
+	detector  *ccdetect.Detector
+	simScorer core.SimilarityScorer
+
+	// Reported labels a domain at a point in time (the simulated
+	// VirusTotal query used to build regression labels).
+	Reported func(domain string, t time.Time) bool
+	// IOCs returns the SOC's current IOC list (seeds for SOC-hints mode).
+	IOCs func() []string
+
+	calDays      int
+	ccExamples   []ccdetect.TrainingExample
+	simExamples  []scoring.SimilarityExample
+	trained      bool
+	simThreshold float64
+}
+
+// NewEnterprise builds the pipeline around a WHOIS source and the two
+// intelligence hooks, starting from an empty behavioural history.
+func NewEnterprise(cfg EnterpriseConfig, reg *whois.Registry,
+	reported func(string, time.Time) bool, iocs func() []string) *Enterprise {
+	return NewEnterpriseWithHistory(cfg, profile.NewHistory(), reg, reported, iocs)
+}
+
+// NewEnterpriseWithHistory builds the pipeline around a previously
+// persisted behavioural history (see profile.History.Save/LoadHistory), so
+// a restarted deployment resumes daily operation without re-profiling the
+// bootstrap month.
+func NewEnterpriseWithHistory(cfg EnterpriseConfig, hist *profile.History, reg *whois.Registry,
+	reported func(string, time.Time) bool, iocs func() []string) *Enterprise {
+	cfg.setDefaults()
+	x := &features.Extractor{Hist: hist, Whois: reg, UARareThreshold: cfg.UnpopularThreshold}
+	det := ccdetect.NewDetector(x)
+	if cfg.CCThreshold != 0 {
+		det.Threshold = cfg.CCThreshold
+	}
+	return &Enterprise{
+		cfg:       cfg,
+		hist:      hist,
+		extractor: x,
+		detector:  det,
+		Reported:  reported,
+		IOCs:      iocs,
+	}
+}
+
+// History exposes the behavioural history.
+func (p *Enterprise) History() *profile.History { return p.hist }
+
+// Detector exposes the C&C detector (e.g. to inspect the trained model).
+func (p *Enterprise) Detector() *ccdetect.Detector { return p.detector }
+
+// SimilarityScorer exposes the similarity scorer in use: the trained
+// regression scorer, or the additive fallback when calibration data was too
+// scarce for a regression (the paper's own LANL strategy, §V-B). It is nil
+// before calibration completes.
+func (p *Enterprise) SimilarityScorer() core.SimilarityScorer { return p.simScorer }
+
+// Trained reports whether both regressions have been fit.
+func (p *Enterprise) Trained() bool { return p.trained }
+
+// EnterpriseDayReport captures one processed day.
+type EnterpriseDayReport struct {
+	Day       time.Time
+	Stats     normalize.ProxyStats
+	NewCount  int
+	RareCount int
+	Snapshot  *profile.Snapshot
+	// Automated lists every rare domain with automated connections
+	// (scored once the model is trained).
+	Automated []*ccdetect.AutomatedDomain
+	// CC is the subset of Automated at or above Tc.
+	CC []*ccdetect.AutomatedDomain
+	// NoHint is the belief propagation result seeded by CC (nil before
+	// training or when CC is empty).
+	NoHint *core.Result
+	// SOCHints is the belief propagation result seeded by the IOC domains
+	// present in today's traffic (nil when none resolve).
+	SOCHints *core.Result
+	// Calibrating is true while the day only contributed training labels.
+	Calibrating bool
+}
+
+// NoHintDomains returns the combined no-hint detections: C&C seeds plus
+// belief propagation expansion, in order.
+func (r *EnterpriseDayReport) NoHintDomains() []string {
+	var out []string
+	for _, ad := range r.CC {
+		out = append(out, ad.Domain)
+	}
+	if r.NoHint != nil {
+		out = append(out, r.NoHint.Domains()...)
+	}
+	return out
+}
+
+// SOCHintDomains returns the SOC-hints detections (seed IOCs excluded, as
+// in §VI-B).
+func (r *EnterpriseDayReport) SOCHintDomains() []string {
+	if r.SOCHints == nil {
+		return nil
+	}
+	return r.SOCHints.Domains()
+}
+
+// Train ingests one profiling-month day: reduce, profile, update.
+func (p *Enterprise) Train(day time.Time, recs []logs.ProxyRecord, leases map[netip.Addr]string) EnterpriseDayReport {
+	visits, stats := normalize.ReduceProxy(recs, leases)
+	snap := profile.NewSnapshot(day, visits, p.hist, p.cfg.UnpopularThreshold)
+	rep := EnterpriseDayReport{
+		Day: day, Stats: stats,
+		NewCount: snap.NewDomains, RareCount: snap.RareCount(),
+		Snapshot: snap,
+	}
+	snap.Commit(p.hist)
+	return rep
+}
+
+// Process runs one operation day: during the calibration window it collects
+// labeled examples; afterwards it detects in both modes.
+func (p *Enterprise) Process(day time.Time, recs []logs.ProxyRecord, leases map[netip.Addr]string) (EnterpriseDayReport, error) {
+	visits, stats := normalize.ReduceProxy(recs, leases)
+	snap := profile.NewSnapshot(day, visits, p.hist, p.cfg.UnpopularThreshold)
+	rep := EnterpriseDayReport{
+		Day: day, Stats: stats,
+		NewCount: snap.NewDomains, RareCount: snap.RareCount(),
+		Snapshot: snap,
+	}
+
+	rep.Automated = p.detector.FindAutomated(snap)
+	p.detector.FillFeatures(rep.Automated, day)
+
+	if !p.trained {
+		p.collectExamples(snap, rep.Automated, day)
+		p.calDays++
+		if p.calDays >= p.cfg.CalibrationDays {
+			err := p.fitModels()
+			if err != nil && p.calDays < 2*p.cfg.CalibrationDays {
+				// Not enough labeled data yet — keep collecting for up to
+				// one extra window before giving up.
+				err = nil
+			}
+			if err != nil {
+				return rep, fmt.Errorf("calibrate: %w", err)
+			}
+		}
+		rep.Calibrating = true
+		snap.Commit(p.hist)
+		return rep, nil
+	}
+
+	// Score automated domains; those above Tc are potential C&C.
+	for _, ad := range rep.Automated {
+		if p.detector.Score(ad) >= p.detector.Threshold {
+			rep.CC = append(rep.CC, ad)
+		}
+	}
+	sort.Slice(rep.CC, func(i, j int) bool { return rep.CC[i].Score > rep.CC[j].Score })
+
+	bpCfg := core.Config{ScoreThreshold: p.simThreshold, MaxIterations: p.cfg.MaxIterations}
+
+	// No-hint mode: seed with detected C&C domains and their hosts.
+	if len(rep.CC) > 0 {
+		var seedDomains []string
+		for _, ad := range rep.CC {
+			seedDomains = append(seedDomains, ad.Domain)
+		}
+		rep.NoHint = core.BeliefPropagation(snap, nil, seedDomains, p.detector, p.simScorer, bpCfg)
+	}
+
+	// SOC-hints mode: seed with IOC domains that appear in today's rare
+	// traffic.
+	if p.IOCs != nil {
+		var seeds []string
+		for _, ioc := range p.IOCs() {
+			if _, ok := snap.Rare[ioc]; ok {
+				seeds = append(seeds, ioc)
+			}
+		}
+		sort.Strings(seeds)
+		if len(seeds) > 0 {
+			rep.SOCHints = core.BeliefPropagation(snap, nil, seeds, p.detector, p.simScorer, bpCfg)
+		}
+	}
+
+	snap.Commit(p.hist)
+	return rep, nil
+}
+
+// collectExamples harvests labeled training data from a calibration day:
+// every automated rare domain becomes a C&C example, and the rare
+// (non-automated) domains contacted by hosts of confirmed C&C domains
+// become similarity examples relative to those confirmed domains (§VI-A).
+func (p *Enterprise) collectExamples(snap *profile.Snapshot, automated []*ccdetect.AutomatedDomain, day time.Time) {
+	if p.Reported == nil {
+		return
+	}
+	labelTime := day.AddDate(0, 0, p.cfg.LabelLagDays)
+	autoSet := make(map[string]bool, len(automated))
+	var confirmed []features.Labeled
+	hostsOfConfirmed := make(map[string]bool)
+	for _, ad := range automated {
+		autoSet[ad.Domain] = true
+		reported := p.Reported(ad.Domain, labelTime)
+		p.ccExamples = append(p.ccExamples, ccdetect.TrainingExample{
+			Domain:   ad.Domain,
+			Features: ad.Features,
+			Reported: reported,
+		})
+		if reported {
+			confirmed = append(confirmed, features.LabeledFromActivity(ad.Activity))
+			for h := range ad.Activity.Hosts {
+				hostsOfConfirmed[h] = true
+			}
+		}
+	}
+	if len(confirmed) == 0 {
+		return
+	}
+	seen := make(map[string]bool)
+	confirmedHosts := make([]string, 0, len(hostsOfConfirmed))
+	for h := range hostsOfConfirmed {
+		confirmedHosts = append(confirmedHosts, h)
+	}
+	sort.Strings(confirmedHosts) // deterministic example order => bit-stable fits
+	for _, h := range confirmedHosts {
+		for _, d := range snap.HostRare[h] {
+			if seen[d] || autoSet[d] {
+				continue
+			}
+			seen[d] = true
+			da := snap.Rare[d]
+			p.simExamples = append(p.simExamples, scoring.SimilarityExample{
+				Domain:   d,
+				Features: p.extractor.Similarity(da, confirmed, day),
+				Reported: p.Reported(d, labelTime),
+			})
+		}
+	}
+	// The compromised-host neighbourhood alone yields few, positive-heavy
+	// examples at moderate data volumes; pad the training set with rare
+	// domains of *uncompromised* hosts, which are natural negatives (no
+	// shared hosts, no timing correlation, no IP proximity).
+	padded := 0
+	for _, d := range snap.RareDomains() {
+		if padded >= 30 {
+			break
+		}
+		if seen[d] || autoSet[d] {
+			continue
+		}
+		da := snap.Rare[d]
+		touchesConfirmed := false
+		for h := range da.Hosts {
+			if hostsOfConfirmed[h] {
+				touchesConfirmed = true
+				break
+			}
+		}
+		if touchesConfirmed {
+			continue
+		}
+		padded++
+		p.simExamples = append(p.simExamples, scoring.SimilarityExample{
+			Domain:   d,
+			Features: p.extractor.Similarity(da, confirmed, day),
+			Reported: p.Reported(d, labelTime),
+		})
+	}
+}
+
+// fitModels trains both regressions from the collected examples. When the
+// similarity training set is too small for a regression — the condition
+// the paper hits on the LANL data — the additive scorer of §V-B is
+// installed instead, so detection still runs.
+func (p *Enterprise) fitModels() error {
+	if _, err := p.detector.Train(p.ccExamples); err != nil {
+		return fmt.Errorf("C&C model: %w", err)
+	}
+	if p.cfg.CCThreshold == 0 {
+		if thr, ok := selectCCThreshold(p.detector, p.ccExamples); ok {
+			p.detector.Threshold = thr
+		}
+	}
+	sim, err := scoring.TrainSimilarity(p.extractor, p.simExamples, false)
+	if err != nil {
+		if p.calDays < 2*p.cfg.CalibrationDays {
+			return fmt.Errorf("similarity model: %w", err)
+		}
+		p.simScorer = scoring.AdditiveScorer{}
+		p.simThreshold = scoring.AdditiveThreshold
+		if p.cfg.SimThreshold != 0 {
+			p.simThreshold = p.cfg.SimThreshold
+		}
+		p.trained = true
+		return nil
+	}
+	p.simScorer = sim
+	p.simThreshold = p.cfg.SimThreshold
+	if p.simThreshold == 0 {
+		if thr, ok := selectSimThreshold(sim); ok {
+			p.simThreshold = thr
+		} else {
+			p.simThreshold = 0.33 // the paper's most inclusive sweep point
+		}
+	}
+	p.trained = true
+	return nil
+}
+
+// selectSimThreshold picks Ts from the similarity calibration scores the
+// same way selectCCThreshold picks Tc.
+func selectSimThreshold(sc *scoring.RegressionScorer) (float64, bool) {
+	var all []labeledScore
+	pos, neg := 0, 0
+	for _, ex := range sc.TrainingScores() {
+		all = append(all, labeledScore{ex.Score, ex.Reported})
+		if ex.Reported {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0, false
+	}
+	return youdenThreshold(all, pos, neg), true
+}
+
+// SimThreshold returns the Ts in effect (0 before calibration completes).
+func (p *Enterprise) SimThreshold() float64 { return p.simThreshold }
+
+// selectCCThreshold picks Tc from the calibration score distribution by
+// maximizing TPR-FPR (Youden's J) over the observed scores, breaking ties
+// toward the higher threshold (fewer detections for the SOC to vet). It
+// reports ok=false when the label set is degenerate (no positives or no
+// negatives).
+func selectCCThreshold(det *ccdetect.Detector, examples []ccdetect.TrainingExample) (float64, bool) {
+	var all []labeledScore
+	pos, neg := 0, 0
+	for _, ex := range examples {
+		v, err := det.Model.Predict(ex.Features.Vector(det.WithAutoHosts))
+		if err != nil {
+			continue
+		}
+		all = append(all, labeledScore{v, ex.Reported})
+		if ex.Reported {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0, false
+	}
+	return youdenThreshold(all, pos, neg), true
+}
+
+// youdenThreshold maximizes TPR-FPR over the observed scores, preferring
+// the most inclusive (lowest) maximizer, then widens the margin to the
+// midpoint between the chosen cut and the largest score below it — unseen
+// domains near the boundary then fall on the side of review rather than
+// silence, matching the paper's bias toward coverage with SOC vetting.
+func youdenThreshold(all []labeledScore, pos, neg int) float64 {
+	sort.Slice(all, func(i, j int) bool { return all[i].score < all[j].score })
+	bestJ := -2.0
+	bestThr := all[len(all)-1].score
+	for i := range all {
+		thr := all[i].score
+		tp, fp := 0, 0
+		for _, s := range all {
+			if s.score >= thr {
+				if s.reported {
+					tp++
+				} else {
+					fp++
+				}
+			}
+		}
+		j := float64(tp)/float64(pos) - float64(fp)/float64(neg)
+		if j > bestJ || (j == bestJ && thr < bestThr) {
+			bestJ = j
+			bestThr = thr
+		}
+	}
+	below := bestThr
+	for _, s := range all {
+		if s.score < bestThr && (below == bestThr || s.score > below) {
+			below = s.score
+		}
+	}
+	return (bestThr + below) / 2
+}
+
+type labeledScore struct {
+	score    float64
+	reported bool
+}
+
+// CCExamples returns the collected C&C training examples (for the
+// threshold-selection experiments).
+func (p *Enterprise) CCExamples() []ccdetect.TrainingExample { return p.ccExamples }
+
+// SimilarityExamples returns the collected similarity training examples.
+func (p *Enterprise) SimilarityExamples() []scoring.SimilarityExample { return p.simExamples }

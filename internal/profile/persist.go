@@ -1,0 +1,99 @@
+package profile
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// The history is the only long-lived state of the system (Figure 1 keeps
+// it across days), so a production deployment must persist it between
+// daily batches. The on-disk format is line-delimited JSON: a header
+// record followed by one record per domain and per (UA, host) pair, so
+// multi-million-entry histories stream without building one giant value in
+// memory.
+
+type persistHeader struct {
+	Version int `json:"version"`
+	Days    int `json:"days"`
+	Domains int `json:"domains"`
+	UAs     int `json:"uas"`
+}
+
+type persistDomain struct {
+	D string    `json:"d"`
+	T time.Time `json:"t"`
+}
+
+type persistUA struct {
+	UA    string   `json:"ua"`
+	Hosts []string `json:"hosts"`
+}
+
+const persistVersion = 1
+
+// Save streams the history to w. The output is deterministic given the
+// same history contents only up to map iteration order of hosts within a
+// UA record; consumers must not diff the raw bytes.
+func (h *History) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(persistHeader{
+		Version: persistVersion,
+		Days:    h.days,
+		Domains: len(h.domains),
+		UAs:     len(h.uaHosts),
+	}); err != nil {
+		return fmt.Errorf("profile: save header: %w", err)
+	}
+	for d, t := range h.domains {
+		if err := enc.Encode(persistDomain{D: d, T: t}); err != nil {
+			return fmt.Errorf("profile: save domain: %w", err)
+		}
+	}
+	for ua, hosts := range h.uaHosts {
+		rec := persistUA{UA: ua, Hosts: make([]string, 0, len(hosts))}
+		for host := range hosts {
+			rec.Hosts = append(rec.Hosts, host)
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("profile: save ua: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadHistory reads a history previously written by Save.
+func LoadHistory(r io.Reader) (*History, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr persistHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("profile: load header: %w", err)
+	}
+	if hdr.Version != persistVersion {
+		return nil, fmt.Errorf("profile: unsupported history version %d", hdr.Version)
+	}
+	h := NewHistory()
+	h.days = hdr.Days
+	for i := 0; i < hdr.Domains; i++ {
+		var rec persistDomain
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("profile: load domain %d: %w", i, err)
+		}
+		h.domains[rec.D] = rec.T
+	}
+	for i := 0; i < hdr.UAs; i++ {
+		var rec persistUA
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("profile: load ua %d: %w", i, err)
+		}
+		set := make(map[string]bool, len(rec.Hosts))
+		for _, host := range rec.Hosts {
+			set[host] = true
+		}
+		h.uaHosts[rec.UA] = set
+	}
+	return h, nil
+}

@@ -1,0 +1,113 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	h := NewHistory()
+	h.UpdateDomains(day(1), []string{"a.com", "b.com", "c.org"})
+	h.UpdateDomains(day(2), []string{"d.net"})
+	h.UpdateUA("h1", "UA/1")
+	h.UpdateUA("h2", "UA/1")
+	h.UpdateUA("h1", "UA/2")
+
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadHistory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Days() != 2 || got.DomainCount() != 4 || got.UACount() != 2 {
+		t.Errorf("loaded: days=%d domains=%d uas=%d", got.Days(), got.DomainCount(), got.UACount())
+	}
+	first, ok := got.FirstSeen("a.com")
+	if !ok || !first.Equal(day(1)) {
+		t.Errorf("FirstSeen(a.com) = %v, %v", first, ok)
+	}
+	if !got.SeenDomain("d.net") {
+		t.Error("d.net missing after load")
+	}
+	if got.UAHostCount("UA/1") != 2 || got.UAHostCount("UA/2") != 1 {
+		t.Errorf("UA counts: %d, %d", got.UAHostCount("UA/1"), got.UAHostCount("UA/2"))
+	}
+	if got.RareUA("UA/1", 2) || !got.RareUA("UA/2", 2) {
+		t.Error("RareUA semantics changed across persistence")
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewHistory().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadHistory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DomainCount() != 0 || got.UACount() != 0 || got.Days() != 0 {
+		t.Error("empty history did not round-trip empty")
+	}
+}
+
+func TestLoadHistoryErrors(t *testing.T) {
+	cases := []string{
+		"",                      // no header
+		"not json\n",            // malformed header
+		`{"version":99}` + "\n", // wrong version
+		`{"version":1,"domains":2}` + "\n" + `{"d":"a.com","t":"2014-02-01T00:00:00Z"}` + "\n", // truncated
+	}
+	for i, in := range cases {
+		if _, err := LoadHistory(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSaveLoadProperty(t *testing.T) {
+	f := func(domains []string, uaHosts map[string][]string, days uint8) bool {
+		h := NewHistory()
+		base := time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)
+		for i := 0; i < int(days%20); i++ {
+			h.UpdateDomains(base.AddDate(0, 0, i), nil)
+		}
+		h.UpdateDomains(base, domains)
+		for ua, hosts := range uaHosts {
+			for _, host := range hosts {
+				h.UpdateUA(host, ua)
+			}
+		}
+
+		var buf bytes.Buffer
+		if err := h.Save(&buf); err != nil {
+			return false
+		}
+		got, err := LoadHistory(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Days() != h.Days() || got.DomainCount() != h.DomainCount() || got.UACount() != h.UACount() {
+			return false
+		}
+		for _, d := range domains {
+			if !got.SeenDomain(d) {
+				return false
+			}
+		}
+		for ua := range uaHosts {
+			if got.UAHostCount(ua) != h.UAHostCount(ua) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+// Package profile maintains the behavioural baselines of §III-E: the
+// history of external destinations contacted by internal hosts and the
+// history of user-agent strings, both bootstrapped over a training month
+// and updated incrementally each operation day. From these it derives the
+// paper's central data reduction — the daily set of rare destinations
+// (new + unpopular) — and the RareUA signal used by the C&C detector.
+package profile
+
+import (
+	"time"
+)
+
+// History is the incrementally updated profile of normal activity.
+// The zero value is not usable; construct with NewHistory.
+type History struct {
+	domains map[string]time.Time       // folded domain -> first day seen
+	uaHosts map[string]map[string]bool // UA -> hosts ever using it
+	days    int                        // number of days ingested
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{
+		domains: make(map[string]time.Time),
+		uaHosts: make(map[string]map[string]bool),
+	}
+}
+
+// UpdateDomains records that the given folded domains were seen on day.
+// Call this at the end of each day, after rare-destination extraction, so
+// that "new" is always judged against the history *before* today.
+func (h *History) UpdateDomains(day time.Time, domains []string) {
+	for _, d := range domains {
+		if _, ok := h.domains[d]; !ok {
+			h.domains[d] = day
+		}
+	}
+	h.days++
+}
+
+// UpdateUA records that host used the given user-agent string.
+func (h *History) UpdateUA(host, ua string) {
+	if ua == "" {
+		return
+	}
+	set, ok := h.uaHosts[ua]
+	if !ok {
+		set = make(map[string]bool)
+		h.uaHosts[ua] = set
+	}
+	set[host] = true
+}
+
+// SeenDomain reports whether the folded domain appears in the history.
+func (h *History) SeenDomain(d string) bool {
+	_, ok := h.domains[d]
+	return ok
+}
+
+// FirstSeen returns the day a domain first appeared and whether it is known.
+func (h *History) FirstSeen(d string) (time.Time, bool) {
+	t, ok := h.domains[d]
+	return t, ok
+}
+
+// UAHostCount returns the number of distinct hosts that have ever used the
+// user-agent string.
+func (h *History) UAHostCount(ua string) int { return len(h.uaHosts[ua]) }
+
+// RareUA reports whether a user-agent string is rare: used by fewer than
+// threshold hosts across the history, or absent entirely. The empty string
+// (no UA at all) is always rare (§IV-C).
+func (h *History) RareUA(ua string, threshold int) bool {
+	if ua == "" {
+		return true
+	}
+	return len(h.uaHosts[ua]) < threshold
+}
+
+// DomainCount returns the size of the destination history.
+func (h *History) DomainCount() int { return len(h.domains) }
+
+// UACount returns the number of distinct user-agent strings on file.
+func (h *History) UACount() int { return len(h.uaHosts) }
+
+// Days returns how many days have been ingested.
+func (h *History) Days() int { return h.days }

@@ -1,0 +1,215 @@
+package profile
+
+import (
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/logs"
+)
+
+// HostActivity aggregates one host's connections to one domain on one day.
+type HostActivity struct {
+	Host string
+	// Times are the connection timestamps, sorted ascending.
+	Times []time.Time
+	// NoRefVisits counts visits without a web referer.
+	NoRefVisits int
+	// UAs are the user-agent strings the host used toward the domain
+	// ("" marks UA-less connections).
+	UAs map[string]bool
+}
+
+// First returns the host's first connection time to the domain.
+func (a *HostActivity) First() time.Time {
+	if len(a.Times) == 0 {
+		return time.Time{}
+	}
+	return a.Times[0]
+}
+
+// UsesNoReferer reports whether the host never sent a referer to the
+// domain — the per-host criterion behind the NoRef feature.
+func (a *HostActivity) UsesNoReferer() bool {
+	return a.NoRefVisits == len(a.Times)
+}
+
+// maxPathsPerDomain caps the URL paths retained per domain; campaign URLs
+// are few and repetitive, so a small cap suffices for clustering.
+const maxPathsPerDomain = 16
+
+// DomainActivity aggregates all activity toward one rare domain on one day.
+type DomainActivity struct {
+	Domain string
+	// Hosts maps host name to that host's activity.
+	Hosts map[string]*HostActivity
+	// IP is the destination address observed for the domain (first seen).
+	IP netip.Addr
+	// Paths holds up to maxPathsPerDomain distinct URL paths observed
+	// toward the domain (empty for DNS data); used by campaign clustering.
+	Paths map[string]bool
+}
+
+// HostNames returns the contacting hosts in sorted order.
+func (d *DomainActivity) HostNames() []string {
+	out := make([]string, 0, len(d.Hosts))
+	for h := range d.Hosts {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumHosts returns the domain connectivity (the NoHosts feature).
+func (d *DomainActivity) NumHosts() int { return len(d.Hosts) }
+
+// Snapshot is the reduced view of one day: the rare destinations and the
+// indexes the belief propagation algorithm walks (dom_host and host_rdom in
+// Algorithm 1).
+type Snapshot struct {
+	Day time.Time
+	// NewDomains is the count of domains never seen in the history.
+	NewDomains int
+	// AllDomains is the count of distinct external domains today.
+	AllDomains int
+	// Rare maps each rare (new + unpopular) domain to its activity.
+	Rare map[string]*DomainActivity
+	// HostRare maps each host to the rare domains it contacted
+	// (host_rdom in Algorithm 1).
+	HostRare map[string][]string
+	// domains is the full distinct domain list for the end-of-day history
+	// update.
+	domains []string
+	// visits retained for UA history updates.
+	uaPairs map[[2]string]bool
+}
+
+// NewSnapshot classifies the day's visits against the history: a domain is
+// new if absent from the history and rare if additionally contacted by
+// fewer than unpopularThreshold distinct hosts today (§III-A, §IV-A; the
+// paper sets the threshold to 10 on SOC advice).
+func NewSnapshot(day time.Time, visits []logs.Visit, hist *History, unpopularThreshold int) *Snapshot {
+	s := &Snapshot{
+		Day:      day,
+		Rare:     make(map[string]*DomainActivity),
+		HostRare: make(map[string][]string),
+		uaPairs:  make(map[[2]string]bool),
+	}
+
+	type agg struct {
+		hosts map[string]*HostActivity
+		ip    netip.Addr
+		paths map[string]bool
+	}
+	perDomain := make(map[string]*agg)
+	for i := range visits {
+		v := &visits[i]
+		a, ok := perDomain[v.Domain]
+		if !ok {
+			a = &agg{hosts: make(map[string]*HostActivity)}
+			perDomain[v.Domain] = a
+		}
+		if !a.ip.IsValid() && v.DestIP.IsValid() {
+			a.ip = v.DestIP
+		}
+		if p := urlPath(v.URL); p != "" {
+			if a.paths == nil {
+				a.paths = make(map[string]bool)
+			}
+			if len(a.paths) < maxPathsPerDomain || a.paths[p] {
+				a.paths[p] = true
+			}
+		}
+		ha, ok := a.hosts[v.Host]
+		if !ok {
+			ha = &HostActivity{Host: v.Host, UAs: make(map[string]bool)}
+			a.hosts[v.Host] = ha
+		}
+		ha.Times = append(ha.Times, v.Time)
+		if !v.HasRef {
+			ha.NoRefVisits++
+		}
+		if v.HasUA {
+			ha.UAs[v.UserAgent] = true
+			s.uaPairs[[2]string{v.Host, v.UserAgent}] = true
+		} else {
+			ha.UAs[""] = true
+		}
+	}
+
+	s.AllDomains = len(perDomain)
+	s.domains = make([]string, 0, len(perDomain))
+	for d, a := range perDomain {
+		s.domains = append(s.domains, d)
+		if hist.SeenDomain(d) {
+			continue
+		}
+		s.NewDomains++
+		if len(a.hosts) >= unpopularThreshold {
+			continue
+		}
+		da := &DomainActivity{Domain: d, Hosts: a.hosts, IP: a.ip, Paths: a.paths}
+		for _, ha := range da.Hosts {
+			sort.Slice(ha.Times, func(i, j int) bool { return ha.Times[i].Before(ha.Times[j]) })
+		}
+		s.Rare[d] = da
+	}
+	for d, da := range s.Rare {
+		for h := range da.Hosts {
+			s.HostRare[h] = append(s.HostRare[h], d)
+		}
+	}
+	for h := range s.HostRare {
+		sort.Strings(s.HostRare[h])
+	}
+	return s
+}
+
+// RareCount returns the number of rare destinations today.
+func (s *Snapshot) RareCount() int { return len(s.Rare) }
+
+// RareDomains returns the rare domains in sorted order.
+func (s *Snapshot) RareDomains() []string {
+	out := make([]string, 0, len(s.Rare))
+	for d := range s.Rare {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// urlPath extracts the path component (with the query marker preserved, as
+// the paper reports patterns like "/logo.gif?") from a URL without a full
+// parse: scheme and authority are skipped, the fragment dropped, and the
+// query reduced to a bare "?".
+func urlPath(rawURL string) string {
+	s := rawURL
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	} else if rawURL != "" {
+		return "" // not an absolute URL
+	}
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return "/"
+	}
+	s = s[slash:]
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.IndexByte(s, '?'); i >= 0 {
+		s = s[:i+1] // keep the bare "?" marker
+	}
+	return s
+}
+
+// Commit folds the day into the history: every domain seen today joins the
+// destination history and every (host, UA) pair joins the UA history. Call
+// once per day, after detection has run.
+func (s *Snapshot) Commit(hist *History) {
+	hist.UpdateDomains(s.Day, s.domains)
+	for pair := range s.uaPairs {
+		hist.UpdateUA(pair[0], pair[1])
+	}
+}

@@ -1,0 +1,335 @@
+// Package regression implements ordinary least squares linear regression
+// with coefficient significance testing, standing in for R's lm() which the
+// paper uses to learn feature weights for the C&C detector (§IV-C) and the
+// domain-similarity scorer (§IV-D).
+//
+// The implementation solves the normal equations (XᵀX)β = Xᵀy by Gaussian
+// elimination with partial pivoting, then derives coefficient standard
+// errors from the unbiased residual variance and the inverse of XᵀX, and
+// two-sided p-values from the Student t distribution. For the ≤10 features
+// used in this system the normal-equations approach is numerically ample.
+package regression
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model is a fitted linear regression y = β₀ + β₁x₁ + ... + βₚxₚ.
+type Model struct {
+	// Intercept is β₀.
+	Intercept float64
+	// Coef holds β₁..βₚ in feature order.
+	Coef []float64
+	// StdErr holds the standard error of each coefficient, intercept first.
+	StdErr []float64
+	// TStat holds the t-statistic of each coefficient, intercept first.
+	TStat []float64
+	// PValue holds the two-sided p-value of each coefficient, intercept first.
+	PValue []float64
+	// R2 is the coefficient of determination on the training data.
+	R2 float64
+	// N is the number of training observations.
+	N int
+	// DF is the residual degrees of freedom (N - p - 1).
+	DF int
+}
+
+// Errors returned by Fit.
+var (
+	ErrNoData            = errors.New("regression: no observations")
+	ErrDimensionMismatch = errors.New("regression: feature vectors of unequal length")
+	ErrUnderdetermined   = errors.New("regression: fewer observations than parameters")
+	ErrSingular          = errors.New("regression: singular design matrix (collinear features)")
+)
+
+// Fit computes the OLS solution for observations x (rows of feature values)
+// and responses y. An intercept column is added automatically.
+func Fit(x [][]float64, y []float64) (*Model, error) {
+	return fit(x, y, 0)
+}
+
+// FitRidge computes a ridge-regularized solution: lambda is added to the
+// diagonal of XᵀX for every feature (the intercept stays unpenalized).
+// A tiny lambda (e.g. 1e-6) rescues designs with degenerate columns —
+// useful when a feature happens to be constant in a small training batch —
+// while leaving well-conditioned fits essentially unchanged.
+func FitRidge(x [][]float64, y []float64, lambda float64) (*Model, error) {
+	if lambda < 0 {
+		return nil, errors.New("regression: negative ridge penalty")
+	}
+	return fit(x, y, lambda)
+}
+
+func fit(x [][]float64, y []float64, lambda float64) (*Model, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, ErrNoData
+	}
+	p := len(x[0])
+	for _, row := range x {
+		if len(row) != p {
+			return nil, ErrDimensionMismatch
+		}
+	}
+	cols := p + 1 // intercept + features
+	if n < cols {
+		return nil, ErrUnderdetermined
+	}
+
+	// Build XᵀX (cols×cols) and Xᵀy (cols).
+	xtx := make([][]float64, cols)
+	for i := range xtx {
+		xtx[i] = make([]float64, cols)
+	}
+	xty := make([]float64, cols)
+	design := func(row []float64, j int) float64 {
+		if j == 0 {
+			return 1
+		}
+		return row[j-1]
+	}
+	for r := 0; r < n; r++ {
+		for i := 0; i < cols; i++ {
+			di := design(x[r], i)
+			xty[i] += di * y[r]
+			for j := i; j < cols; j++ {
+				xtx[i][j] += di * design(x[r], j)
+			}
+		}
+	}
+	for i := 0; i < cols; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	for i := 1; i < cols; i++ {
+		xtx[i][i] += lambda
+	}
+
+	inv, err := invert(xtx)
+	if err != nil {
+		return nil, err
+	}
+	beta := make([]float64, cols)
+	for i := 0; i < cols; i++ {
+		for j := 0; j < cols; j++ {
+			beta[i] += inv[i][j] * xty[j]
+		}
+	}
+
+	// Residual sum of squares and R².
+	var rss, tss, ybar float64
+	for _, v := range y {
+		ybar += v
+	}
+	ybar /= float64(n)
+	for r := 0; r < n; r++ {
+		pred := beta[0]
+		for j := 0; j < p; j++ {
+			pred += beta[j+1] * x[r][j]
+		}
+		rss += (y[r] - pred) * (y[r] - pred)
+		tss += (y[r] - ybar) * (y[r] - ybar)
+	}
+	r2 := 0.0
+	if tss > 0 {
+		r2 = 1 - rss/tss
+	}
+
+	df := n - cols
+	sigma2 := 0.0
+	if df > 0 {
+		sigma2 = rss / float64(df)
+	}
+
+	stderr := make([]float64, cols)
+	tstat := make([]float64, cols)
+	pval := make([]float64, cols)
+	for i := 0; i < cols; i++ {
+		v := sigma2 * inv[i][i]
+		if v < 0 {
+			v = 0
+		}
+		stderr[i] = math.Sqrt(v)
+		if stderr[i] > 0 {
+			tstat[i] = beta[i] / stderr[i]
+			pval[i] = tPValue(tstat[i], df)
+		} else {
+			tstat[i] = math.Inf(sign(beta[i]))
+			pval[i] = 0
+		}
+	}
+
+	return &Model{
+		Intercept: beta[0],
+		Coef:      beta[1:],
+		StdErr:    stderr,
+		TStat:     tstat,
+		PValue:    pval,
+		R2:        r2,
+		N:         n,
+		DF:        df,
+	}, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Predict evaluates the model on a feature vector.
+func (m *Model) Predict(features []float64) (float64, error) {
+	if len(features) != len(m.Coef) {
+		return 0, fmt.Errorf("regression: predict with %d features, model has %d",
+			len(features), len(m.Coef))
+	}
+	v := m.Intercept
+	for i, c := range m.Coef {
+		v += c * features[i]
+	}
+	return v, nil
+}
+
+// Significant reports whether feature i (0-based, excluding the intercept)
+// is significant at level alpha (e.g. 0.05).
+func (m *Model) Significant(i int, alpha float64) bool {
+	if i < 0 || i+1 >= len(m.PValue) {
+		return false
+	}
+	return m.PValue[i+1] <= alpha
+}
+
+// invert computes the inverse of a square matrix by Gauss–Jordan
+// elimination with partial pivoting.
+func invert(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	// Augment [A | I] without mutating the caller's matrix.
+	aug := make([][]float64, n)
+	for i := range aug {
+		aug[i] = make([]float64, 2*n)
+		copy(aug[i], a[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(aug[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		// Normalize pivot row.
+		pv := aug[col][col]
+		for j := 0; j < 2*n; j++ {
+			aug[col][j] /= pv
+		}
+		// Eliminate the column elsewhere.
+		for r := 0; r < n; r++ {
+			if r == col || aug[r][col] == 0 {
+				continue
+			}
+			f := aug[r][col]
+			for j := 0; j < 2*n; j++ {
+				aug[r][j] -= f * aug[col][j]
+			}
+		}
+	}
+	inv := make([][]float64, n)
+	for i := range inv {
+		inv[i] = aug[i][n:]
+	}
+	return inv, nil
+}
+
+// tPValue returns the two-sided p-value of a t-statistic with df degrees of
+// freedom, computed via the regularized incomplete beta function.
+func tPValue(t float64, df int) float64 {
+	if df <= 0 {
+		return 1
+	}
+	if math.IsInf(t, 0) {
+		return 0
+	}
+	x := float64(df) / (float64(df) + t*t)
+	return incompleteBeta(float64(df)/2, 0.5, x)
+}
+
+// incompleteBeta computes the regularized incomplete beta function I_x(a,b)
+// by the continued-fraction expansion (Numerical Recipes §6.4).
+func incompleteBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 200
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,323 @@
+package regression
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitExactLine(t *testing.T) {
+	// y = 2 + 3x fits exactly.
+	x := [][]float64{{0}, {1}, {2}, {3}, {4}}
+	y := []float64{2, 5, 8, 11, 14}
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-2) > 1e-9 {
+		t.Errorf("intercept = %v, want 2", m.Intercept)
+	}
+	if math.Abs(m.Coef[0]-3) > 1e-9 {
+		t.Errorf("slope = %v, want 3", m.Coef[0])
+	}
+	if math.Abs(m.R2-1) > 1e-9 {
+		t.Errorf("R2 = %v, want 1", m.R2)
+	}
+	pred, err := m.Predict([]float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred-32) > 1e-9 {
+		t.Errorf("Predict(10) = %v, want 32", pred)
+	}
+}
+
+func TestFitMultivariate(t *testing.T) {
+	// y = 1 + 2a - 3b + noise.
+	rng := rand.New(rand.NewSource(7))
+	n := 500
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := rng.Float64() * 10
+		b := rng.Float64() * 5
+		x[i] = []float64{a, b}
+		y[i] = 1 + 2*a - 3*b + rng.NormFloat64()*0.1
+	}
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-1) > 0.1 {
+		t.Errorf("intercept = %v, want ~1", m.Intercept)
+	}
+	if math.Abs(m.Coef[0]-2) > 0.05 || math.Abs(m.Coef[1]+3) > 0.05 {
+		t.Errorf("coefs = %v, want ~[2 -3]", m.Coef)
+	}
+	if m.R2 < 0.99 {
+		t.Errorf("R2 = %v, want > 0.99", m.R2)
+	}
+	if !m.Significant(0, 0.05) || !m.Significant(1, 0.05) {
+		t.Errorf("true features should be significant: p = %v", m.PValue)
+	}
+}
+
+func TestInsignificantFeature(t *testing.T) {
+	// Third feature is pure noise uncorrelated with y.
+	rng := rand.New(rand.NewSource(8))
+	n := 300
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := rng.Float64()
+		noise := rng.Float64()
+		x[i] = []float64{a, noise}
+		y[i] = 4*a + rng.NormFloat64()*0.5
+	}
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Significant(0, 0.01) {
+		t.Errorf("informative feature not significant: p=%v", m.PValue[1])
+	}
+	if m.Significant(1, 0.01) {
+		t.Errorf("noise feature flagged significant: p=%v", m.PValue[2])
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty fit error = %v, want ErrNoData", err)
+	}
+	if _, err := Fit([][]float64{{1}, {2, 3}}, []float64{1, 2}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("ragged fit error = %v, want ErrDimensionMismatch", err)
+	}
+	if _, err := Fit([][]float64{{1, 2}}, []float64{1}); !errors.Is(err, ErrUnderdetermined) {
+		t.Errorf("underdetermined error = %v, want ErrUnderdetermined", err)
+	}
+	// Perfectly collinear features are singular.
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	y := []float64{1, 2, 3, 4}
+	if _, err := Fit(x, y); !errors.Is(err, ErrSingular) {
+		t.Errorf("collinear error = %v, want ErrSingular", err)
+	}
+}
+
+func TestFitRidgeRescuesSingular(t *testing.T) {
+	// A constant column is collinear with the intercept: plain OLS fails,
+	// a tiny ridge succeeds and ignores the dead column.
+	x := [][]float64{{1, 0.5}, {1, 1.5}, {1, 2.5}, {1, 3.0}, {1, 4.2}}
+	y := []float64{1, 3, 5, 6, 8.4}
+	if _, err := Fit(x, y); !errors.Is(err, ErrSingular) {
+		t.Fatalf("OLS on constant column: %v, want ErrSingular", err)
+	}
+	m, err := FitRidge(x, y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[1]-2) > 1e-3 {
+		t.Errorf("informative coefficient = %v, want ~2", m.Coef[1])
+	}
+}
+
+func TestFitRidgeMatchesOLSWhenWellConditioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 200
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x[i] = []float64{a, b}
+		y[i] = 1 + 2*a - b + rng.NormFloat64()*0.1
+	}
+	ols, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridge, err := FitRidge(x, y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ols.Coef {
+		if math.Abs(ols.Coef[i]-ridge.Coef[i]) > 1e-6 {
+			t.Errorf("coef %d: OLS %v vs ridge %v", i, ols.Coef[i], ridge.Coef[i])
+		}
+	}
+}
+
+func TestFitRidgeNegativeLambda(t *testing.T) {
+	if _, err := FitRidge([][]float64{{1}, {2}}, []float64{1, 2}, -1); err == nil {
+		t.Error("negative lambda must error")
+	}
+}
+
+func TestFitRidgeShrinks(t *testing.T) {
+	// Heavy ridge shrinks coefficients toward zero (intercept unpenalized).
+	x := [][]float64{{0}, {1}, {2}, {3}, {4}}
+	y := []float64{2, 5, 8, 11, 14} // slope 3
+	heavy, err := FitRidge(x, y, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Coef[0] >= 3 || heavy.Coef[0] <= 0 {
+		t.Errorf("heavily penalized slope = %v, want in (0, 3)", heavy.Coef[0])
+	}
+}
+
+func TestPredictDimension(t *testing.T) {
+	m, err := Fit([][]float64{{0}, {1}, {2}}, []float64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([]float64{1, 2}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestSignificantBounds(t *testing.T) {
+	m, err := Fit([][]float64{{0}, {1}, {2}}, []float64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Significant(-1, 0.05) || m.Significant(5, 0.05) {
+		t.Error("out-of-range feature index must not be significant")
+	}
+}
+
+func TestTPValue(t *testing.T) {
+	tests := []struct {
+		t    float64
+		df   int
+		want float64 // reference values from R: 2*pt(-|t|, df)
+		tol  float64
+	}{
+		{0, 10, 1.0, 1e-9},
+		{1.812, 10, 0.0999, 2e-3}, // t crit for p=0.10
+		{2.228, 10, 0.05, 2e-3},   // t crit for p=0.05
+		{2.086, 20, 0.05, 2e-3},
+		{1.96, 1000, 0.0502, 2e-3},
+		{10, 5, 0.00017, 5e-4},
+	}
+	for _, tt := range tests {
+		got := tPValue(tt.t, tt.df)
+		if math.Abs(got-tt.want) > tt.tol {
+			t.Errorf("tPValue(%v, %d) = %v, want ~%v", tt.t, tt.df, got, tt.want)
+		}
+	}
+	if tPValue(1.0, 0) != 1 {
+		t.Error("df=0 should give p=1")
+	}
+	if tPValue(math.Inf(1), 10) != 0 {
+		t.Error("infinite t should give p=0")
+	}
+}
+
+func TestIncompleteBetaBounds(t *testing.T) {
+	if incompleteBeta(2, 3, 0) != 0 {
+		t.Error("I_0 = 0")
+	}
+	if incompleteBeta(2, 3, 1) != 1 {
+		t.Error("I_1 = 1")
+	}
+	// I_x(1,1) = x (uniform distribution CDF).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := incompleteBeta(1, 1, x); math.Abs(got-x) > 1e-9 {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+}
+
+func TestIncompleteBetaMonotone(t *testing.T) {
+	f := func(a8, b8 uint8, x1, x2 float64) bool {
+		a := float64(a8%10) + 0.5
+		b := float64(b8%10) + 0.5
+		x1 = math.Mod(math.Abs(x1), 1)
+		x2 = math.Mod(math.Abs(x2), 1)
+		if math.IsNaN(x1) || math.IsNaN(x2) {
+			return true
+		}
+		lo, hi := math.Min(x1, x2), math.Max(x1, x2)
+		return incompleteBeta(a, b, lo) <= incompleteBeta(a, b, hi)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + trial%4
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+			}
+			a[i][i] += float64(n) // diagonally dominant => invertible
+		}
+		inv, err := invert(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// a * inv ≈ I
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += a[i][k] * inv[k][j]
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(s-want) > 1e-8 {
+					t.Fatalf("trial %d: (A·A⁻¹)[%d][%d] = %v", trial, i, j, s)
+				}
+			}
+		}
+	}
+}
+
+func TestFitRecoversRandomModels(t *testing.T) {
+	// Property: OLS on noiseless data recovers any random linear model.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + int(seed%4+4)%4 // 1..4 features
+		coefs := make([]float64, p)
+		for i := range coefs {
+			coefs[i] = rng.NormFloat64() * 5
+		}
+		intercept := rng.NormFloat64()
+		n := 20 + p*5
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = make([]float64, p)
+			y[i] = intercept
+			for j := 0; j < p; j++ {
+				x[i][j] = rng.NormFloat64() * 3
+				y[i] += coefs[j] * x[i][j]
+			}
+		}
+		m, err := Fit(x, y)
+		if err != nil {
+			return false
+		}
+		if math.Abs(m.Intercept-intercept) > 1e-6 {
+			return false
+		}
+		for j := 0; j < p; j++ {
+			if math.Abs(m.Coef[j]-coefs[j]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

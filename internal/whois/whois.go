@@ -1,0 +1,133 @@
+// Package whois simulates the WHOIS registration database the paper queries
+// for the DomAge and DomValidity features (§IV-C): the number of days since
+// a domain was registered and the number of days until its registration
+// expires. Attacker-controlled domains are typically young and registered
+// for short periods; the registry also models unparseable records, for
+// which the detector substitutes average values across automated domains.
+package whois
+
+import (
+	"errors"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Record is one WHOIS registration entry.
+type Record struct {
+	Domain     string
+	Registered time.Time
+	Expires    time.Time
+}
+
+// ErrNotFound is returned by Lookup when the registry has no parseable
+// record for a domain (modeling WHOIS servers that are unreachable, rate
+// limited, or return unparseable data).
+var ErrNotFound = errors.New("whois: no parseable record")
+
+// Registry is a thread-safe in-memory WHOIS database.
+type Registry struct {
+	mu      sync.RWMutex
+	records map[string]Record
+	// unparseable lists domains whose WHOIS records exist but cannot be
+	// parsed; lookups for them always fail, even when synthesis is on.
+	unparseable map[string]bool
+	// synth controls deterministic synthesis of benign-looking records for
+	// domains never explicitly added (see SetSynthesize).
+	synth     bool
+	synthRef  time.Time
+	synthFail float64 // fraction of synthesized lookups that fail
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		records:     make(map[string]Record),
+		unparseable: make(map[string]bool),
+	}
+}
+
+// AddUnparseable marks a domain's WHOIS record as permanently unparseable:
+// Lookup returns ErrNotFound for it regardless of synthesis, exercising the
+// detector's default-value path (§VI-C).
+func (r *Registry) AddUnparseable(domain string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.unparseable[domain] = true
+}
+
+// Add inserts or replaces the record for a domain.
+func (r *Registry) Add(rec Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.records[rec.Domain] = rec
+}
+
+// SetSynthesize enables deterministic fallback records for unknown domains:
+// a registration age hashed from the domain name into [1, 10] years before
+// ref and a validity of [1, 5] years after ref. failFrac of unknown domains
+// (chosen by hash) return ErrNotFound instead, exercising the detector's
+// default-value path.
+func (r *Registry) SetSynthesize(ref time.Time, failFrac float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.synth = true
+	r.synthRef = ref
+	r.synthFail = failFrac
+}
+
+// Lookup returns the WHOIS record for a domain.
+func (r *Registry) Lookup(domain string) (Record, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.unparseable[domain] {
+		return Record{}, ErrNotFound
+	}
+	if rec, ok := r.records[domain]; ok {
+		return rec, nil
+	}
+	if !r.synth {
+		return Record{}, ErrNotFound
+	}
+	h := fnv.New64a()
+	h.Write([]byte(domain))
+	v := h.Sum64()
+	if r.synthFail > 0 && float64(v%10000)/10000 < r.synthFail {
+		return Record{}, ErrNotFound
+	}
+	ageDays := 365 + int(v%(9*365))         // 1..10 years old
+	validDays := 365 + int((v>>20)%(4*365)) // 1..5 years of validity left
+	return Record{
+		Domain:     domain,
+		Registered: r.synthRef.AddDate(0, 0, -ageDays),
+		Expires:    r.synthRef.AddDate(0, 0, validDays),
+	}, nil
+}
+
+// Age returns the number of days between registration and now, the DomAge
+// feature. Negative ages (domain registered after now — observed in the
+// paper for DGA domains detected before registration) are returned as-is.
+func (r *Registry) Age(domain string, now time.Time) (float64, error) {
+	rec, err := r.Lookup(domain)
+	if err != nil {
+		return 0, err
+	}
+	return now.Sub(rec.Registered).Hours() / 24, nil
+}
+
+// Validity returns the number of days between now and expiry, the
+// DomValidity feature.
+func (r *Registry) Validity(domain string, now time.Time) (float64, error) {
+	rec, err := r.Lookup(domain)
+	if err != nil {
+		return 0, err
+	}
+	return rec.Expires.Sub(now).Hours() / 24, nil
+}
+
+// Len returns the number of explicit records.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.records)
+}

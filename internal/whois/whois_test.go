@@ -1,0 +1,136 @@
+package whois
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+var ref = time.Date(2014, 2, 13, 0, 0, 0, 0, time.UTC)
+
+func TestLookupExplicit(t *testing.T) {
+	r := NewRegistry()
+	rec := Record{
+		Domain:     "evil.ru",
+		Registered: ref.AddDate(0, 0, -20),
+		Expires:    ref.AddDate(0, 0, 40),
+	}
+	r.Add(rec)
+	got, err := r.Lookup("evil.ru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rec {
+		t.Errorf("got %+v", got)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestLookupMissingWithoutSynthesis(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Lookup("nope.com"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+	if _, err := r.Age("nope.com", ref); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Age err = %v", err)
+	}
+	if _, err := r.Validity("nope.com", ref); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Validity err = %v", err)
+	}
+}
+
+func TestAgeValidity(t *testing.T) {
+	r := NewRegistry()
+	r.Add(Record{
+		Domain:     "d.com",
+		Registered: ref.AddDate(0, 0, -30),
+		Expires:    ref.AddDate(0, 0, 100),
+	})
+	age, err := r.Age("d.com", ref)
+	if err != nil || math.Abs(age-30) > 1e-9 {
+		t.Errorf("Age = %v, %v", age, err)
+	}
+	val, err := r.Validity("d.com", ref)
+	if err != nil || math.Abs(val-100) > 1e-9 {
+		t.Errorf("Validity = %v, %v", val, err)
+	}
+}
+
+func TestNegativeAge(t *testing.T) {
+	// DGA domains can be registered after we detect them (§VI-D).
+	r := NewRegistry()
+	r.Add(Record{
+		Domain:     "f03712.info",
+		Registered: ref.AddDate(0, 0, 5),
+		Expires:    ref.AddDate(1, 0, 5),
+	})
+	age, err := r.Age("f03712.info", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if age >= 0 {
+		t.Errorf("age = %v, want negative", age)
+	}
+}
+
+func TestSynthesis(t *testing.T) {
+	r := NewRegistry()
+	r.SetSynthesize(ref, 0)
+	rec, err := r.Lookup("some-benign-site.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	age := ref.Sub(rec.Registered).Hours() / 24
+	if age < 365 || age > 365*10+1 {
+		t.Errorf("synthesized age %v outside [1y, 10y]", age)
+	}
+	validity := rec.Expires.Sub(ref).Hours() / 24
+	if validity < 365 || validity > 365*5+1 {
+		t.Errorf("synthesized validity %v outside [1y, 5y]", validity)
+	}
+	// Deterministic per domain.
+	rec2, _ := r.Lookup("some-benign-site.com")
+	if rec != rec2 {
+		t.Error("synthesis must be deterministic")
+	}
+	// Explicit records still win.
+	r.Add(Record{Domain: "some-benign-site.com", Registered: ref, Expires: ref})
+	rec3, _ := r.Lookup("some-benign-site.com")
+	if !rec3.Registered.Equal(ref) {
+		t.Error("explicit record should override synthesis")
+	}
+}
+
+func TestSynthesisFailures(t *testing.T) {
+	r := NewRegistry()
+	r.SetSynthesize(ref, 0.5)
+	failed := 0
+	for i := 0; i < 200; i++ {
+		if _, err := r.Lookup("dom" + string(rune('a'+i%26)) + string(rune('a'+i/26)) + ".com"); err != nil {
+			failed++
+		}
+	}
+	if failed < 50 || failed > 150 {
+		t.Errorf("failure rate %d/200 far from configured 0.5", failed)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	r.SetSynthesize(ref, 0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			r.Add(Record{Domain: "d.com", Registered: ref, Expires: ref})
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		_, _ = r.Lookup("d.com")
+		_, _ = r.Lookup("other.com")
+	}
+	<-done
+}
