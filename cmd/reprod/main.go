@@ -1,0 +1,188 @@
+// Command reprod is the long-running streaming detector: the daemon
+// counterpart of the daily-batch deployment the paper describes. It ingests
+// proxy records over HTTP (or replays an on-disk dataset), shards them
+// across cores via internal/stream, and serves the same SOC reports the
+// batch pipelines produce.
+//
+// Usage:
+//
+//	reprod [-addr :8714] [-shards N] [-seed N] [-full]
+//	       [-replay DIR] [-speed X]
+//	       [-checkpoint FILE]
+//
+// Because the paper's intelligence externals (VirusTotal, SOC IOC lists,
+// WHOIS) are simulated, the daemon synthesizes them from the dataset seed:
+// -seed must match the seed the dataset was generated with for calibration
+// labels to resolve (the same contract cmd/entdetect has).
+//
+// # HTTP API
+//
+//	POST /day               {"date":"YYYY-MM-DD","leases":{"ip":"host",...}}
+//	                        opens a day (completing the previous one)
+//	POST /ingest            TSV proxy records (the internal/logs codec);
+//	                        responds 429 when shards lag
+//	POST /flush             completes the open day
+//	POST /checkpoint        writes the engine state to -checkpoint
+//	GET  /report/YYYY-MM-DD the day's SOC report (JSON)
+//	GET  /reports           completed days
+//	GET  /stats             engine statistics + live beaconing pairs
+//	GET  /healthz           liveness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/intel"
+	"repro/internal/pipeline"
+	"repro/internal/report"
+	"repro/internal/stream"
+	"repro/internal/whois"
+)
+
+func main() {
+	addr := flag.String("addr", ":8714", "HTTP listen address")
+	shards := flag.Int("shards", 0, "ingest shards (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "per-shard queue depth (0 = default)")
+	seed := flag.Int64("seed", 1, "dataset seed for the simulated WHOIS/intel externals")
+	full := flag.Bool("full", false, "size the externals for the full-scale dataset")
+	training := flag.Int("training", 0, "training days (0 = the scale's default)")
+	replay := flag.String("replay", "", "replay a cmd/datagen enterprise dataset directory, then keep serving")
+	speed := flag.Float64("speed", 0, "replay time-compression factor (0 = as fast as possible)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: restored on start if present, written on rollover and shutdown")
+	flag.Parse()
+
+	if err := run(*addr, *shards, *queue, *seed, *full, *training, *replay, *speed, *checkpoint); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, shards, queue int, seed int64, full bool, training int, replay string, speed float64, checkpoint string) error {
+	scale := eval.ScaleSmall
+	if full {
+		scale = eval.ScaleFull
+	}
+	genCfg := eval.EnterpriseScale(scale, seed)
+
+	// The simulated externals. Deterministic in the seed, so a daemon
+	// restarted against the same dataset reconstructs the same oracle.
+	g := gen.NewEnterprise(genCfg)
+	if training == 0 {
+		// The generator's defaulted config, not genCfg: the full-scale
+		// preset leaves TrainingDays zero for gen to default.
+		training = g.Config().TrainingDays
+	}
+	reg := whois.NewRegistry()
+	gen.PopulateWHOIS(reg, g.Truth, g.RareRegistrations(), g.DayTime(g.NumDays()))
+	oracle := intel.NewOracle()
+	gen.PopulateOracle(oracle, g.Truth, gen.OracleConfig{Seed: seed})
+
+	calDays := 7
+	if full {
+		calDays = 14
+	}
+
+	var e *stream.Engine
+	// OnReport fires while the engine is frozen for rollover, so the
+	// checkpoint (which re-freezes it) is kicked to a separate goroutine.
+	rolledOver := make(chan struct{}, 1)
+	engCfg := stream.Config{
+		Shards: shards, QueueDepth: queue, TrainingDays: training,
+		OnReport: func(rep pipeline.EnterpriseDayReport, daily *report.Daily) {
+			if daily == nil {
+				log.Printf("day %s trained: %d records, %d rare", rep.Day.Format("2006-01-02"),
+					rep.Stats.Records, rep.RareCount)
+			} else {
+				log.Printf("day %s processed: %d records, %d rare, %d automated, %d suspicious domains",
+					rep.Day.Format("2006-01-02"), rep.Stats.Records, rep.RareCount,
+					len(rep.Automated), len(daily.Domains))
+			}
+			select {
+			case rolledOver <- struct{}{}:
+			default:
+			}
+		},
+	}
+	deps := stream.RestoreDeps{Whois: reg, Reported: oracle.Reported, IOCs: oracle.IOCs}
+	if checkpoint != "" {
+		f, err := os.Open(checkpoint)
+		switch {
+		case err == nil:
+			restored, rerr := stream.Restore(f, engCfg, deps)
+			f.Close()
+			if rerr != nil {
+				return fmt.Errorf("restore %s: %w", checkpoint, rerr)
+			}
+			e = restored
+			log.Printf("restored from %s: %d days done", checkpoint, e.DaysDone())
+		case !os.IsNotExist(err):
+			// Anything but a clean absence must stop the daemon: starting
+			// fresh would overwrite the checkpoint and destroy the history.
+			return fmt.Errorf("open checkpoint %s: %w", checkpoint, err)
+		}
+	}
+	if e == nil {
+		pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{CalibrationDays: calDays},
+			reg, oracle.Reported, oracle.IOCs)
+		e = stream.New(engCfg, pipe)
+	}
+
+	srv := newServer(e, checkpoint)
+	httpSrv := &http.Server{Addr: addr, Handler: srv.mux()}
+
+	errc := make(chan error, 2)
+	go func() {
+		log.Printf("reprod listening on %s", addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+	go func() {
+		for range rolledOver {
+			if err := srv.writeCheckpoint(); err != nil {
+				log.Printf("checkpoint after rollover: %v", err)
+			}
+		}
+	}()
+
+	if replay != "" {
+		go func() {
+			start := time.Now()
+			err := stream.ReplayDir(e, replay, stream.ReplayOptions{
+				Speed: speed,
+				OnDay: func(d batch.Day, records int) {
+					log.Printf("replaying %s (%d records)", d.Date.Format("2006-01-02"), records)
+				},
+			})
+			if err != nil {
+				errc <- fmt.Errorf("replay: %w", err)
+				return
+			}
+			log.Printf("replay of %s done in %v; serving reports", replay, time.Since(start).Round(time.Millisecond))
+			if cerr := srv.writeCheckpoint(); cerr != nil {
+				log.Printf("checkpoint: %v", cerr)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("received %v, checkpointing and shutting down", s)
+		if err := srv.writeCheckpoint(); err != nil {
+			log.Printf("checkpoint: %v", err)
+		}
+		return httpSrv.Close()
+	}
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/logs"
+	"repro/internal/pipeline"
+	"repro/internal/stream"
+	"repro/internal/whois"
+)
+
+func testServer(t *testing.T, ckpt string) (*server, *stream.Engine) {
+	t.Helper()
+	pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{}, whois.NewRegistry(), nil, nil)
+	e := stream.New(stream.Config{Shards: 2, TrainingDays: 1 << 30}, pipe)
+	t.Cleanup(func() { e.Close() })
+	return newServer(e, ckpt), e
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	out := make(map[string]any)
+	if rr.Body.Len() > 0 {
+		if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+			t.Fatalf("%s %s: bad JSON response %q: %v", method, path, rr.Body.String(), err)
+		}
+	}
+	return rr, out
+}
+
+func proxyTSV(t *testing.T, recs []logs.ProxyRecord) string {
+	t.Helper()
+	var buf bytes.Buffer
+	w := logs.NewProxyWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func testRecords(day time.Time, n int) []logs.ProxyRecord {
+	recs := make([]logs.ProxyRecord, n)
+	for i := range recs {
+		recs[i] = logs.ProxyRecord{
+			Time:   day.Add(time.Duration(i) * time.Minute),
+			Host:   fmt.Sprintf("host-%d", i%7),
+			SrcIP:  netip.MustParseAddr("10.0.0.1"),
+			Domain: fmt.Sprintf("site-%d.example.org", i%5),
+			Method: "GET", Status: 200,
+		}
+	}
+	return recs
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	srv, eng := testServer(t, "")
+	m := srv.mux()
+	day := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+
+	rr, body := doJSON(t, m, "GET", "/healthz", "")
+	if rr.Code != http.StatusOK || body["ok"] != true {
+		t.Fatalf("healthz = %d %v", rr.Code, body)
+	}
+
+	// Ingesting before a day is open conflicts.
+	rr, _ = doJSON(t, m, "POST", "/ingest", proxyTSV(t, testRecords(day, 3)))
+	if rr.Code != http.StatusConflict {
+		t.Fatalf("ingest without day = %d, want 409", rr.Code)
+	}
+
+	rr, _ = doJSON(t, m, "POST", "/day", `{"date":"2014-03-01","leases":{"10.0.0.1":"lease-host"}}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("day open = %d", rr.Code)
+	}
+	rr, body = doJSON(t, m, "POST", "/ingest", proxyTSV(t, testRecords(day, 40)))
+	if rr.Code != http.StatusOK || body["ingested"] != float64(40) {
+		t.Fatalf("ingest = %d %v", rr.Code, body)
+	}
+	rr, _ = doJSON(t, m, "POST", "/flush", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("flush = %d", rr.Code)
+	}
+	if got := eng.DaysDone(); got != 1 {
+		t.Fatalf("DaysDone = %d", got)
+	}
+
+	rr, body = doJSON(t, m, "GET", "/reports", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("reports = %d", rr.Code)
+	}
+	dates, _ := body["dates"].([]any)
+	if len(dates) != 1 || dates[0] != "2014-03-01" {
+		t.Fatalf("dates = %v", body["dates"])
+	}
+
+	// A training day has no SOC report.
+	rr, _ = doJSON(t, m, "GET", "/report/2014-03-01", "")
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("training-day report = %d, want 404", rr.Code)
+	}
+	rr, _ = doJSON(t, m, "GET", "/report/not-a-date", "")
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad date = %d, want 400", rr.Code)
+	}
+
+	rr, body = doJSON(t, m, "GET", "/stats", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("stats = %d", rr.Code)
+	}
+	if body["daysDone"] != float64(1) || body["totalRecords"] != float64(40) {
+		t.Fatalf("stats body = %v", body)
+	}
+
+	// Checkpoint endpoint requires the flag.
+	rr, _ = doJSON(t, m, "POST", "/checkpoint", "")
+	if rr.Code != http.StatusPreconditionFailed {
+		t.Fatalf("checkpoint without path = %d, want 412", rr.Code)
+	}
+}
+
+func TestHTTPBadPayloads(t *testing.T) {
+	srv, _ := testServer(t, "")
+	m := srv.mux()
+	rr, _ := doJSON(t, m, "POST", "/day", `{"date":"01/02/2014"}`)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad day = %d, want 400", rr.Code)
+	}
+	rr, _ = doJSON(t, m, "POST", "/day", `{"date":"2014-03-01","leases":{"nope":"h"}}`)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad lease = %d, want 400", rr.Code)
+	}
+	rr, _ = doJSON(t, m, "POST", "/day", `{"date":"2014-03-01"}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("day = %d", rr.Code)
+	}
+	rr, _ = doJSON(t, m, "POST", "/ingest", "not\ta\tvalid\trecord\n")
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("malformed TSV = %d, want 400", rr.Code)
+	}
+}
+
+func TestHTTPCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reprod.ckpt")
+	srv, eng := testServer(t, path)
+	m := srv.mux()
+	day := time.Date(2014, 3, 2, 0, 0, 0, 0, time.UTC)
+
+	doJSON(t, m, "POST", "/day", `{"date":"2014-03-02"}`)
+	rr, _ := doJSON(t, m, "POST", "/ingest", proxyTSV(t, testRecords(day, 25)))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("ingest = %d", rr.Code)
+	}
+	rr, _ = doJSON(t, m, "POST", "/checkpoint", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("checkpoint = %d", rr.Code)
+	}
+	// The open day and its buffer survive the checkpoint (peek, not cut).
+	rr, _ = doJSON(t, m, "POST", "/flush", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("flush = %d", rr.Code)
+	}
+	rep, ok := eng.DayReport("2014-03-02")
+	if !ok || rep.Stats.Records != 25 {
+		t.Fatalf("post-checkpoint flush lost records: %v %+v", ok, rep.Stats)
+	}
+}

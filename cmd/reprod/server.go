@@ -1,0 +1,201 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/logs"
+	"repro/internal/stream"
+)
+
+// server wraps the engine with the daemon's HTTP API. Handlers are thin:
+// all synchronization lives in the engine, except the checkpoint file
+// write, which the server serializes itself.
+type server struct {
+	eng      *stream.Engine
+	ckptPath string
+	ckptMu   sync.Mutex
+}
+
+func newServer(e *stream.Engine, ckptPath string) *server {
+	return &server{eng: e, ckptPath: ckptPath}
+}
+
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("GET /healthz", s.handleHealthz)
+	m.HandleFunc("GET /stats", s.handleStats)
+	m.HandleFunc("GET /reports", s.handleReports)
+	m.HandleFunc("GET /report/{date}", s.handleReport)
+	m.HandleFunc("POST /day", s.handleDay)
+	m.HandleFunc("POST /ingest", s.handleIngest)
+	m.HandleFunc("POST /flush", s.handleFlush)
+	m.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	return m
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "daysDone": s.eng.DaysDone()})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st, live := s.eng.Snapshot(25)
+	writeJSON(w, http.StatusOK, struct {
+		stream.Stats
+		LiveAutomated []stream.LivePair `json:"liveAutomated,omitempty"`
+	}{st, live})
+}
+
+func (s *server) handleReports(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"dates": s.eng.Dates()})
+}
+
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	date := r.PathValue("date")
+	if _, err := time.Parse("2006-01-02", date); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad date %q: want YYYY-MM-DD", date)
+		return
+	}
+	daily, ok := s.eng.Report(date)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no report for %s (training day, unknown day, or day still open)", date)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = daily.WriteJSON(w)
+}
+
+// dayRequest opens an ingestion day; the lease map is the same shape the
+// on-disk leases-YYYY-MM-DD.json files carry.
+type dayRequest struct {
+	Date   string            `json:"date"`
+	Leases map[string]string `json:"leases,omitempty"`
+}
+
+func (s *server) handleDay(w http.ResponseWriter, r *http.Request) {
+	var req dayRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	day, err := time.Parse("2006-01-02", req.Date)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad date %q: want YYYY-MM-DD", req.Date)
+		return
+	}
+	var leases map[netip.Addr]string
+	if len(req.Leases) > 0 {
+		leases = make(map[netip.Addr]string, len(req.Leases))
+		for ip, host := range req.Leases {
+			addr, err := netip.ParseAddr(ip)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "bad lease address %q", ip)
+				return
+			}
+			leases[addr] = host
+		}
+	}
+	if err := s.eng.BeginDay(day, leases); err != nil {
+		writeErr(w, http.StatusInternalServerError, "begin day: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"day": req.Date})
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// Backpressure is decided per batch, before any body is consumed, so
+	// a lagging engine sheds whole requests and the sender's retry
+	// replays a clean batch boundary.
+	if s.eng.Lagging() {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "shards lagging, retry later")
+		return
+	}
+	// Parse the whole batch before ingesting any of it: a malformed line
+	// must reject the request with zero records accepted, or the sender's
+	// corrected retry would double-ingest the valid prefix.
+	var recs []logs.ProxyRecord
+	if err := logs.ReadProxy(r.Body, func(rec logs.ProxyRecord) error {
+		recs = append(recs, rec)
+		return nil
+	}); err != nil {
+		writeErr(w, http.StatusBadRequest, "rejected whole batch: %v", err)
+		return
+	}
+	for n, rec := range recs {
+		if err := s.eng.IngestProxy(rec); err != nil {
+			// Only a concurrent day close / shutdown can interrupt here;
+			// n tells the sender how much of the batch landed.
+			status := http.StatusConflict
+			if errors.Is(err, stream.ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeErr(w, status, "after %d records: %v", n, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"ingested": len(recs)})
+}
+
+func (s *server) handleFlush(w http.ResponseWriter, _ *http.Request) {
+	if err := s.eng.Flush(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "flush: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"daysDone": s.eng.DaysDone()})
+}
+
+func (s *server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if s.ckptPath == "" {
+		writeErr(w, http.StatusPreconditionFailed, "daemon started without -checkpoint")
+		return
+	}
+	if err := s.writeCheckpoint(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"checkpoint": s.ckptPath})
+}
+
+// writeCheckpoint atomically replaces the checkpoint file. Serialized:
+// rollover-triggered, HTTP-triggered and shutdown checkpoints may race.
+func (s *server) writeCheckpoint() error {
+	if s.ckptPath == "" {
+		return nil
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	tmp := s.ckptPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.eng.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, s.ckptPath)
+}

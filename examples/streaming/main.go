@@ -1,0 +1,111 @@
+// Command streaming demonstrates the live-feed deployment mode: the same
+// synthetic enterprise the quickstart batches through is streamed one
+// record at a time into a sharded StreamEngine, with a checkpoint/restore
+// restart in the middle of an operation day — the situation a production
+// collector faces after a crash. Day rollovers hand each completed day to
+// the regular pipeline, so the reports match batch processing exactly;
+// between rollovers the engine's live view shows beaconing pairs as they
+// emerge.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	g := repro.NewEnterpriseGenerator(repro.EnterpriseGeneratorConfig{
+		Seed: 42, TrainingDays: 7, OperationDays: 14,
+		Hosts: 50, PopularDomains: 80, NewRarePerDay: 15,
+		BenignAutoPerDay: 3, Campaigns: 8,
+	})
+	reg := repro.NewWHOISRegistry()
+	repro.PopulateWHOIS(reg, g.Truth, g.RareRegistrations(), g.DayTime(g.NumDays()))
+	oracle := repro.NewIntelOracle()
+	repro.PopulateOracle(oracle, g.Truth, repro.OracleConfig{Seed: 42})
+
+	p := repro.NewEnterprisePipeline(repro.EnterprisePipelineConfig{CalibrationDays: 5},
+		reg, oracle.Reported, oracle.IOCs)
+	e := repro.NewStreamEngine(repro.StreamConfig{
+		Shards: 4, TrainingDays: g.Config().TrainingDays,
+	}, p)
+
+	restartDay := g.NumDays() - 3
+	for day := 0; day < g.NumDays(); day++ {
+		date := g.DayTime(day)
+		if err := e.BeginDay(date, g.DHCPMap(day)); err != nil {
+			return err
+		}
+		recs := g.Day(day)
+		half := len(recs)
+		if day == restartDay {
+			half = len(recs) / 2
+		}
+		for _, r := range recs[:half] {
+			if err := e.IngestProxy(r); err != nil {
+				return err
+			}
+		}
+
+		if day == restartDay {
+			// Simulated crash: checkpoint, abandon the engine, restore
+			// into a fresh one, stream the rest of the day.
+			var ckpt bytes.Buffer
+			if err := e.Checkpoint(&ckpt); err != nil {
+				return err
+			}
+			fmt.Printf("\n-- checkpointed mid-day %s (%d bytes), restarting --\n",
+				date.Format("2006-01-02"), ckpt.Len())
+			var err error
+			e, err = repro.RestoreStreamEngine(&ckpt, repro.StreamConfig{Shards: 2},
+				repro.StreamRestoreDeps{Whois: reg, Reported: oracle.Reported, IOCs: oracle.IOCs})
+			if err != nil {
+				return err
+			}
+			for _, r := range recs[half:] {
+				if err := e.IngestProxy(r); err != nil {
+					return err
+				}
+			}
+			// The live view: beaconing pairs visible before rollover.
+			fmt.Println("live beaconing pairs before the day closes:")
+			for _, lp := range e.LiveAutomated(5) {
+				fmt.Printf("    %-14s -> %-34s period=%.0fs samples=%d\n",
+					lp.Host, lp.Domain, lp.Period, lp.Samples)
+			}
+			fmt.Println()
+		}
+	}
+	if err := e.Flush(); err != nil {
+		return err
+	}
+
+	for _, date := range e.Dates() {
+		daily, ok := e.Report(date)
+		if !ok {
+			continue // training day
+		}
+		if len(daily.Domains) == 0 {
+			continue
+		}
+		fmt.Printf("%s  %d suspicious domains (%d rare, %d automated)\n",
+			date, len(daily.Domains), daily.RareDestinations, daily.AutomatedDomains)
+		for _, d := range daily.Domains {
+			truth := "NEW"
+			if g.Truth.IsMalicious(d.Domain) {
+				truth = "malicious (ground truth)"
+			}
+			fmt.Printf("    %-40s %-10s score=%.2f  [%s]\n", d.Domain, d.Reason, d.Score, truth)
+		}
+	}
+	return e.Close()
+}

@@ -143,6 +143,50 @@ type ProxyStats struct {
 	Kept              int
 }
 
+// ProxyOutcome classifies the reduction of one proxy record.
+type ProxyOutcome int
+
+const (
+	// ProxyKept means the record reduced to a Visit.
+	ProxyKept ProxyOutcome = iota
+	// ProxyDroppedIPLiteral means the destination was a bare IP.
+	ProxyDroppedIPLiteral
+	// ProxyDroppedUnresolved means the source address had no lease; the
+	// returned folded domain is still valid and counts toward DomainsAll.
+	ProxyDroppedUnresolved
+)
+
+// ReduceProxyRecord applies the per-record half of the AC normalization to
+// one proxy record: IP-literal filtering, second-level folding, lease
+// resolution, and device-local-to-UTC conversion. ReduceProxy loops over
+// it for daily batches; the streaming engine calls it per record on
+// ingest, which keeps the two paths reducing identically by construction.
+func ReduceProxyRecord(r logs.ProxyRecord, leases map[netip.Addr]string) (logs.Visit, string, ProxyOutcome) {
+	if logs.IsIPLiteral(r.Domain) {
+		return logs.Visit{}, "", ProxyDroppedIPLiteral
+	}
+	folded := logs.FoldSecondLevel(r.Domain)
+	host := r.Host
+	if host == "" {
+		h, ok := leases[r.SrcIP]
+		if !ok {
+			return logs.Visit{}, folded, ProxyDroppedUnresolved
+		}
+		host = h
+	}
+	return logs.Visit{
+		Time:      r.Time.Add(-time.Duration(r.TZOffset) * time.Hour),
+		Host:      host,
+		Domain:    folded,
+		DestIP:    r.DestIP,
+		URL:       r.URL,
+		UserAgent: r.UserAgent,
+		HasUA:     r.UserAgent != "",
+		Referer:   r.Referer,
+		HasRef:    r.Referer != "",
+	}, folded, ProxyKept
+}
+
 // ReduceProxy applies the AC normalization: convert device-local timestamps
 // to UTC using the per-record timezone offset, resolve DHCP/VPN source
 // addresses to stable hostnames via the lease map, drop destinations that
@@ -154,33 +198,17 @@ func ReduceProxy(recs []logs.ProxyRecord, leases map[netip.Addr]string) ([]logs.
 
 	visits := make([]logs.Visit, 0, len(recs))
 	for _, r := range recs {
-		if logs.IsIPLiteral(r.Domain) {
+		v, folded, outcome := ReduceProxyRecord(r, leases)
+		switch outcome {
+		case ProxyDroppedIPLiteral:
 			stats.DroppedIPLiteral++
-			continue
+		case ProxyDroppedUnresolved:
+			all[folded] = true
+			stats.DroppedUnresolved++
+		default:
+			all[folded] = true
+			visits = append(visits, v)
 		}
-		folded := logs.FoldSecondLevel(r.Domain)
-		all[folded] = true
-		host := r.Host
-		if host == "" {
-			h, ok := leases[r.SrcIP]
-			if !ok {
-				stats.DroppedUnresolved++
-				continue
-			}
-			host = h
-		}
-		utc := r.Time.Add(-time.Duration(r.TZOffset) * time.Hour)
-		visits = append(visits, logs.Visit{
-			Time:      utc,
-			Host:      host,
-			Domain:    folded,
-			DestIP:    r.DestIP,
-			URL:       r.URL,
-			UserAgent: r.UserAgent,
-			HasUA:     r.UserAgent != "",
-			Referer:   r.Referer,
-			HasRef:    r.Referer != "",
-		})
 	}
 	stats.DomainsAll = len(all)
 	stats.Kept = len(visits)

@@ -175,6 +175,13 @@ func (r *EnterpriseDayReport) SOCHintDomains() []string {
 // Train ingests one profiling-month day: reduce, profile, update.
 func (p *Enterprise) Train(day time.Time, recs []logs.ProxyRecord, leases map[netip.Addr]string) EnterpriseDayReport {
 	visits, stats := normalize.ReduceProxy(recs, leases)
+	return p.TrainVisits(day, visits, stats)
+}
+
+// TrainVisits is Train for callers that already hold the reduced visit
+// stream (the streaming engine reduces records one at a time on ingest and
+// hands the merged day here, so streaming and batch share one code path).
+func (p *Enterprise) TrainVisits(day time.Time, visits []logs.Visit, stats normalize.ProxyStats) EnterpriseDayReport {
 	snap := profile.NewSnapshot(day, visits, p.hist, p.cfg.UnpopularThreshold)
 	rep := EnterpriseDayReport{
 		Day: day, Stats: stats,
@@ -189,6 +196,12 @@ func (p *Enterprise) Train(day time.Time, recs []logs.ProxyRecord, leases map[ne
 // labeled examples; afterwards it detects in both modes.
 func (p *Enterprise) Process(day time.Time, recs []logs.ProxyRecord, leases map[netip.Addr]string) (EnterpriseDayReport, error) {
 	visits, stats := normalize.ReduceProxy(recs, leases)
+	return p.ProcessVisits(day, visits, stats)
+}
+
+// ProcessVisits is Process for callers that already hold the reduced visit
+// stream; see TrainVisits.
+func (p *Enterprise) ProcessVisits(day time.Time, visits []logs.Visit, stats normalize.ProxyStats) (EnterpriseDayReport, error) {
 	snap := profile.NewSnapshot(day, visits, p.hist, p.cfg.UnpopularThreshold)
 	rep := EnterpriseDayReport{
 		Day: day, Stats: stats,
@@ -472,3 +485,45 @@ func (p *Enterprise) CCExamples() []ccdetect.TrainingExample { return p.ccExampl
 
 // SimilarityExamples returns the collected similarity training examples.
 func (p *Enterprise) SimilarityExamples() []scoring.SimilarityExample { return p.simExamples }
+
+// Config returns the configuration the pipeline runs with (defaults filled).
+func (p *Enterprise) Config() EnterpriseConfig { return p.cfg }
+
+// CalibrationState is the portable mid-deployment state of a pipeline:
+// everything accumulated since construction that is not in the behavioural
+// history. Together with a persisted History it lets a restarted deployment
+// resume exactly where it stopped — the models themselves are not stored
+// because the fits are deterministic in the example order, so RestoreCalibration
+// re-fits bit-identical models from the examples.
+type CalibrationState struct {
+	CalDays     int                         `json:"calDays"`
+	Trained     bool                        `json:"trained"`
+	CCExamples  []ccdetect.TrainingExample  `json:"ccExamples,omitempty"`
+	SimExamples []scoring.SimilarityExample `json:"simExamples,omitempty"`
+}
+
+// ExportCalibration captures the pipeline's calibration progress.
+func (p *Enterprise) ExportCalibration() CalibrationState {
+	return CalibrationState{
+		CalDays:     p.calDays,
+		Trained:     p.trained,
+		CCExamples:  p.ccExamples,
+		SimExamples: p.simExamples,
+	}
+}
+
+// RestoreCalibration installs a previously exported calibration state on a
+// freshly constructed pipeline (same EnterpriseConfig, same history). When
+// the exported pipeline had already fit its models they are re-fit here,
+// reproducing the original coefficients and thresholds exactly.
+func (p *Enterprise) RestoreCalibration(st CalibrationState) error {
+	p.calDays = st.CalDays
+	p.ccExamples = st.CCExamples
+	p.simExamples = st.SimExamples
+	if st.Trained {
+		if err := p.fitModels(); err != nil {
+			return fmt.Errorf("pipeline: restore calibration: %w", err)
+		}
+	}
+	return nil
+}

@@ -39,7 +39,16 @@ const persistVersion = 1
 // UA record; consumers must not diff the raw bytes.
 func (h *History) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+	if err := h.SaveTo(json.NewEncoder(bw)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SaveTo writes the history through an existing encoder, so callers can
+// embed the history as one section of a larger line-delimited stream (the
+// streaming engine's checkpoints do).
+func (h *History) SaveTo(enc *json.Encoder) error {
 	if err := enc.Encode(persistHeader{
 		Version: persistVersion,
 		Days:    h.days,
@@ -62,12 +71,18 @@ func (h *History) Save(w io.Writer) error {
 			return fmt.Errorf("profile: save ua: %w", err)
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 // LoadHistory reads a history previously written by Save.
 func LoadHistory(r io.Reader) (*History, error) {
-	dec := json.NewDecoder(bufio.NewReader(r))
+	return LoadHistoryFrom(json.NewDecoder(bufio.NewReader(r)))
+}
+
+// LoadHistoryFrom reads a history through an existing decoder. The section
+// is self-delimiting (the header carries record counts), so the decoder is
+// left positioned exactly past the history for the caller's next section.
+func LoadHistoryFrom(dec *json.Decoder) (*History, error) {
 	var hdr persistHeader
 	if err := dec.Decode(&hdr); err != nil {
 		return nil, fmt.Errorf("profile: load header: %w", err)

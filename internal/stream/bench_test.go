@@ -1,0 +1,100 @@
+package stream
+
+// Ingest-throughput baselines for the streaming hot path. Run with
+//
+//	go test ./internal/stream -bench BenchmarkIngest -benchmem
+//
+// The rec/s metric is the headline number CHANGES.md tracks across PRs.
+// Records cycle through a fixed (host, domain) working set so the per-pair
+// live state stays bounded while the visit buffer grows as it would in a
+// real day; no rollover happens inside the timed loop.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/logs"
+)
+
+func benchRecords(n int) []logs.ProxyRecord {
+	base := time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC)
+	recs := make([]logs.ProxyRecord, n)
+	for i := range recs {
+		recs[i] = logs.ProxyRecord{
+			Time:      base.Add(time.Duration(i) * 50 * time.Millisecond),
+			Host:      fmt.Sprintf("host-%03d", i%64),
+			Domain:    fmt.Sprintf("dom-%03d.example.net", i%61),
+			URL:       "http://example.net/index.html",
+			Method:    "GET",
+			Status:    200,
+			UserAgent: "bench-agent/1.0",
+		}
+	}
+	return recs
+}
+
+func benchIngest(b *testing.B, shards int, parallel bool) {
+	b.Helper()
+	recs := benchRecords(4096)
+	e := trainOnlyEngine(Config{Shards: shards, QueueDepth: 8192})
+	if err := e.BeginDay(time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC), nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if parallel {
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if err := e.IngestProxy(recs[i%len(recs)]); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	} else {
+		for i := 0; i < b.N; i++ {
+			if err := e.IngestProxy(recs[i%len(recs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rec/s")
+	// Drop the engine without Close: flushing would push the accumulated
+	// mega-day through the full pipeline, which is not what this measures.
+}
+
+func BenchmarkIngestSingleShard(b *testing.B)    { benchIngest(b, 1, false) }
+func BenchmarkIngest8Shard(b *testing.B)         { benchIngest(b, 8, false) }
+func BenchmarkIngest8ShardParallel(b *testing.B) { benchIngest(b, 8, true) }
+
+// BenchmarkIngestToReport measures the full streaming day cycle: ingest a
+// fixed-size day and roll it over through the pipeline Train path.
+func BenchmarkIngestToReport(b *testing.B) {
+	const perDay = 20000
+	recs := benchRecords(perDay)
+	e := trainOnlyEngine(Config{Shards: 4, QueueDepth: 8192})
+	day := time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := day.AddDate(0, 0, i)
+		if err := e.BeginDay(d, nil); err != nil {
+			b.Fatal(err)
+		}
+		for j := range recs {
+			recs[j].Time = d.Add(time.Duration(j) * 4 * time.Millisecond)
+			if err := e.IngestProxy(recs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := e.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*perDay/b.Elapsed().Seconds(), "rec/s")
+	_ = e.Close()
+}

@@ -1,0 +1,247 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/logs"
+	"repro/internal/pipeline"
+	"repro/internal/profile"
+	"repro/internal/report"
+	"repro/internal/whois"
+)
+
+// A checkpoint makes the daemon restartable mid-day: it captures the
+// long-lived behavioural history (via profile's persist machinery), the
+// pipeline's calibration progress, the completed-day SOC reports, and the
+// open day's buffered records. A restored engine resumes exactly where the
+// checkpoint was taken — the golden equivalence test drives a dataset
+// through a checkpoint/restore cycle split mid-day and still matches batch
+// byte-for-byte.
+//
+// The format is one line-delimited JSON stream with self-delimiting
+// sections, shared through a single encoder/decoder so multi-million entry
+// histories never materialize as one value:
+//
+//	header       checkpointHeader (carries all section counts)
+//	history      profile.History.SaveTo
+//	calibration  pipeline.CalibrationState
+//	dailies      header.Dailies × checkpointDaily
+//	items        header.Items × checkpointItem, in arrival (seq) order
+//
+// Shard count is deliberately not part of the state: items are re-hashed on
+// restore, so a checkpoint taken on an 8-core box restores onto 2 cores.
+
+const checkpointVersion = 1
+
+type checkpointHeader struct {
+	Version      int                       `json:"version"`
+	Day          string                    `json:"day,omitempty"` // RFC3339; "" = no open day
+	Seq          uint64                    `json:"seq"`
+	DaysDone     int                       `json:"daysDone"`
+	TrainingDays int                       `json:"trainingDays"`
+	DayRecords   uint64                    `json:"dayRecords"`
+	DayDroppedIP uint64                    `json:"dayDroppedIP"`
+	TotalRecords uint64                    `json:"totalRecords"`
+	Pipeline     pipeline.EnterpriseConfig `json:"pipeline"`
+	Leases       map[string]string         `json:"leases,omitempty"`
+	Dates        []string                  `json:"dates,omitempty"`
+	Dailies      int                       `json:"dailies"`
+	Items        int                       `json:"items"`
+}
+
+type checkpointDaily struct {
+	Date  string       `json:"date"`
+	Daily report.Daily `json:"daily"`
+}
+
+type checkpointItem struct {
+	Seq    uint64      `json:"seq"`
+	Domain string      `json:"d,omitempty"` // marker items (unresolved source)
+	Visit  *logs.Visit `json:"v,omitempty"`
+}
+
+// Checkpoint streams the engine's full state to w. The engine is quiesced
+// for the duration; concurrent ingestion blocks and resumes afterwards.
+func (e *Engine) Checkpoint(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+
+	frags := e.collectDay()
+	var items []checkpointItem
+	for _, f := range frags {
+		for _, sv := range f.visits {
+			v := sv.v
+			items = append(items, checkpointItem{Seq: sv.seq, Visit: &v})
+		}
+		for _, m := range f.markers {
+			items = append(items, checkpointItem{Seq: m.seq, Domain: m.domain})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].Seq < items[j].Seq })
+
+	hdr := checkpointHeader{
+		Version:      checkpointVersion,
+		Seq:          e.seq.Load(),
+		DaysDone:     e.daysDone,
+		TrainingDays: e.cfg.TrainingDays,
+		DayRecords:   e.dayRecords.Load(),
+		DayDroppedIP: e.dayDroppedIP.Load(),
+		TotalRecords: e.totalRecords.Load(),
+		Pipeline:     e.pipe.Config(),
+		Dates:        e.dates,
+		Dailies:      len(e.dailies),
+		Items:        len(items),
+	}
+	if !e.day.IsZero() {
+		hdr.Day = e.day.Format(time.RFC3339)
+	}
+	if len(e.leases) > 0 {
+		hdr.Leases = make(map[string]string, len(e.leases))
+		for ip, host := range e.leases {
+			hdr.Leases[ip.String()] = host
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("stream: checkpoint header: %w", err)
+	}
+	if err := e.hist.SaveTo(enc); err != nil {
+		return fmt.Errorf("stream: checkpoint history: %w", err)
+	}
+	if err := enc.Encode(e.pipe.ExportCalibration()); err != nil {
+		return fmt.Errorf("stream: checkpoint calibration: %w", err)
+	}
+	written := 0
+	for _, date := range e.dates {
+		d, ok := e.dailies[date]
+		if !ok {
+			continue
+		}
+		if err := enc.Encode(checkpointDaily{Date: date, Daily: d}); err != nil {
+			return fmt.Errorf("stream: checkpoint daily %s: %w", date, err)
+		}
+		written++
+	}
+	if written != hdr.Dailies {
+		return fmt.Errorf("stream: checkpoint dailies drifted: %d != %d", written, hdr.Dailies)
+	}
+	for _, it := range items {
+		if err := enc.Encode(it); err != nil {
+			return fmt.Errorf("stream: checkpoint item: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// RestoreDeps supplies the runtime dependencies a restored pipeline needs —
+// the hooks that are live behaviour rather than state. They must be
+// equivalent to the ones the checkpointed pipeline ran with for resumed
+// results to match.
+type RestoreDeps struct {
+	// Whois is the registration source.
+	Whois *whois.Registry
+	// Reported labels a domain at a time (e.g. intel.Oracle.Reported).
+	Reported func(string, time.Time) bool
+	// IOCs supplies the SOC IOC seed list.
+	IOCs func() []string
+}
+
+// Restore rebuilds an engine from a checkpoint written by Checkpoint. The
+// pipeline configuration travels inside the checkpoint; cfg parameterizes
+// only the engine itself, and its TrainingDays is overridden from the
+// checkpoint so the train/process split cannot drift across restarts.
+func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr checkpointHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("stream: restore header: %w", err)
+	}
+	if hdr.Version != checkpointVersion {
+		return nil, fmt.Errorf("stream: unsupported checkpoint version %d", hdr.Version)
+	}
+	hist, err := profile.LoadHistoryFrom(dec)
+	if err != nil {
+		return nil, fmt.Errorf("stream: restore history: %w", err)
+	}
+	var cal pipeline.CalibrationState
+	if err := dec.Decode(&cal); err != nil {
+		return nil, fmt.Errorf("stream: restore calibration: %w", err)
+	}
+
+	// Decode everything before starting any engine, so a truncated or
+	// corrupt checkpoint cannot leak shard workers.
+	var day time.Time
+	if hdr.Day != "" {
+		day, err = time.Parse(time.RFC3339, hdr.Day)
+		if err != nil {
+			return nil, fmt.Errorf("stream: restore day: %w", err)
+		}
+	}
+	var leases map[netip.Addr]string
+	if len(hdr.Leases) > 0 {
+		leases = make(map[netip.Addr]string, len(hdr.Leases))
+		for ip, host := range hdr.Leases {
+			addr, err := netip.ParseAddr(ip)
+			if err != nil {
+				return nil, fmt.Errorf("stream: restore lease %q: %w", ip, err)
+			}
+			leases[addr] = host
+		}
+	}
+	dailies := make(map[string]report.Daily, hdr.Dailies)
+	for i := 0; i < hdr.Dailies; i++ {
+		var cd checkpointDaily
+		if err := dec.Decode(&cd); err != nil {
+			return nil, fmt.Errorf("stream: restore daily %d: %w", i, err)
+		}
+		dailies[cd.Date] = cd.Daily
+	}
+	items := make([]checkpointItem, hdr.Items)
+	for i := range items {
+		if err := dec.Decode(&items[i]); err != nil {
+			return nil, fmt.Errorf("stream: restore item %d: %w", i, err)
+		}
+	}
+
+	pipe := pipeline.NewEnterpriseWithHistory(hdr.Pipeline, hist, deps.Whois, deps.Reported, deps.IOCs)
+	if err := pipe.RestoreCalibration(cal); err != nil {
+		return nil, err
+	}
+
+	cfg.TrainingDays = hdr.TrainingDays
+	e := New(cfg, pipe)
+	e.seq.Store(hdr.Seq)
+	e.dayRecords.Store(hdr.DayRecords)
+	e.dayDroppedIP.Store(hdr.DayDroppedIP)
+	e.totalRecords.Store(hdr.TotalRecords)
+	e.daysDone = hdr.DaysDone
+	e.dates = append(e.dates, hdr.Dates...)
+	e.day = day
+	e.leases = leases
+	for date, d := range dailies {
+		e.dailies[date] = d
+	}
+	// Replay the open day's buffered records through the shards. Sends are
+	// in seq order and re-hashed, so any shard count reproduces the same
+	// per-pair apply order the original engine saw.
+	for _, ci := range items {
+		if ci.Visit != nil {
+			v := *ci.Visit
+			e.shardFor(v.Host, v.Domain).items <- item{seq: ci.Seq, resolved: true, visit: v}
+		} else {
+			e.shardFor("", ci.Domain).items <- item{seq: ci.Seq, domain: ci.Domain}
+		}
+	}
+	return e, nil
+}

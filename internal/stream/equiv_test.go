@@ -1,0 +1,247 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/gen"
+	"repro/internal/intel"
+	"repro/internal/logs"
+	"repro/internal/pipeline"
+	"repro/internal/report"
+	"repro/internal/whois"
+)
+
+// The golden equivalence fixture: a small but complete cmd/datagen-layout
+// enterprise dataset (training month, calibration window, operation days
+// with campaigns), plus the simulated WHOIS/intel externals both runs
+// share.
+type equivFixture struct {
+	dir      string
+	gen      *gen.Enterprise
+	whois    *whois.Registry
+	oracle   *intel.Oracle
+	pipeCfg  pipeline.EnterpriseConfig
+	training int
+}
+
+func newEquivFixture(t *testing.T, seed int64) *equivFixture {
+	t.Helper()
+	g := gen.NewEnterprise(gen.EnterpriseConfig{
+		Seed: seed, TrainingDays: 5, OperationDays: 10,
+		Hosts: 50, PopularDomains: 70, NewRarePerDay: 18,
+		BenignAutoPerDay: 4, Campaigns: 8,
+	})
+	reg := whois.NewRegistry()
+	gen.PopulateWHOIS(reg, g.Truth, g.RareRegistrations(), g.DayTime(g.NumDays()))
+	oracle := intel.NewOracle()
+	gen.PopulateOracle(oracle, g.Truth, gen.OracleConfig{Seed: seed})
+
+	dir := t.TempDir()
+	for day := 0; day < g.NumDays(); day++ {
+		date := g.DayTime(day).Format("2006-01-02")
+		writeProxyTSV(t, filepath.Join(dir, "proxy-"+date+".tsv"), g.Day(day))
+		leases := make(map[string]string)
+		for ip, host := range g.DHCPMap(day) {
+			leases[ip.String()] = host
+		}
+		data, err := json.Marshal(leases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "leases-"+date+".json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &equivFixture{
+		dir: dir, gen: g, whois: reg, oracle: oracle,
+		pipeCfg:  pipeline.EnterpriseConfig{CalibrationDays: 4},
+		training: g.Config().TrainingDays,
+	}
+}
+
+func writeProxyTSV(t *testing.T, name string, recs []logs.ProxyRecord) {
+	t.Helper()
+	f, err := os.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := logs.NewProxyWriter(f)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (fx *equivFixture) newPipeline() *pipeline.Enterprise {
+	return pipeline.NewEnterprise(fx.pipeCfg, fx.whois, fx.oracle.Reported, fx.oracle.IOCs)
+}
+
+// batchDailies runs the reference batch path and returns the serialized
+// SOC report of every processed (non-training) day, keyed by date.
+func (fx *equivFixture) batchDailies(t *testing.T) (map[string][]byte, []pipeline.EnterpriseDayReport) {
+	t.Helper()
+	reports, err := batch.RunEnterpriseDir(fx.dir, fx.newPipeline(), fx.training)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(reports))
+	for _, rep := range reports {
+		out[rep.Day.Format("2006-01-02")] = dailyBytes(t, report.Build(rep))
+	}
+	return out, reports
+}
+
+func dailyBytes(t *testing.T, d report.Daily) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamingMatchesBatch is the tier-1 correctness anchor of the
+// streaming subsystem: replaying a generated multi-day dataset through the
+// sharded engine — with a checkpoint/restore cycle split in the middle of
+// an operation day — yields SOC reports byte-for-byte identical to the
+// batch pipeline over the same files.
+func TestStreamingMatchesBatch(t *testing.T) {
+	fx := newEquivFixture(t, 77)
+	want, batchReports := fx.batchDailies(t)
+	if len(want) == 0 {
+		t.Fatal("batch produced no processed days")
+	}
+
+	days, err := batch.DiscoverEnterprise(fx.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != fx.gen.NumDays() {
+		t.Fatalf("discovered %d days, want %d", len(days), fx.gen.NumDays())
+	}
+
+	cfg := Config{Shards: 4, QueueDepth: 256, TrainingDays: fx.training}
+	e := New(cfg, fx.newPipeline())
+	ckptDay := len(days) - 3 // a post-calibration operation day
+	for i, d := range days {
+		recs, leases, err := batch.LoadProxyDay(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.BeginDay(d.Date, leases); err != nil {
+			t.Fatal(err)
+		}
+		half := len(recs)
+		if i == ckptDay {
+			half = len(recs) / 2
+		}
+		for _, r := range recs[:half] {
+			if err := e.IngestProxy(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == ckptDay {
+			// Mid-day restart: checkpoint, abandon the engine, restore
+			// into a fresh one with a different shard count, resume.
+			var buf bytes.Buffer
+			if err := e.Checkpoint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			e, err = Restore(&buf, Config{Shards: 2, QueueDepth: 64}, RestoreDeps{
+				Whois: fx.whois, Reported: fx.oracle.Reported, IOCs: fx.oracle.IOCs,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range recs[half:] {
+				if err := e.IngestProxy(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	checked := 0
+	for date, wantJSON := range want {
+		got, ok := e.Report(date)
+		if !ok {
+			t.Errorf("stream has no report for %s", date)
+			continue
+		}
+		if gotJSON := dailyBytes(t, got); !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("day %s: stream report differs from batch\nbatch:  %s\nstream: %s",
+				date, wantJSON, gotJSON)
+		}
+		checked++
+	}
+	if checked != len(want) {
+		t.Fatalf("compared %d days, want %d", checked, len(want))
+	}
+
+	// The days completed after the restore also expose full pipeline
+	// reports; their normalization statistics must match batch exactly.
+	for _, brep := range batchReports {
+		date := brep.Day.Format("2006-01-02")
+		srep, ok := e.DayReport(date)
+		if !ok {
+			continue
+		}
+		if srep.Stats != brep.Stats {
+			t.Errorf("day %s: stats differ: stream %+v, batch %+v", date, srep.Stats, brep.Stats)
+		}
+		if srep.NewCount != brep.NewCount || srep.RareCount != brep.RareCount {
+			t.Errorf("day %s: counts differ: stream new=%d rare=%d, batch new=%d rare=%d",
+				date, srep.NewCount, srep.RareCount, brep.NewCount, brep.RareCount)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayDirMatchesBatch exercises the packaged replay path (the one
+// cmd/reprod -replay uses) against the same golden dataset.
+func TestReplayDirMatchesBatch(t *testing.T) {
+	fx := newEquivFixture(t, 78)
+	want, _ := fx.batchDailies(t)
+
+	e := New(Config{Shards: 3, TrainingDays: fx.training}, fx.newPipeline())
+	replayed := 0
+	err := ReplayDir(e, fx.dir, ReplayOptions{OnDay: func(d batch.Day, records int) {
+		if records == 0 {
+			t.Errorf("day %s replayed empty", d.Date.Format("2006-01-02"))
+		}
+		replayed++
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != fx.gen.NumDays() {
+		t.Fatalf("replayed %d days, want %d", replayed, fx.gen.NumDays())
+	}
+	for date, wantJSON := range want {
+		got, ok := e.Report(date)
+		if !ok {
+			t.Fatalf("stream has no report for %s", date)
+		}
+		if gotJSON := dailyBytes(t, got); !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("day %s: replayed report differs from batch", date)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

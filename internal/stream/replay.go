@@ -1,0 +1,69 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/batch"
+)
+
+// ReplayOptions parameterizes ReplayDir.
+type ReplayOptions struct {
+	// Speed is the time-compression factor: 1 paces records at their
+	// original inter-arrival gaps, 60 replays an hour per minute, and <= 0
+	// streams as fast as the engine accepts (the default, and what the
+	// equivalence tests use).
+	Speed float64
+	// MaxGap caps a single pacing sleep (default 10s at any speed), so
+	// overnight gaps in a day's traffic don't stall a demo replay.
+	MaxGap time.Duration
+	// OnDay, when set, observes each day file before it is streamed.
+	OnDay func(d batch.Day, records int)
+}
+
+// ReplayDir streams an on-disk enterprise dataset (the cmd/datagen layout
+// that internal/batch consumes) through the engine, day file by day file,
+// and flushes the final day. Day boundaries follow the files — the same
+// split the batch runner uses — so a replay reproduces the batch reports
+// exactly; Speed only changes how fast that happens.
+func ReplayDir(e *Engine, dir string, opts ReplayOptions) error {
+	days, err := batch.DiscoverEnterprise(dir)
+	if err != nil {
+		return err
+	}
+	if len(days) == 0 {
+		return fmt.Errorf("stream: no enterprise batches in %s", dir)
+	}
+	if opts.MaxGap <= 0 {
+		opts.MaxGap = 10 * time.Second
+	}
+	for _, d := range days {
+		recs, leases, err := batch.LoadProxyDay(d)
+		if err != nil {
+			return err
+		}
+		if opts.OnDay != nil {
+			opts.OnDay(d, len(recs))
+		}
+		if err := e.BeginDay(d.Date, leases); err != nil {
+			return err
+		}
+		var prev time.Time
+		for _, r := range recs {
+			if opts.Speed > 0 {
+				if !prev.IsZero() && r.Time.After(prev) {
+					gap := time.Duration(float64(r.Time.Sub(prev)) / opts.Speed)
+					if gap > opts.MaxGap {
+						gap = opts.MaxGap
+					}
+					time.Sleep(gap)
+				}
+				prev = r.Time
+			}
+			if err := e.IngestProxy(r); err != nil {
+				return fmt.Errorf("stream: replay %s: %w", d.Date.Format("2006-01-02"), err)
+			}
+		}
+	}
+	return e.Flush()
+}

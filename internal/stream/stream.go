@@ -1,0 +1,750 @@
+// Package stream is the live-feed counterpart of internal/batch: it ingests
+// proxy records one at a time — from an HTTP feed, a replayed dataset, or an
+// in-process generator — and produces the same daily reports the batch
+// pipelines do.
+//
+// Architecture. Records are normalized on the ingest path (the per-record
+// half of normalize.ReduceProxy: IP-literal filtering, lease resolution,
+// UTC conversion, second-level folding) and hashed by (host, domain) onto N
+// worker shards. Each shard owns its slice of the day state — the reduced
+// visit buffer, a live histogram.Online analyzer per (host, domain) pair,
+// and per-domain accumulators — so the hot path takes no locks: a shard's
+// maps are touched only by its own worker goroutine, and cross-shard
+// operations (rollover, checkpoint, stats) go through a control channel
+// that the worker services between records.
+//
+// When the stream crosses a day boundary (or on an explicit Flush), shards
+// freeze their accumulated day, the engine merges the fragments back into
+// arrival order, and hands the day to the exact internal/pipeline
+// Train/Process path the batch runner uses — so streaming reports are
+// byte-identical to batch reports over the same records (the
+// TestStreamingMatchesBatch golden test holds this invariant).
+//
+// In between rollovers the per-pair Online analyzers give an early-warning
+// signal: LiveAutomated lists the beaconing-looking (host, domain) pairs of
+// the open day before the day's verdict is final.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"net/netip"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/histogram"
+	"repro/internal/logs"
+	"repro/internal/normalize"
+	"repro/internal/pipeline"
+	"repro/internal/profile"
+	"repro/internal/report"
+)
+
+// Errors returned by the ingest path.
+var (
+	// ErrBackpressure reports that a shard queue is full; the caller should
+	// retry later (HTTP frontends translate it to 429).
+	ErrBackpressure = errors.New("stream: shard queue full")
+	// ErrClosed reports ingestion into a closed engine.
+	ErrClosed = errors.New("stream: engine closed")
+	// ErrNoDay reports ingestion with no open day and auto-rollover off.
+	ErrNoDay = errors.New("stream: no open day (call BeginDay or enable AutoRollover)")
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Shards is the number of ingest workers (default GOMAXPROCS).
+	Shards int
+	// QueueDepth is the per-shard channel buffer (default 4096).
+	QueueDepth int
+	// TrainingDays routes the first N completed days through the
+	// pipeline's Train path (profiling) before Process takes over.
+	TrainingDays int
+	// AutoRollover derives day boundaries from record timestamps (UTC day
+	// of the normalized time). Off by default: deployments that mirror the
+	// paper's daily batches drive days explicitly with BeginDay, which is
+	// also what replay does — generated days are split by capture file,
+	// not by UTC timestamp, and the two disagree around midnight for
+	// devices logging in local time.
+	AutoRollover bool
+	// Histogram parameterizes the live per-pair analyzers (default: the
+	// paper's W=10s, JT=0.06).
+	Histogram histogram.Config
+	// RetainDayReports bounds how many full pipeline day reports (with
+	// their day snapshots) the engine keeps for DayReport — the compact
+	// SOC dailies are always kept. A long-running daemon would otherwise
+	// grow by one day snapshot per day forever. Default 7; negative keeps
+	// all (tests, short evaluations).
+	RetainDayReports int
+	// OnReport, when set, observes every completed day. daily is nil for
+	// training days. The callback runs while the engine is frozen for
+	// rollover: it must not call back into the Engine (Checkpoint, Flush,
+	// Stats, ... would self-deadlock) — hand such work to another
+	// goroutine, as cmd/reprod does for its rollover checkpoints.
+	OnReport func(rep pipeline.EnterpriseDayReport, daily *report.Daily)
+}
+
+func (c *Config) setDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	if c.Histogram == (histogram.Config{}) {
+		c.Histogram = histogram.DefaultConfig()
+	}
+	if c.RetainDayReports == 0 {
+		c.RetainDayReports = 7
+	}
+}
+
+// item is one unit of sharded work: a reduced visit, or (for records whose
+// source address had no lease) a bare domain marker that only feeds the
+// day's distinct-domain count.
+type item struct {
+	seq      uint64
+	resolved bool
+	domain   string // marker items only
+	visit    logs.Visit
+}
+
+type seqVisit struct {
+	seq uint64
+	v   logs.Visit
+}
+
+// seqMarker records one unresolved (lease-less) record: it contributes the
+// folded domain to the day's distinct-domain count and nothing else, but is
+// kept addressable so checkpoints can replay the open day exactly.
+type seqMarker struct {
+	seq    uint64
+	domain string
+}
+
+type pairKey struct {
+	host, domain string
+}
+
+// domainLive is a shard's live accumulator for one not-yet-seen domain.
+type domainLive struct {
+	hosts  map[string]struct{}
+	visits int
+}
+
+type ctrlReq struct {
+	fn   func(*shard)
+	done chan struct{}
+}
+
+// shard owns one slice of the open day. All fields below items/ctrl are
+// touched only by the shard's worker goroutine.
+type shard struct {
+	eng   *Engine
+	items chan item
+	ctrl  chan ctrlReq
+
+	visits  []seqVisit
+	all     map[string]struct{} // distinct folded domains seen today
+	markers []seqMarker         // lease-less records today
+
+	pairs   map[pairKey]*histogram.Online // live analyzers, unseen domains only
+	domains map[string]*domainLive
+
+	ingested atomic.Uint64
+}
+
+func newShard(e *Engine, depth int) *shard {
+	return &shard{
+		eng:     e,
+		items:   make(chan item, depth),
+		ctrl:    make(chan ctrlReq),
+		all:     make(map[string]struct{}),
+		pairs:   make(map[pairKey]*histogram.Online),
+		domains: make(map[string]*domainLive),
+	}
+}
+
+func (s *shard) run() {
+	for {
+		select {
+		case it, ok := <-s.items:
+			if !ok {
+				return
+			}
+			s.apply(it)
+		case c := <-s.ctrl:
+			// Drain queued records first: the engine only issues control
+			// requests while holding the write lock, so no new items can
+			// race in and the drain observes the complete prefix.
+			for {
+				select {
+				case it := <-s.items:
+					s.apply(it)
+					continue
+				default:
+				}
+				break
+			}
+			c.fn(s)
+			close(c.done)
+		}
+	}
+}
+
+func (s *shard) apply(it item) {
+	s.ingested.Add(1)
+	if !it.resolved {
+		s.all[it.domain] = struct{}{}
+		s.markers = append(s.markers, seqMarker{seq: it.seq, domain: it.domain})
+		return
+	}
+	v := it.visit
+	s.all[v.Domain] = struct{}{}
+	s.visits = append(s.visits, seqVisit{seq: it.seq, v: v})
+
+	// Live periodicity state only for domains absent from the history:
+	// anything already profiled can never be rare today, and skipping it
+	// keeps the pair map proportional to the day's new traffic rather than
+	// its full volume. The history is safe to read here — it is mutated
+	// only during rollover, when every shard is quiescent.
+	if s.eng.hist.SeenDomain(v.Domain) {
+		return
+	}
+	dl, ok := s.domains[v.Domain]
+	if !ok {
+		dl = &domainLive{hosts: make(map[string]struct{})}
+		s.domains[v.Domain] = dl
+	}
+	dl.hosts[v.Host] = struct{}{}
+	dl.visits++
+	key := pairKey{v.Host, v.Domain}
+	o, ok := s.pairs[key]
+	if !ok {
+		o = histogram.NewOnline(s.eng.cfg.Histogram)
+		s.pairs[key] = o
+	}
+	o.Observe(v.Time)
+}
+
+// do runs fn on the shard's worker goroutine and waits for it.
+func (s *shard) do(fn func(*shard)) {
+	done := make(chan struct{})
+	s.ctrl <- ctrlReq{fn: fn, done: done}
+	<-done
+}
+
+// resetDay clears the shard's day state (worker goroutine only).
+func (s *shard) resetDay() {
+	s.visits = nil
+	s.all = make(map[string]struct{})
+	s.markers = nil
+	s.pairs = make(map[pairKey]*histogram.Online)
+	s.domains = make(map[string]*domainLive)
+}
+
+// Engine is the concurrent streaming ingestion engine.
+type Engine struct {
+	cfg    Config
+	pipe   *pipeline.Enterprise
+	hist   *profile.History
+	shards []*shard
+	seed   maphash.Seed
+
+	seq          atomic.Uint64
+	dayRecords   atomic.Uint64 // raw records ingested into the open day
+	dayDroppedIP atomic.Uint64 // IP-literal drops in the open day
+	totalRecords atomic.Uint64
+	rejected     atomic.Uint64 // backpressure rejections
+
+	// mu orders ingestion against rollover: ingest holds it shared (the
+	// hot path's only synchronization besides the channel send), rollover
+	// and checkpointing hold it exclusively, which also guarantees every
+	// shard queue drains to a quiescent state before day processing runs.
+	mu       sync.RWMutex
+	day      time.Time // open day (UTC midnight); zero when none
+	leases   map[netip.Addr]string
+	daysDone int
+	reports  map[string]pipeline.EnterpriseDayReport
+	dailies  map[string]report.Daily
+	dates    []string // completed days in processing order
+	closed   bool
+}
+
+// New starts an engine around a pipeline. The pipeline must not be used
+// concurrently by anyone else; the engine drives it at day rollover.
+func New(cfg Config, pipe *pipeline.Enterprise) *Engine {
+	cfg.setDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		pipe:    pipe,
+		hist:    pipe.History(),
+		seed:    maphash.MakeSeed(),
+		reports: make(map[string]pipeline.EnterpriseDayReport),
+		dailies: make(map[string]report.Daily),
+	}
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = newShard(e, cfg.QueueDepth)
+		go e.shards[i].run()
+	}
+	return e
+}
+
+// Pipeline exposes the wrapped pipeline. Callers must not drive it while
+// the engine is open.
+func (e *Engine) Pipeline() *pipeline.Enterprise { return e.pipe }
+
+func (e *Engine) shardFor(host, domain string) *shard {
+	var h maphash.Hash
+	h.SetSeed(e.seed)
+	h.WriteString(host)
+	h.WriteByte(0xff)
+	h.WriteString(domain)
+	return e.shards[h.Sum64()%uint64(len(e.shards))]
+}
+
+// recDay returns the UTC day a record belongs to once normalized.
+func recDay(r logs.ProxyRecord) time.Time {
+	utc := r.Time.Add(-time.Duration(r.TZOffset) * time.Hour).UTC()
+	return time.Date(utc.Year(), utc.Month(), utc.Day(), 0, 0, 0, 0, time.UTC)
+}
+
+// BeginDay opens a day, first completing any previously open one. The lease
+// map resolves source addresses without a Host field for the whole day; it
+// may be nil when records carry hostnames.
+func (e *Engine) BeginDay(day time.Time, leases map[netip.Addr]string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	day = time.Date(day.Year(), day.Month(), day.Day(), 0, 0, 0, 0, time.UTC)
+	if !e.day.IsZero() && !e.day.Equal(day) {
+		if err := e.rolloverLocked(); err != nil {
+			return err
+		}
+	}
+	e.day = day
+	e.leases = leases
+	return nil
+}
+
+// Flush completes the open day (if any records were ingested) and leaves no
+// day open.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	return e.rolloverLocked()
+}
+
+// Close flushes the open day and stops the shard workers. The engine
+// rejects ingestion afterwards; reports remain readable.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	err := e.rolloverLocked()
+	e.closed = true
+	for _, s := range e.shards {
+		close(s.items)
+	}
+	return err
+}
+
+// IngestProxy feeds one raw proxy record, blocking while its shard's queue
+// is full. Safe for concurrent use.
+func (e *Engine) IngestProxy(r logs.ProxyRecord) error { return e.ingest(r, true) }
+
+// TryIngestProxy is IngestProxy with backpressure: it returns
+// ErrBackpressure instead of blocking when the target shard lags.
+func (e *Engine) TryIngestProxy(r logs.ProxyRecord) error { return e.ingest(r, false) }
+
+func (e *Engine) ingest(r logs.ProxyRecord, block bool) error {
+	for {
+		e.mu.RLock()
+		if e.closed {
+			e.mu.RUnlock()
+			return ErrClosed
+		}
+		if e.day.IsZero() || (e.cfg.AutoRollover && recDay(r).After(e.day)) {
+			e.mu.RUnlock()
+			if !e.cfg.AutoRollover {
+				if e.dayOpen() {
+					continue // another goroutine opened the day; retry
+				}
+				return ErrNoDay
+			}
+			if err := e.BeginDay(recDay(r), e.currentLeases()); err != nil {
+				return err
+			}
+			continue
+		}
+		err := e.routeLocked(r, block)
+		e.mu.RUnlock()
+		if errors.Is(err, ErrBackpressure) {
+			e.rejected.Add(1)
+		}
+		return err
+	}
+}
+
+func (e *Engine) dayOpen() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return !e.day.IsZero()
+}
+
+func (e *Engine) currentLeases() map[netip.Addr]string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.leases
+}
+
+// routeLocked reduces one record via the shared per-record reducer and
+// hands the result to its shard. Counters are bumped only once the record
+// is accepted: a backpressure rejection leaves no trace, so the caller's
+// retry is not double-counted and streaming stats stay equal to batch
+// stats. Caller holds mu (shared).
+func (e *Engine) routeLocked(r logs.ProxyRecord, block bool) error {
+	v, folded, outcome := normalize.ReduceProxyRecord(r, e.leases)
+	if outcome == normalize.ProxyDroppedIPLiteral {
+		e.countAccepted()
+		e.dayDroppedIP.Add(1)
+		return nil
+	}
+	it := item{seq: e.seq.Add(1)}
+	if outcome == normalize.ProxyDroppedUnresolved {
+		// Unresolvable source: the record still counts toward the day's
+		// distinct-domain statistic, exactly as in batch.
+		it.domain = folded
+		if err := e.send(e.shardFor("", folded), it, block); err != nil {
+			return err
+		}
+		e.countAccepted()
+		return nil
+	}
+	it.resolved = true
+	it.visit = v
+	if err := e.send(e.shardFor(v.Host, folded), it, block); err != nil {
+		return err
+	}
+	e.countAccepted()
+	return nil
+}
+
+func (e *Engine) countAccepted() {
+	e.dayRecords.Add(1)
+	e.totalRecords.Add(1)
+}
+
+func (e *Engine) send(s *shard, it item, block bool) error {
+	if block {
+		s.items <- it
+		return nil
+	}
+	select {
+	case s.items <- it:
+		return nil
+	default:
+		return ErrBackpressure
+	}
+}
+
+// quiesce runs fn against every shard on its worker goroutine, after the
+// worker has drained its queue. Caller must hold mu exclusively so no new
+// records can be routed while shards are frozen.
+func (e *Engine) quiesce(fn func(i int, s *shard)) {
+	var wg sync.WaitGroup
+	for i, s := range e.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			s.do(func(sh *shard) { fn(i, sh) })
+		}(i, s)
+	}
+	wg.Wait()
+}
+
+type dayFrag struct {
+	visits  []seqVisit
+	all     map[string]struct{}
+	markers []seqMarker
+}
+
+// collectDay freezes the open day across all shards without touching it —
+// rollover resets separately once the pipeline has accepted the day, and
+// checkpointing only peeks.
+func (e *Engine) collectDay() []dayFrag {
+	frags := make([]dayFrag, len(e.shards))
+	e.quiesce(func(i int, s *shard) {
+		frags[i] = dayFrag{visits: s.visits, all: s.all, markers: s.markers}
+	})
+	return frags
+}
+
+// mergeDay reassembles shard fragments into the order records arrived,
+// which is exactly the visit order batch reduction would have produced.
+func mergeDay(frags []dayFrag) ([]logs.Visit, map[string]struct{}, int) {
+	n := 0
+	for _, f := range frags {
+		n += len(f.visits)
+	}
+	merged := make([]seqVisit, 0, n)
+	all := make(map[string]struct{})
+	unresolved := 0
+	for _, f := range frags {
+		merged = append(merged, f.visits...)
+		for d := range f.all {
+			all[d] = struct{}{}
+		}
+		unresolved += len(f.markers)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].seq < merged[j].seq })
+	visits := make([]logs.Visit, len(merged))
+	for i, sv := range merged {
+		visits[i] = sv.v
+	}
+	return visits, all, unresolved
+}
+
+// rolloverLocked completes the open day: freeze shards, merge, run the
+// batch pipeline path, record the report. Day state is torn down only
+// after the pipeline succeeds — on error the day stays open with every
+// buffered record intact, so the caller can fix the cause (typically
+// calibration starvation) and Flush again without losing traffic. Caller
+// holds mu exclusively.
+func (e *Engine) rolloverLocked() error {
+	if e.day.IsZero() {
+		return nil
+	}
+	day := e.day
+	records := e.dayRecords.Load()
+	droppedIP := e.dayDroppedIP.Load()
+	if records == 0 {
+		e.day = time.Time{}
+		e.leases = nil
+		return nil // empty day: batch mode would have no file either
+	}
+	visits, all, unresolved := mergeDay(e.collectDay())
+	stats := normalize.ProxyStats{
+		Records:           int(records),
+		DomainsAll:        len(all),
+		DroppedIPLiteral:  int(droppedIP),
+		DroppedUnresolved: unresolved,
+		Kept:              len(visits),
+	}
+
+	date := day.Format("2006-01-02")
+	var rep pipeline.EnterpriseDayReport
+	var daily *report.Daily
+	if e.daysDone < e.cfg.TrainingDays {
+		rep = e.pipe.TrainVisits(day, visits, stats)
+	} else {
+		var err error
+		rep, err = e.pipe.ProcessVisits(day, visits, stats)
+		if err != nil {
+			return fmt.Errorf("stream: day %s: %w", date, err)
+		}
+		d := report.Build(rep)
+		daily = &d
+	}
+
+	// The pipeline accepted the day: tear down the open-day state.
+	e.quiesce(func(_ int, s *shard) { s.resetDay() })
+	e.dayRecords.Store(0)
+	e.dayDroppedIP.Store(0)
+	e.day = time.Time{}
+	e.leases = nil
+
+	e.daysDone++
+	e.reports[date] = rep
+	if daily != nil {
+		e.dailies[date] = *daily
+	}
+	e.dates = append(e.dates, date)
+	e.evictOldReportsLocked()
+	if e.cfg.OnReport != nil {
+		e.cfg.OnReport(rep, daily)
+	}
+	return nil
+}
+
+// evictOldReportsLocked drops the oldest full day reports beyond the
+// retention bound. The compact dailies stay forever.
+func (e *Engine) evictOldReportsLocked() {
+	if e.cfg.RetainDayReports < 0 {
+		return
+	}
+	for _, date := range e.dates {
+		if len(e.reports) <= e.cfg.RetainDayReports {
+			return
+		}
+		delete(e.reports, date)
+	}
+}
+
+// ---- Introspection ----
+
+// Lagging reports whether any shard queue is at least 90% full — the
+// signal HTTP frontends turn into 429 before accepting another batch.
+func (e *Engine) Lagging() bool {
+	for _, s := range e.shards {
+		if len(s.items)*10 >= e.cfg.QueueDepth*9 {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardStats is one shard's live counters.
+type ShardStats struct {
+	Queue          int    `json:"queue"`
+	Ingested       uint64 `json:"ingested"`
+	LivePairs      int    `json:"livePairs"`
+	LiveDomains    int    `json:"liveDomains"`
+	AutomatedPairs int    `json:"automatedPairs"`
+}
+
+// Stats is an engine-wide snapshot.
+type Stats struct {
+	Day          string       `json:"day,omitempty"`
+	DayRecords   uint64       `json:"dayRecords"`
+	TotalRecords uint64       `json:"totalRecords"`
+	DaysDone     int          `json:"daysDone"`
+	Rejected     uint64       `json:"rejected"`
+	Dates        []string     `json:"dates,omitempty"`
+	Shards       []ShardStats `json:"shards"`
+}
+
+// LivePair is one beaconing-looking (host, domain) pair of the open day.
+type LivePair struct {
+	Host       string  `json:"host"`
+	Domain     string  `json:"domain"`
+	Period     float64 `json:"periodSeconds"`
+	Divergence float64 `json:"divergence"`
+	Samples    int     `json:"samples"`
+}
+
+// Stats snapshots the engine. It quiesces the shards briefly, so it is not
+// free; poll it at human timescales.
+func (e *Engine) Stats() Stats {
+	st, _ := e.Snapshot(-1)
+	return st
+}
+
+// LiveAutomated returns up to max (<= 0: all) pairs whose live analyzer
+// currently says automated, ordered by sample count (strongest evidence
+// first) — the early-warning view of the open day before rollover makes it
+// official.
+func (e *Engine) LiveAutomated(max int) []LivePair {
+	_, pairs := e.Snapshot(max)
+	return pairs
+}
+
+// Snapshot captures engine statistics and, unless maxLive is negative, the
+// live automated pairs (maxLive 0: uncapped) in a single shard quiesce —
+// one atomic freeze instead of two for pollers that want both.
+func (e *Engine) Snapshot(maxLive int) (Stats, []LivePair) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Stats{
+		DayRecords:   e.dayRecords.Load(),
+		TotalRecords: e.totalRecords.Load(),
+		DaysDone:     e.daysDone,
+		Rejected:     e.rejected.Load(),
+		Dates:        append([]string(nil), e.dates...),
+		Shards:       make([]ShardStats, len(e.shards)),
+	}
+	if !e.day.IsZero() {
+		st.Day = e.day.Format("2006-01-02")
+	}
+	if e.closed {
+		return st, nil
+	}
+	var out []LivePair
+	var outMu sync.Mutex
+	e.quiesce(func(i int, s *shard) {
+		ss := ShardStats{
+			Queue:       len(s.items),
+			Ingested:    s.ingested.Load(),
+			LivePairs:   len(s.pairs),
+			LiveDomains: len(s.domains),
+		}
+		var local []LivePair
+		for k, o := range s.pairs {
+			v := o.Verdict()
+			if !v.Automated {
+				continue
+			}
+			ss.AutomatedPairs++
+			if maxLive >= 0 {
+				local = append(local, LivePair{
+					Host: k.host, Domain: k.domain,
+					Period: v.Period, Divergence: v.Divergence, Samples: v.Samples,
+				})
+			}
+		}
+		st.Shards[i] = ss
+		if len(local) > 0 {
+			outMu.Lock()
+			out = append(out, local...)
+			outMu.Unlock()
+		}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Samples != out[j].Samples {
+			return out[i].Samples > out[j].Samples
+		}
+		if out[i].Domain != out[j].Domain {
+			return out[i].Domain < out[j].Domain
+		}
+		return out[i].Host < out[j].Host
+	})
+	if maxLive > 0 && len(out) > maxLive {
+		out = out[:maxLive]
+	}
+	return st, out
+}
+
+// Report returns the SOC-facing daily report for a completed operation day.
+func (e *Engine) Report(date string) (report.Daily, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	d, ok := e.dailies[date]
+	return d, ok
+}
+
+// DayReport returns the full pipeline report for a completed day (training
+// days included). Only the Config.RetainDayReports most recent days
+// completed since the engine started (or was restored) are available; the
+// compact Report dailies cover all days.
+func (e *Engine) DayReport(date string) (pipeline.EnterpriseDayReport, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	r, ok := e.reports[date]
+	return r, ok
+}
+
+// Dates returns the completed days in processing order.
+func (e *Engine) Dates() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]string(nil), e.dates...)
+}
+
+// DaysDone returns the number of completed days (training included).
+func (e *Engine) DaysDone() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.daysDone
+}

@@ -1,0 +1,294 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/logs"
+	"repro/internal/pipeline"
+	"repro/internal/whois"
+)
+
+func testDay() time.Time { return time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC) }
+
+// trainOnlyEngine returns an engine whose every day feeds the Train path,
+// so tests can exercise ingestion mechanics without an intel oracle.
+func trainOnlyEngine(cfg Config) *Engine {
+	cfg.TrainingDays = 1 << 30
+	pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{}, whois.NewRegistry(), nil, nil)
+	return New(cfg, pipe)
+}
+
+func rec(day time.Time, host, domain string, offset time.Duration) logs.ProxyRecord {
+	return logs.ProxyRecord{
+		Time:   day.Add(offset),
+		Host:   host,
+		SrcIP:  netip.MustParseAddr("10.1.2.3"),
+		Domain: domain,
+		Method: "GET",
+		Status: 200,
+	}
+}
+
+func TestIngestRequiresOpenDay(t *testing.T) {
+	e := trainOnlyEngine(Config{Shards: 2})
+	defer e.Close()
+	if err := e.IngestProxy(rec(testDay(), "h1", "example.com", 0)); !errors.Is(err, ErrNoDay) {
+		t.Fatalf("got %v, want ErrNoDay", err)
+	}
+}
+
+func TestDayRolloverAndReports(t *testing.T) {
+	e := trainOnlyEngine(Config{Shards: 2})
+	defer e.Close()
+	d1, d2 := testDay(), testDay().AddDate(0, 0, 1)
+	if err := e.BeginDay(d1, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		host := fmt.Sprintf("h%d", i)
+		if err := e.IngestProxy(rec(d1, host, "alpha.test", time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// BeginDay for the next day completes the first.
+	if err := e.BeginDay(d2, nil); err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := e.DayReport("2014-02-03")
+	if !ok {
+		t.Fatal("no report for completed day")
+	}
+	if rep.Stats.Records != 5 || rep.Stats.Kept != 5 {
+		t.Fatalf("stats = %+v, want 5 records kept", rep.Stats)
+	}
+	if rep.Stats.DomainsAll != 1 {
+		t.Fatalf("DomainsAll = %d, want 1", rep.Stats.DomainsAll)
+	}
+	if got := e.DaysDone(); got != 1 {
+		t.Fatalf("DaysDone = %d, want 1", got)
+	}
+	// No records for d2: flushing produces no report, matching batch mode
+	// where an empty day has no file.
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.DaysDone(); got != 1 {
+		t.Fatalf("DaysDone after empty flush = %d, want 1", got)
+	}
+}
+
+func TestAutoRollover(t *testing.T) {
+	e := trainOnlyEngine(Config{Shards: 2, AutoRollover: true})
+	defer e.Close()
+	d1 := testDay()
+	for day := 0; day < 3; day++ {
+		for i := 0; i < 4; i++ {
+			r := rec(d1.AddDate(0, 0, day), "h1", "beta.test", time.Duration(i)*time.Hour)
+			if err := e.IngestProxy(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Dates(); len(got) != 3 {
+		t.Fatalf("dates = %v, want 3 days", got)
+	}
+}
+
+func TestLeaseResolutionAndMarkers(t *testing.T) {
+	e := trainOnlyEngine(Config{Shards: 2})
+	defer e.Close()
+	leases := map[netip.Addr]string{netip.MustParseAddr("10.0.0.7"): "lease-host"}
+	if err := e.BeginDay(testDay(), leases); err != nil {
+		t.Fatal(err)
+	}
+	known := logs.ProxyRecord{Time: testDay(), SrcIP: netip.MustParseAddr("10.0.0.7"),
+		Domain: "gamma.test", Method: "GET", Status: 200}
+	unknown := logs.ProxyRecord{Time: testDay(), SrcIP: netip.MustParseAddr("10.9.9.9"),
+		Domain: "delta.test", Method: "GET", Status: 200}
+	ipLit := logs.ProxyRecord{Time: testDay(), SrcIP: netip.MustParseAddr("10.0.0.7"),
+		Domain: "93.184.216.34", Method: "GET", Status: 200}
+	for _, r := range []logs.ProxyRecord{known, unknown, ipLit} {
+		if err := e.IngestProxy(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := e.DayReport("2014-02-03")
+	if !ok {
+		t.Fatal("no report")
+	}
+	want := rep.Stats
+	if want.Records != 3 || want.Kept != 1 || want.DroppedUnresolved != 1 || want.DroppedIPLiteral != 1 {
+		t.Fatalf("stats = %+v", want)
+	}
+	// The unresolved record's domain still counts toward the distinct-
+	// domain statistic, as in batch reduction.
+	if want.DomainsAll != 2 {
+		t.Fatalf("DomainsAll = %d, want 2 (gamma + delta)", want.DomainsAll)
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	e := trainOnlyEngine(Config{Shards: 1, QueueDepth: 4})
+	defer e.Close()
+	if err := e.BeginDay(testDay(), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Park the only worker inside a control request so the queue backs up.
+	started, release := make(chan struct{}), make(chan struct{})
+	go e.shards[0].do(func(*shard) { close(started); <-release })
+	<-started
+
+	var rejected bool
+	for i := 0; i < 8; i++ {
+		err := e.TryIngestProxy(rec(testDay(), "h1", "epsilon.test", time.Duration(i)*time.Second))
+		if errors.Is(err, ErrBackpressure) {
+			rejected = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rejected {
+		t.Fatal("queue of depth 4 never rejected 8 non-blocking ingests")
+	}
+	if !e.Lagging() {
+		t.Fatal("Lagging() = false with a full queue")
+	}
+	close(release)
+
+	// Blocking ingestion rides out the lag and the day still completes.
+	if err := e.IngestProxy(rec(testDay(), "h1", "epsilon.test", time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Rejected == 0 {
+		t.Fatal("Stats.Rejected not counted")
+	}
+}
+
+func TestLiveAutomated(t *testing.T) {
+	e := trainOnlyEngine(Config{Shards: 2})
+	defer e.Close()
+	if err := e.BeginDay(testDay(), nil); err != nil {
+		t.Fatal(err)
+	}
+	// A clean 10-minute beacon from one host, plus scattered noise from
+	// another pair.
+	for i := 0; i < 30; i++ {
+		if err := e.IngestProxy(rec(testDay(), "victim", "evil.test", time.Duration(i)*10*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	noise := []time.Duration{0, 7 * time.Minute, 11 * time.Minute, 55 * time.Minute, 180 * time.Minute}
+	for _, off := range noise {
+		if err := e.IngestProxy(rec(testDay(), "browser", "news.test", off)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pairs := e.LiveAutomated(10)
+	if len(pairs) == 0 {
+		t.Fatal("no live automated pairs for a clean beacon")
+	}
+	top := pairs[0]
+	if top.Host != "victim" || top.Domain != "evil.test" {
+		t.Fatalf("top pair = %+v, want victim/evil.test", top)
+	}
+	if top.Period < 590 || top.Period > 610 {
+		t.Fatalf("period = %v, want ~600s", top.Period)
+	}
+	st := e.Stats()
+	var auto int
+	for _, ss := range st.Shards {
+		auto += ss.AutomatedPairs
+	}
+	if auto == 0 {
+		t.Fatal("Stats reports no automated pairs")
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.LiveAutomated(10); len(got) != 0 {
+		t.Fatalf("live pairs survived rollover: %v", got)
+	}
+}
+
+func TestConcurrentIngest(t *testing.T) {
+	e := trainOnlyEngine(Config{Shards: 4, QueueDepth: 64})
+	defer e.Close()
+	if err := e.BeginDay(testDay(), nil); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 8, 500
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			for i := 0; i < perG; i++ {
+				host := fmt.Sprintf("h%d", (g*perG+i)%23)
+				domain := fmt.Sprintf("d%d.test", (g*perG+i)%41)
+				if err := e.IngestProxy(rec(testDay(), host, domain, time.Duration(i)*time.Second)); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(g)
+	}
+	// Poll stats concurrently to shake out reader/rollover races.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = e.Stats()
+				_ = e.LiveAutomated(5)
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := e.DayReport("2014-02-03")
+	if !ok {
+		t.Fatal("no report")
+	}
+	if rep.Stats.Records != goroutines*perG {
+		t.Fatalf("Records = %d, want %d", rep.Stats.Records, goroutines*perG)
+	}
+	if rep.Stats.Kept != goroutines*perG {
+		t.Fatalf("Kept = %d, want %d", rep.Stats.Kept, goroutines*perG)
+	}
+}
+
+func TestIngestAfterClose(t *testing.T) {
+	e := trainOnlyEngine(Config{Shards: 1})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.IngestProxy(rec(testDay(), "h", "zeta.test", 0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	if err := e.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}

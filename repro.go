@@ -29,6 +29,17 @@
 //	report, err := p.Process(date, records, leases)
 //	for _, d := range report.NoHintDomains() { ... }
 //
+// Deployments that ingest a live feed instead of daily batches use the
+// streaming engine, which produces byte-identical reports:
+//
+//	e := repro.NewStreamEngine(repro.StreamConfig{TrainingDays: 31}, p)
+//	e.BeginDay(date, leases)
+//	for rec := range feed { e.IngestProxy(rec) }
+//	e.Flush() // or let the next BeginDay roll the day over
+//
+// cmd/reprod wraps the engine in a long-running daemon with an HTTP
+// ingestion API, checkpoint/restore, and dataset replay.
+//
 // The examples/ directory contains runnable end-to-end programs, including
 // a full solution of the LANL APT-discovery challenge, and the cmd/
 // binaries regenerate every table and figure of the paper (see
@@ -63,6 +74,7 @@ import (
 	"repro/internal/regression"
 	"repro/internal/report"
 	"repro/internal/scoring"
+	"repro/internal/stream"
 	"repro/internal/whois"
 )
 
@@ -417,4 +429,49 @@ func DiscoverEnterpriseBatches(dir string) ([]BatchDay, error) { return batch.Di
 // first trainingDays batches feed profiling.
 func RunEnterpriseBatches(dir string, p *EnterprisePipeline, trainingDays int) ([]EnterpriseDayReport, error) {
 	return batch.RunEnterpriseDir(dir, p, trainingDays)
+}
+
+// ---- Streaming ingestion (internal/stream, cmd/reprod) ----
+
+type (
+	// StreamEngine is the sharded live-feed ingestion engine: records
+	// stream in one at a time, day rollover hands each completed day to
+	// the batch pipeline path, and the results are byte-identical to
+	// batch processing over the same records.
+	StreamEngine = stream.Engine
+	// StreamConfig parameterizes the engine (shards, queue depth, day
+	// handling).
+	StreamConfig = stream.Config
+	// StreamStats is an engine-wide statistics snapshot.
+	StreamStats = stream.Stats
+	// StreamLivePair is one beaconing-looking (host, domain) pair of the
+	// open day, visible before the day's verdict is final.
+	StreamLivePair = stream.LivePair
+	// StreamRestoreDeps supplies the live hooks a checkpoint-restored
+	// engine needs (WHOIS, intelligence).
+	StreamRestoreDeps = stream.RestoreDeps
+	// StreamReplayOptions paces a dataset replay.
+	StreamReplayOptions = stream.ReplayOptions
+)
+
+// ErrStreamBackpressure is returned by StreamEngine.TryIngestProxy when a
+// shard queue is full; HTTP frontends translate it to 429.
+var ErrStreamBackpressure = stream.ErrBackpressure
+
+// NewStreamEngine starts a streaming engine around a pipeline. The engine
+// owns the pipeline from here on: it drives Train/Process at day rollover.
+func NewStreamEngine(cfg StreamConfig, p *EnterprisePipeline) *StreamEngine {
+	return stream.New(cfg, p)
+}
+
+// RestoreStreamEngine rebuilds an engine from a checkpoint written with
+// StreamEngine.Checkpoint, resuming mid-day with full profile history.
+func RestoreStreamEngine(r io.Reader, cfg StreamConfig, deps StreamRestoreDeps) (*StreamEngine, error) {
+	return stream.Restore(r, cfg, deps)
+}
+
+// ReplayEnterpriseDir streams an on-disk datagen dataset through the
+// engine, reproducing the batch reports (at live speed if opts.Speed > 0).
+func ReplayEnterpriseDir(e *StreamEngine, dir string, opts StreamReplayOptions) error {
+	return stream.ReplayDir(e, dir, opts)
 }
