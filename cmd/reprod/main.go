@@ -8,7 +8,7 @@
 //
 //	reprod [-addr :8714] [-shards N] [-seed N] [-full]
 //	       [-replay DIR] [-speed X]
-//	       [-checkpoint FILE]
+//	       [-checkpoint FILE] [-max-ingest-bytes N]
 //
 // Because the paper's intelligence externals (VirusTotal, SOC IOC lists,
 // WHOIS) are simulated, the daemon synthesizes them from the dataset seed:
@@ -19,8 +19,9 @@
 //
 //	POST /day               {"date":"YYYY-MM-DD","leases":{"ip":"host",...}}
 //	                        opens a day (completing the previous one)
-//	POST /ingest            TSV proxy records (the internal/logs codec);
-//	                        responds 429 when shards lag
+//	POST /ingest            TSV proxy records (the internal/logs codec),
+//	                        ingested as one atomic batch; responds 429 when
+//	                        shards lag, 413 over -max-ingest-bytes
 //	POST /flush             completes the open day
 //	POST /checkpoint        writes the engine state to -checkpoint
 //	GET  /report/YYYY-MM-DD the day's SOC report (JSON)
@@ -59,15 +60,16 @@ func main() {
 	replay := flag.String("replay", "", "replay a cmd/datagen enterprise dataset directory, then keep serving")
 	speed := flag.Float64("speed", 0, "replay time-compression factor (0 = as fast as possible)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: restored on start if present, written on rollover and shutdown")
+	maxIngest := flag.Int64("max-ingest-bytes", defaultMaxIngestBytes, "largest accepted /ingest body in bytes (oversized requests get 413)")
 	flag.Parse()
 
-	if err := run(*addr, *shards, *queue, *seed, *full, *training, *replay, *speed, *checkpoint); err != nil {
+	if err := run(*addr, *shards, *queue, *seed, *full, *training, *replay, *speed, *checkpoint, *maxIngest); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, shards, queue int, seed int64, full bool, training int, replay string, speed float64, checkpoint string) error {
+func run(addr string, shards, queue int, seed int64, full bool, training int, replay string, speed float64, checkpoint string, maxIngest int64) error {
 	scale := eval.ScaleSmall
 	if full {
 		scale = eval.ScaleFull
@@ -121,7 +123,10 @@ func run(addr string, shards, queue int, seed int64, full bool, training int, re
 			restored, rerr := stream.Restore(f, engCfg, deps)
 			f.Close()
 			if rerr != nil {
-				return fmt.Errorf("restore %s: %w", checkpoint, rerr)
+				// A corrupt or truncated checkpoint must stop the daemon
+				// here, with the cause: silently starting fresh would
+				// overwrite it and destroy the behavioural history.
+				return fmt.Errorf("restore checkpoint %s: %w (remove or repair the file to start fresh)", checkpoint, rerr)
 			}
 			e = restored
 			log.Printf("restored from %s: %d days done", checkpoint, e.DaysDone())
@@ -137,7 +142,7 @@ func run(addr string, shards, queue int, seed int64, full bool, training int, re
 		e = stream.New(engCfg, pipe)
 	}
 
-	srv := newServer(e, checkpoint)
+	srv := newServer(e, checkpoint, maxIngest)
 	httpSrv := &http.Server{Addr: addr, Handler: srv.mux()}
 
 	errc := make(chan error, 2)

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/netip"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -23,7 +24,7 @@ func testServer(t *testing.T, ckpt string) (*server, *stream.Engine) {
 	pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{}, whois.NewRegistry(), nil, nil)
 	e := stream.New(stream.Config{Shards: 2, TrainingDays: 1 << 30}, pipe)
 	t.Cleanup(func() { e.Close() })
-	return newServer(e, ckpt), e
+	return newServer(e, ckpt, 0), e
 }
 
 func doJSON(t *testing.T, h http.Handler, method, path, body string) (*httptest.ResponseRecorder, map[string]any) {
@@ -179,5 +180,123 @@ func TestHTTPCheckpointRoundTrip(t *testing.T) {
 	rep, ok := eng.DayReport("2014-03-02")
 	if !ok || rep.Stats.Records != 25 {
 		t.Fatalf("post-checkpoint flush lost records: %v %+v", ok, rep.Stats)
+	}
+}
+
+// TestHTTPIngestBodyTooLarge: one oversized POST must die with 413 and
+// zero records ingested, not buffer without bound.
+func TestHTTPIngestBodyTooLarge(t *testing.T) {
+	pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{}, whois.NewRegistry(), nil, nil)
+	e := stream.New(stream.Config{Shards: 1, TrainingDays: 1 << 30}, pipe)
+	t.Cleanup(func() { e.Close() })
+	srv := newServer(e, "", 256) // tiny cap for the test
+	m := srv.mux()
+	day := time.Date(2014, 3, 3, 0, 0, 0, 0, time.UTC)
+	doJSON(t, m, "POST", "/day", `{"date":"2014-03-03"}`)
+
+	big := proxyTSV(t, testRecords(day, 50)) // well over 256 bytes
+	rr, _ := doJSON(t, m, "POST", "/ingest", big)
+	if rr.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest = %d, want 413", rr.Code)
+	}
+	if got := e.Stats().TotalRecords; got != 0 {
+		t.Fatalf("oversized ingest accepted %d records, want 0", got)
+	}
+	// A body under the cap still works.
+	rr, body := doJSON(t, m, "POST", "/ingest", proxyTSV(t, testRecords(day, 1)))
+	if rr.Code != http.StatusOK || body["ingested"] != float64(1) {
+		t.Fatalf("small ingest = %d %v", rr.Code, body)
+	}
+}
+
+// TestHTTPClosedEngineStatus: a closed engine means the daemon is shutting
+// down — every mutating endpoint must answer 503, not 500.
+func TestHTTPClosedEngineStatus(t *testing.T) {
+	srv, eng := testServer(t, "")
+	m := srv.mux()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ method, path, body string }{
+		{"POST", "/flush", ""},
+		{"POST", "/day", `{"date":"2014-03-01"}`},
+		{"POST", "/ingest", proxyTSV(t, testRecords(time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC), 2))},
+	} {
+		rr, _ := doJSON(t, m, tc.method, tc.path, tc.body)
+		if rr.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s %s on closed engine = %d, want 503", tc.method, tc.path, rr.Code)
+		}
+	}
+}
+
+// TestHTTPFlushConflictKeepsDay: a rollover that fails in the pipeline
+// (calibration starvation) is a 409 — the engine's rollover is
+// non-destructive, so the day and its records must still be there.
+func TestHTTPFlushConflictKeepsDay(t *testing.T) {
+	// TrainingDays 0 and a one-day calibration window: with no automated
+	// traffic, the fit is starved and errors once the grace window (one
+	// extra calibration window) is exhausted.
+	pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{CalibrationDays: 1}, whois.NewRegistry(), nil, nil)
+	e := stream.New(stream.Config{Shards: 2}, pipe)
+	t.Cleanup(func() { _ = e.Close() })
+	srv := newServer(e, "", 0)
+	m := srv.mux()
+
+	// One visit per (host, domain): nothing periodic, nothing automated.
+	sparse := func(day time.Time, n int) []logs.ProxyRecord {
+		recs := make([]logs.ProxyRecord, n)
+		for i := range recs {
+			recs[i] = logs.ProxyRecord{
+				Time:   day.Add(time.Duration(i*37) * time.Minute),
+				Host:   fmt.Sprintf("host-%d", i),
+				SrcIP:  netip.MustParseAddr("10.0.0.1"),
+				Domain: fmt.Sprintf("once-%d.example.org", i),
+				Method: "GET", Status: 200,
+			}
+		}
+		return recs
+	}
+
+	d1 := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	doJSON(t, m, "POST", "/day", `{"date":"2014-03-01"}`)
+	doJSON(t, m, "POST", "/ingest", proxyTSV(t, sparse(d1, 8)))
+	if rr, _ := doJSON(t, m, "POST", "/flush", ""); rr.Code != http.StatusOK {
+		t.Fatalf("calibration-day flush = %d, want 200", rr.Code)
+	}
+
+	doJSON(t, m, "POST", "/day", `{"date":"2014-03-02"}`)
+	doJSON(t, m, "POST", "/ingest", proxyTSV(t, sparse(d1.AddDate(0, 0, 1), 8)))
+	rr, body := doJSON(t, m, "POST", "/flush", "")
+	if rr.Code != http.StatusConflict {
+		t.Fatalf("starved flush = %d %v, want 409", rr.Code, body)
+	}
+	// The day survived the failed rollover, records intact.
+	rr, body = doJSON(t, m, "GET", "/stats", "")
+	if rr.Code != http.StatusOK || body["day"] != "2014-03-02" || body["dayRecords"] != float64(8) {
+		t.Fatalf("after failed flush, stats = %d %v; want the open day intact", rr.Code, body)
+	}
+}
+
+// TestRunFailsOnCorruptCheckpoint: daemon startup against an empty or
+// corrupt checkpoint must stop with a descriptive error instead of
+// starting fresh (which would overwrite the history on the next write).
+func TestRunFailsOnCorruptCheckpoint(t *testing.T) {
+	for name, content := range map[string]string{
+		"empty":   "",
+		"corrupt": "garbage, not a checkpoint\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "reprod.ckpt")
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			err := run("127.0.0.1:0", 1, 0, 1, false, 0, "", 0, path, 0)
+			if err == nil {
+				t.Fatal("run accepted a corrupt checkpoint")
+			}
+			if !strings.Contains(err.Error(), "restore checkpoint") {
+				t.Fatalf("error %q does not point at the checkpoint", err)
+			}
+		})
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/netip"
 	"os"
@@ -14,17 +15,47 @@ import (
 	"repro/internal/stream"
 )
 
+// defaultMaxIngestBytes caps one /ingest body (32 MiB ≈ 200k TSV records):
+// big enough for any sane batch, small enough that a runaway POST cannot
+// buffer the daemon out of memory.
+const defaultMaxIngestBytes = 32 << 20
+
 // server wraps the engine with the daemon's HTTP API. Handlers are thin:
 // all synchronization lives in the engine, except the checkpoint file
 // write, which the server serializes itself.
 type server struct {
-	eng      *stream.Engine
-	ckptPath string
-	ckptMu   sync.Mutex
+	eng       *stream.Engine
+	ckptPath  string
+	maxIngest int64
+	ckptMu    sync.Mutex
 }
 
-func newServer(e *stream.Engine, ckptPath string) *server {
-	return &server{eng: e, ckptPath: ckptPath}
+func newServer(e *stream.Engine, ckptPath string, maxIngest int64) *server {
+	if maxIngest <= 0 {
+		maxIngest = defaultMaxIngestBytes
+	}
+	return &server{eng: e, ckptPath: ckptPath, maxIngest: maxIngest}
+}
+
+// bodyLimitTripped reports whether a MaxBytesReader has hit its cap: once
+// tripped, every further read returns *http.MaxBytesError. (The batch is
+// being rejected either way, so consuming one byte is harmless.)
+func bodyLimitTripped(body io.Reader) bool {
+	var one [1]byte
+	_, err := body.Read(one[:])
+	return errors.As(err, new(*http.MaxBytesError))
+}
+
+// engineErrStatus maps engine errors onto the API's status contract: a
+// closed engine means the daemon is shutting down (503, retryable
+// elsewhere); anything else — no open day, or a rollover failure such as
+// calibration starvation that left the day's buffer intact — is a conflict
+// the client can resolve and retry (409).
+func engineErrStatus(err error) int {
+	if errors.Is(err, stream.ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusConflict
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -114,7 +145,7 @@ func (s *server) handleDay(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := s.eng.BeginDay(day, leases); err != nil {
-		writeErr(w, http.StatusInternalServerError, "begin day: %v", err)
+		writeErr(w, engineErrStatus(err), "begin day: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"day": req.Date})
@@ -129,35 +160,45 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusTooManyRequests, "shards lagging, retry later")
 		return
 	}
+	// Cap the body before consuming any of it: an oversized POST must die
+	// with 413, not buffer the daemon toward OOM.
+	body := http.MaxBytesReader(w, r.Body, s.maxIngest)
 	// Parse the whole batch before ingesting any of it: a malformed line
 	// must reject the request with zero records accepted, or the sender's
 	// corrected retry would double-ingest the valid prefix.
 	var recs []logs.ProxyRecord
-	if err := logs.ReadProxy(r.Body, func(rec logs.ProxyRecord) error {
+	if err := logs.ReadProxy(body, func(rec logs.ProxyRecord) error {
 		recs = append(recs, rec)
 		return nil
 	}); err != nil {
+		// A tripped limit usually surfaces as a parse error on the line the
+		// cap truncated, so ask the reader, not just the error chain.
+		if errors.As(err, new(*http.MaxBytesError)) || bodyLimitTripped(body) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"rejected whole batch: body exceeds %d bytes; split the batch", s.maxIngest)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "rejected whole batch: %v", err)
 		return
 	}
-	for n, rec := range recs {
-		if err := s.eng.IngestProxy(rec); err != nil {
-			// Only a concurrent day close / shutdown can interrupt here;
-			// n tells the sender how much of the batch landed.
-			status := http.StatusConflict
-			if errors.Is(err, stream.ErrClosed) {
-				status = http.StatusServiceUnavailable
-			}
-			writeErr(w, status, "after %d records: %v", n, err)
-			return
-		}
+	// One engine call ingests the parsed batch atomically — the lock is
+	// taken once, the records land contiguously, and an error (day closed
+	// under us, daemon shutting down) means none of them were accepted, so
+	// the sender's retry replays a clean batch boundary.
+	if err := s.eng.IngestBatch(recs); err != nil {
+		writeErr(w, engineErrStatus(err), "rejected whole batch: %v", err)
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"ingested": len(recs)})
 }
 
 func (s *server) handleFlush(w http.ResponseWriter, _ *http.Request) {
 	if err := s.eng.Flush(); err != nil {
-		writeErr(w, http.StatusInternalServerError, "flush: %v", err)
+		// The engine's rollover is non-destructive: on failure the day and
+		// its buffered records stay open, so 409 tells the client the flush
+		// can be retried once the cause (typically calibration starvation)
+		// is addressed.
+		writeErr(w, engineErrStatus(err), "flush: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"daysDone": s.eng.DaysDone()})
@@ -189,6 +230,14 @@ func (s *server) writeCheckpoint() error {
 		return err
 	}
 	if err := s.eng.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// fsync before rename: without it a crash shortly after the rename can
+	// publish a checkpoint whose bytes never left the page cache, and the
+	// next start would trust a truncated file over the previous good one.
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

@@ -115,11 +115,19 @@ func FoldDomain(domain string, n int) string {
 	if n <= 0 {
 		return d
 	}
-	labels := strings.Split(d, ".")
-	if len(labels) <= n {
-		return d
+	// The last n dot-separated labels form a suffix of d, so slice it out
+	// directly instead of a Split/Join round trip: this runs once per
+	// record on the ingest hot path, where those two allocations dominated.
+	dots := 0
+	for i := len(d) - 1; i >= 0; i-- {
+		if d[i] == '.' {
+			dots++
+			if dots == n {
+				return d[i+1:]
+			}
+		}
 	}
-	return strings.Join(labels[len(labels)-n:], ".")
+	return d
 }
 
 // FoldSecondLevel folds a domain to its registrable second level,
@@ -131,8 +139,26 @@ func FoldSecondLevel(domain string) string { return FoldDomain(domain, 2) }
 func FoldThirdLevel(domain string) string { return FoldDomain(domain, 3) }
 
 // IsIPLiteral reports whether the destination field is a bare IP address
-// rather than a domain name; the paper drops such destinations.
+// rather than a domain name; the paper drops such destinations. The scan
+// rejects ordinary domain names before netip.ParseAddr runs, because the
+// parser allocates its error and this is called once per record on the
+// ingest hot path.
 func IsIPLiteral(s string) bool {
+	maybeV4 := s != ""
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ':' {
+			// Only IPv6 literals carry colons; let the parser decide.
+			_, err := netip.ParseAddr(s)
+			return err == nil
+		}
+		if c != '.' && (c < '0' || c > '9') {
+			maybeV4 = false
+		}
+	}
+	if !maybeV4 {
+		return false
+	}
 	_, err := netip.ParseAddr(s)
 	return err == nil
 }

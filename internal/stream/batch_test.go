@@ -1,0 +1,343 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/logs"
+)
+
+// TestIngestBatchMatchesPerRecord drives the same mixed day (resolved,
+// lease-less, IP-literal records) through IngestBatch and through
+// per-record IngestProxy and requires identical day reports.
+func TestIngestBatchMatchesPerRecord(t *testing.T) {
+	leases := map[netip.Addr]string{netip.MustParseAddr("10.0.0.7"): "lease-host"}
+	day := testDay()
+	var recs []logs.ProxyRecord
+	for i := 0; i < 200; i++ {
+		r := rec(day, fmt.Sprintf("h%d", i%13), fmt.Sprintf("d%d.test", i%37), time.Duration(i)*time.Minute)
+		switch i % 10 {
+		case 7: // lease-resolved source
+			r.Host = ""
+			r.SrcIP = netip.MustParseAddr("10.0.0.7")
+		case 8: // unresolvable source: marker item
+			r.Host = ""
+			r.SrcIP = netip.MustParseAddr("10.9.9.9")
+		case 9: // IP-literal destination: dropped
+			r.Domain = "93.184.216.34"
+		}
+		recs = append(recs, r)
+	}
+
+	run := func(batched bool) *Engine {
+		e := trainOnlyEngine(Config{Shards: 3, QueueDepth: 8})
+		if err := e.BeginDay(day, leases); err != nil {
+			t.Fatal(err)
+		}
+		if batched {
+			rest := recs
+			for len(rest) > 0 { // odd chunk size: boundaries align with nothing
+				n := min(23, len(rest))
+				if err := e.IngestBatch(rest[:n]); err != nil {
+					t.Fatal(err)
+				}
+				rest = rest[n:]
+			}
+		} else {
+			for _, r := range recs {
+				if err := e.IngestProxy(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	single, batched := run(false), run(true)
+	defer single.Close()
+	defer batched.Close()
+	srep, ok := single.DayReport("2014-02-03")
+	if !ok {
+		t.Fatal("per-record engine has no report")
+	}
+	brep, ok := batched.DayReport("2014-02-03")
+	if !ok {
+		t.Fatal("batched engine has no report")
+	}
+	if srep.Stats != brep.Stats {
+		t.Fatalf("stats differ: per-record %+v, batched %+v", srep.Stats, brep.Stats)
+	}
+	if srep.NewCount != brep.NewCount || srep.RareCount != brep.RareCount {
+		t.Fatalf("counts differ: per-record new=%d rare=%d, batched new=%d rare=%d",
+			srep.NewCount, srep.RareCount, brep.NewCount, brep.RareCount)
+	}
+}
+
+// TestIngestBatchAtomicBackpressure verifies the all-or-nothing contract of
+// TryIngestBatch: a rejected batch contributes no records and no counter
+// drift beyond Rejected itself.
+func TestIngestBatchAtomicBackpressure(t *testing.T) {
+	e := trainOnlyEngine(Config{Shards: 1, QueueDepth: 1})
+	defer e.Close()
+	if err := e.BeginDay(testDay(), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Park the only worker inside a control request so the queue backs up.
+	started, release := make(chan struct{}), make(chan struct{})
+	go e.shards[0].do(func(*shard) { close(started); <-release })
+	<-started
+
+	if err := e.TryIngestProxy(rec(testDay(), "h0", "kept.test", 0)); err != nil {
+		t.Fatal(err) // fills the queue's single batch slot
+	}
+	batch := make([]logs.ProxyRecord, 5)
+	for i := range batch {
+		batch[i] = rec(testDay(), "h0", "dropped.test", time.Duration(i)*time.Second)
+	}
+	if err := e.TryIngestBatch(batch); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("got %v, want ErrBackpressure", err)
+	}
+	if got := e.rejected.Load(); got != 5 {
+		t.Fatalf("rejected = %d, want 5 (every record of the batch)", got)
+	}
+	if got := e.dayRecords.Load(); got != 1 {
+		t.Fatalf("dayRecords = %d, want 1: the rejected batch must leave no trace", got)
+	}
+	close(release)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := e.DayReport("2014-02-03")
+	if !ok || rep.Stats.Records != 1 || rep.Stats.DomainsAll != 1 {
+		t.Fatalf("day should hold only the accepted record: %v %+v", ok, rep.Stats)
+	}
+}
+
+// TestLateRecordsCrossMidnight replays an out-of-order cross-midnight
+// stream under AutoRollover: stragglers from an already-reported day are
+// folded into the open day (the documented policy) and counted in
+// Stats.LateRecords instead of being silently misfiled.
+func TestLateRecordsCrossMidnight(t *testing.T) {
+	e := trainOnlyEngine(Config{Shards: 2, AutoRollover: true})
+	defer e.Close()
+	d1, d2 := testDay(), testDay().AddDate(0, 0, 1)
+
+	day1 := []logs.ProxyRecord{
+		rec(d1, "h1", "alpha.test", 10*time.Hour),
+		rec(d1, "h2", "alpha.test", 11*time.Hour),
+		rec(d1, "h1", "beta.test", 12*time.Hour),
+	}
+	if err := e.IngestBatch(day1); err != nil {
+		t.Fatal(err)
+	}
+	// One batch crossing midnight out of order: the d2 record rolls the day
+	// over, the trailing d1 straggler lands in the new day as late.
+	cross := []logs.ProxyRecord{
+		rec(d2, "h1", "alpha.test", time.Minute),
+		rec(d1, "h3", "gamma.test", 23*time.Hour),
+	}
+	if err := e.IngestBatch(cross); err != nil {
+		t.Fatal(err)
+	}
+	// A late single record through the per-record path counts too.
+	if err := e.IngestProxy(rec(d1, "h1", "alpha.test", 23*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := e.Stats().LateRecords; got != 2 {
+		t.Fatalf("LateRecords = %d, want 2", got)
+	}
+	rep1, ok := e.DayReport("2014-02-03")
+	if !ok || rep1.Stats.Records != 3 {
+		t.Fatalf("day 1 report: %v %+v, want 3 records", ok, rep1.Stats)
+	}
+	rep2, ok := e.DayReport("2014-02-04")
+	if !ok || rep2.Stats.Records != 3 {
+		t.Fatalf("day 2 report: %v %+v, want 3 records (1 on-time + 2 late)", ok, rep2.Stats)
+	}
+}
+
+// TestCheckpointRestoresCounters round-trips the Rejected and LateRecords
+// counters through a checkpoint: a restarted daemon must not silently reset
+// its backpressure and misfiling telemetry.
+func TestCheckpointRestoresCounters(t *testing.T) {
+	e := trainOnlyEngine(Config{Shards: 1, QueueDepth: 1, AutoRollover: true})
+	d1, d2 := testDay(), testDay().AddDate(0, 0, 1)
+	if err := e.IngestProxy(rec(d1, "h1", "alpha.test", time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.IngestProxy(rec(d2, "h1", "alpha.test", time.Hour)); err != nil {
+		t.Fatal(err) // rolls d1 over
+	}
+	if err := e.IngestProxy(rec(d1, "h1", "beta.test", 23*time.Hour)); err != nil {
+		t.Fatal(err) // late straggler
+	}
+	// Force a real backpressure rejection with a parked worker.
+	started, release := make(chan struct{}), make(chan struct{})
+	go e.shards[0].do(func(*shard) { close(started); <-release })
+	<-started
+	if err := e.TryIngestProxy(rec(d2, "h1", "alpha.test", 2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.TryIngestProxy(rec(d2, "h1", "alpha.test", 3*time.Hour)); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("got %v, want ErrBackpressure", err)
+	}
+	close(release)
+
+	var buf bytes.Buffer
+	if err := e.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(&buf, Config{Shards: 2}, RestoreDeps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	st := restored.Stats()
+	if st.Rejected != 1 {
+		t.Fatalf("restored Rejected = %d, want 1", st.Rejected)
+	}
+	if st.LateRecords != 1 {
+		t.Fatalf("restored LateRecords = %d, want 1", st.LateRecords)
+	}
+	if err := restored.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := restored.DayReport("2014-02-04")
+	if !ok || rep.Stats.Records != 3 {
+		t.Fatalf("restored open day: %v %+v, want 3 records", ok, rep.Stats)
+	}
+}
+
+// TestRestoreRejectsCorruptCheckpoint: a corrupt or empty checkpoint must
+// fail with a descriptive error, never a panic — the daemon turns this into
+// a refusal to start (starting fresh would overwrite the history).
+func TestRestoreRejectsCorruptCheckpoint(t *testing.T) {
+	cases := map[string]struct {
+		input string
+		want  string
+	}{
+		"empty":         {"", "empty or truncated"},
+		"garbage":       {"not a checkpoint\n", "restore header"},
+		"negativeItems": {`{"version":1,"items":-5}` + "\n", "corrupt header"},
+		"badVersion":    {`{"version":99}` + "\n", "unsupported checkpoint version"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := Restore(strings.NewReader(tc.input), Config{Shards: 1}, RestoreDeps{})
+			if err == nil {
+				t.Fatal("Restore accepted a corrupt checkpoint")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestConcurrentBatchStress races IngestBatch against Snapshot, Flush and
+// Checkpoint (run under -race in CI) and checks no record is lost.
+func TestConcurrentBatchStress(t *testing.T) {
+	e := trainOnlyEngine(Config{Shards: 4, QueueDepth: 16})
+	defer e.Close()
+	day := testDay()
+	if err := e.BeginDay(day, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	const ingesters, batches, batchSize = 4, 40, 64
+	var work sync.WaitGroup
+	for g := 0; g < ingesters; g++ {
+		work.Add(1)
+		go func(g int) {
+			defer work.Done()
+			recs := make([]logs.ProxyRecord, batchSize)
+			for i := 0; i < batches; i++ {
+				for j := range recs {
+					recs[j] = rec(day, fmt.Sprintf("h%d", (g+j)%17),
+						fmt.Sprintf("d%d.test", (i+j)%29), time.Duration(i*batchSize+j)*time.Second)
+				}
+				err := e.IngestBatch(recs)
+				if errors.Is(err, ErrNoDay) {
+					// A concurrent Flush closed the day: reopen, retry.
+					if berr := e.BeginDay(day, nil); berr != nil {
+						t.Error(berr)
+						return
+					}
+					i--
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	work.Add(1)
+	go func() { // mid-stream day completions
+		defer work.Done()
+		for i := 0; i < 5; i++ {
+			time.Sleep(2 * time.Millisecond)
+			if err := e.Flush(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	stop := make(chan struct{})
+	var pollers sync.WaitGroup
+	pollers.Add(2)
+	go func() {
+		defer pollers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_, _ = e.Snapshot(5)
+			}
+		}
+	}()
+	go func() {
+		defer pollers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := e.Checkpoint(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	work.Wait()
+	close(stop)
+	pollers.Wait()
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.Stats().TotalRecords, uint64(ingesters*batches*batchSize); got != want {
+		t.Fatalf("TotalRecords = %d, want %d", got, want)
+	}
+}

@@ -17,6 +17,21 @@ import (
 	"repro/internal/logs"
 )
 
+// discardEngine stops the shard workers without flushing the accumulated
+// mega-day through the pipeline (not what ingest benchmarks measure) so a
+// finished benchmark's engine doesn't stay reachable, inflating GC pressure
+// for the benchmarks that run after it.
+func discardEngine(b *testing.B, e *Engine) {
+	b.Cleanup(func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		e.closed = true
+		for _, s := range e.shards {
+			close(s.batches)
+		}
+	})
+}
+
 func benchRecords(n int) []logs.ProxyRecord {
 	base := time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC)
 	recs := make([]logs.ProxyRecord, n)
@@ -38,6 +53,7 @@ func benchIngest(b *testing.B, shards int, parallel bool) {
 	b.Helper()
 	recs := benchRecords(4096)
 	e := trainOnlyEngine(Config{Shards: shards, QueueDepth: 8192})
+	discardEngine(b, e)
 	if err := e.BeginDay(time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC), nil); err != nil {
 		b.Fatal(err)
 	}
@@ -62,13 +78,70 @@ func benchIngest(b *testing.B, shards int, parallel bool) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rec/s")
-	// Drop the engine without Close: flushing would push the accumulated
-	// mega-day through the full pipeline, which is not what this measures.
 }
 
 func BenchmarkIngestSingleShard(b *testing.B)    { benchIngest(b, 1, false) }
 func BenchmarkIngest8Shard(b *testing.B)         { benchIngest(b, 8, false) }
 func BenchmarkIngest8ShardParallel(b *testing.B) { benchIngest(b, 8, true) }
+
+// benchIngestBatch measures the batched hot path. One benchmark op is one
+// record (the loop advances b.N record-wise), so ns/op, B/op and allocs/op
+// read per record and compare directly against the per-record benchmarks
+// above.
+func benchIngestBatch(b *testing.B, shards, batchSize int, parallel bool) {
+	b.Helper()
+	recs := benchRecords(4096)
+	e := trainOnlyEngine(Config{Shards: shards, QueueDepth: 8192})
+	discardEngine(b, e)
+	if err := e.BeginDay(time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC), nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if parallel {
+		b.RunParallel(func(pb *testing.PB) {
+			start := 0
+			for {
+				n := 0
+				for n < batchSize && pb.Next() {
+					n++
+				}
+				if n == 0 {
+					return
+				}
+				if start+n > len(recs) {
+					start = 0
+				}
+				if err := e.IngestBatch(recs[start : start+n]); err != nil {
+					b.Fatal(err)
+				}
+				start += n
+			}
+		})
+	} else {
+		start := 0
+		for i := 0; i < b.N; i += batchSize {
+			n := min(batchSize, b.N-i)
+			if start+n > len(recs) {
+				start = 0
+			}
+			if err := e.IngestBatch(recs[start : start+n]); err != nil {
+				b.Fatal(err)
+			}
+			start += n
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rec/s")
+}
+
+func BenchmarkIngestBatchSingleShard(b *testing.B)    { benchIngestBatch(b, 1, 512, false) }
+func BenchmarkIngestBatch8Shard(b *testing.B)         { benchIngestBatch(b, 8, 512, false) }
+func BenchmarkIngestBatch8ShardParallel(b *testing.B) { benchIngestBatch(b, 8, 512, true) }
+
+// BenchmarkIngestBatchOfOne prices the batch machinery at its worst case:
+// IngestProxy routed as a batch of one.
+func BenchmarkIngestBatchOfOne(b *testing.B) { benchIngestBatch(b, 1, 1, false) }
 
 // BenchmarkIngestToReport measures the full streaming day cycle: ingest a
 // fixed-size day and roll it over through the pipeline Train path.

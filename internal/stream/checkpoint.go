@@ -3,7 +3,9 @@ package stream
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/maphash"
 	"io"
 	"net/netip"
 	"sort"
@@ -48,6 +50,8 @@ type checkpointHeader struct {
 	DayRecords   uint64                    `json:"dayRecords"`
 	DayDroppedIP uint64                    `json:"dayDroppedIP"`
 	TotalRecords uint64                    `json:"totalRecords"`
+	Rejected     uint64                    `json:"rejected,omitempty"`
+	LateRecords  uint64                    `json:"lateRecords,omitempty"`
 	Pipeline     pipeline.EnterpriseConfig `json:"pipeline"`
 	Leases       map[string]string         `json:"leases,omitempty"`
 	Dates        []string                  `json:"dates,omitempty"`
@@ -96,6 +100,8 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		DayRecords:   e.dayRecords.Load(),
 		DayDroppedIP: e.dayDroppedIP.Load(),
 		TotalRecords: e.totalRecords.Load(),
+		Rejected:     e.rejected.Load(),
+		LateRecords:  e.lateRecords.Load(),
 		Pipeline:     e.pipe.Config(),
 		Dates:        e.dates,
 		Dailies:      len(e.dailies),
@@ -165,10 +171,19 @@ func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 	dec := json.NewDecoder(bufio.NewReader(r))
 	var hdr checkpointHeader
 	if err := dec.Decode(&hdr); err != nil {
+		if errors.Is(err, io.EOF) {
+			// An empty file usually means a crash between creating and
+			// writing the checkpoint; say so instead of a bare "EOF".
+			return nil, errors.New("stream: restore: checkpoint file is empty or truncated")
+		}
 		return nil, fmt.Errorf("stream: restore header: %w", err)
 	}
 	if hdr.Version != checkpointVersion {
 		return nil, fmt.Errorf("stream: unsupported checkpoint version %d", hdr.Version)
+	}
+	if hdr.Dailies < 0 || hdr.Items < 0 {
+		// Corrupt counts would otherwise panic in make below.
+		return nil, fmt.Errorf("stream: restore: corrupt header (dailies=%d, items=%d)", hdr.Dailies, hdr.Items)
 	}
 	hist, err := profile.LoadHistoryFrom(dec)
 	if err != nil {
@@ -199,7 +214,7 @@ func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 			leases[addr] = host
 		}
 	}
-	dailies := make(map[string]report.Daily, hdr.Dailies)
+	dailies := make(map[string]report.Daily, min(hdr.Dailies, 1<<16))
 	for i := 0; i < hdr.Dailies; i++ {
 		var cd checkpointDaily
 		if err := dec.Decode(&cd); err != nil {
@@ -207,11 +222,16 @@ func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 		}
 		dailies[cd.Date] = cd.Daily
 	}
-	items := make([]checkpointItem, hdr.Items)
-	for i := range items {
-		if err := dec.Decode(&items[i]); err != nil {
+	// Grow toward the declared count instead of trusting it outright: a
+	// corrupt header cannot force a huge allocation before the decode of
+	// item 0 fails.
+	items := make([]checkpointItem, 0, min(hdr.Items, 1<<16))
+	for i := 0; i < hdr.Items; i++ {
+		var ci checkpointItem
+		if err := dec.Decode(&ci); err != nil {
 			return nil, fmt.Errorf("stream: restore item %d: %w", i, err)
 		}
+		items = append(items, ci)
 	}
 
 	pipe := pipeline.NewEnterpriseWithHistory(hdr.Pipeline, hist, deps.Whois, deps.Reported, deps.IOCs)
@@ -225,6 +245,8 @@ func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 	e.dayRecords.Store(hdr.DayRecords)
 	e.dayDroppedIP.Store(hdr.DayDroppedIP)
 	e.totalRecords.Store(hdr.TotalRecords)
+	e.rejected.Store(hdr.Rejected)
+	e.lateRecords.Store(hdr.LateRecords)
 	e.daysDone = hdr.DaysDone
 	e.dates = append(e.dates, hdr.Dates...)
 	e.day = day
@@ -232,16 +254,38 @@ func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 	for date, d := range dailies {
 		e.dailies[date] = d
 	}
-	// Replay the open day's buffered records through the shards. Sends are
-	// in seq order and re-hashed, so any shard count reproduces the same
-	// per-pair apply order the original engine saw.
+	// Replay the open day's buffered records through the shards with the
+	// same sharded batch sends the live path uses: one pass groups the
+	// items per shard in seq order, then one channel operation delivers
+	// each shard its share. Items are re-hashed, so any shard count
+	// reproduces the same per-pair apply order the original engine saw.
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	var h maphash.Hash
+	h.SetSeed(e.seed)
 	for _, ci := range items {
+		it := item{seq: ci.Seq}
+		host, domain := "", ci.Domain
 		if ci.Visit != nil {
-			v := *ci.Visit
-			e.shardFor(v.Host, v.Domain).items <- item{seq: ci.Seq, resolved: true, visit: v}
+			it.resolved = true
+			it.visit = *ci.Visit
+			host, domain = it.visit.Host, it.visit.Domain
 		} else {
-			e.shardFor("", ci.Domain).items <- item{seq: ci.Seq, domain: ci.Domain}
+			it.domain = ci.Domain
 		}
+		si := e.shardIndex(&h, host, domain)
+		buf := sc.bufs[si]
+		if buf == nil {
+			buf = e.getBuf()
+			sc.bufs[si] = buf
+			sc.touched = append(sc.touched, si)
+		}
+		*buf = append(*buf, it)
 	}
+	for _, si := range sc.touched {
+		e.shards[si].batches <- sc.bufs[si]
+		sc.bufs[si] = nil // owned by the worker now
+	}
+	sc.touched = sc.touched[:0]
 	return e, nil
 }

@@ -132,6 +132,27 @@ func TestStreamingMatchesBatch(t *testing.T) {
 
 	cfg := Config{Shards: 4, QueueDepth: 256, TrainingDays: fx.training}
 	e := New(cfg, fx.newPipeline())
+	// Alternate days between the per-record path and multi-record batches
+	// (odd-size chunks, so batch boundaries never align with anything) —
+	// the golden invariant must hold for both ingestion shapes.
+	ingest := func(e *Engine, recs []logs.ProxyRecord, batched bool) {
+		t.Helper()
+		if batched {
+			for len(recs) > 0 {
+				n := min(97, len(recs))
+				if err := e.IngestBatch(recs[:n]); err != nil {
+					t.Fatal(err)
+				}
+				recs = recs[n:]
+			}
+			return
+		}
+		for _, r := range recs {
+			if err := e.IngestProxy(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
 	ckptDay := len(days) - 3 // a post-calibration operation day
 	for i, d := range days {
 		recs, leases, err := batch.LoadProxyDay(d)
@@ -145,11 +166,7 @@ func TestStreamingMatchesBatch(t *testing.T) {
 		if i == ckptDay {
 			half = len(recs) / 2
 		}
-		for _, r := range recs[:half] {
-			if err := e.IngestProxy(r); err != nil {
-				t.Fatal(err)
-			}
-		}
+		ingest(e, recs[:half], i%2 == 0)
 		if i == ckptDay {
 			// Mid-day restart: checkpoint, abandon the engine, restore
 			// into a fresh one with a different shard count, resume.
@@ -163,11 +180,9 @@ func TestStreamingMatchesBatch(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, r := range recs[half:] {
-				if err := e.IngestProxy(r); err != nil {
-					t.Fatal(err)
-				}
-			}
+			// Resume with the other ingestion shape than the first half
+			// used, crossing the restore boundary with batches in play.
+			ingest(e, recs[half:], i%2 != 0)
 		}
 	}
 	if err := e.Flush(); err != nil {

@@ -48,18 +48,30 @@ func ReplayDir(e *Engine, dir string, opts ReplayOptions) error {
 		if err := e.BeginDay(d.Date, leases); err != nil {
 			return err
 		}
+		if opts.Speed <= 0 {
+			// Unpaced replay takes the batched hot path: fixed-size chunks
+			// amortize the engine lock and the per-shard channel sends, and
+			// keep peak buffer footprint bounded on multi-million record
+			// days.
+			for len(recs) > 0 {
+				n := min(replayBatchSize, len(recs))
+				if err := e.IngestBatch(recs[:n]); err != nil {
+					return fmt.Errorf("stream: replay %s: %w", d.Date.Format("2006-01-02"), err)
+				}
+				recs = recs[n:]
+			}
+			continue
+		}
 		var prev time.Time
 		for _, r := range recs {
-			if opts.Speed > 0 {
-				if !prev.IsZero() && r.Time.After(prev) {
-					gap := time.Duration(float64(r.Time.Sub(prev)) / opts.Speed)
-					if gap > opts.MaxGap {
-						gap = opts.MaxGap
-					}
-					time.Sleep(gap)
+			if !prev.IsZero() && r.Time.After(prev) {
+				gap := time.Duration(float64(r.Time.Sub(prev)) / opts.Speed)
+				if gap > opts.MaxGap {
+					gap = opts.MaxGap
 				}
-				prev = r.Time
+				time.Sleep(gap)
 			}
+			prev = r.Time
 			if err := e.IngestProxy(r); err != nil {
 				return fmt.Errorf("stream: replay %s: %w", d.Date.Format("2006-01-02"), err)
 			}
@@ -67,3 +79,7 @@ func ReplayDir(e *Engine, dir string, opts ReplayOptions) error {
 	}
 	return e.Flush()
 }
+
+// replayBatchSize is the chunk ReplayDir hands to IngestBatch when pacing
+// is off.
+const replayBatchSize = 4096

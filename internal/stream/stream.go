@@ -6,12 +6,17 @@
 // Architecture. Records are normalized on the ingest path (the per-record
 // half of normalize.ReduceProxy: IP-literal filtering, lease resolution,
 // UTC conversion, second-level folding) and hashed by (host, domain) onto N
-// worker shards. Each shard owns its slice of the day state — the reduced
-// visit buffer, a live histogram.Online analyzer per (host, domain) pair,
-// and per-domain accumulators — so the hot path takes no locks: a shard's
-// maps are touched only by its own worker goroutine, and cross-shard
-// operations (rollover, checkpoint, stats) go through a control channel
-// that the worker services between records.
+// worker shards. Ingestion is batched end to end: IngestBatch takes the
+// engine lock once per batch, reserves a contiguous sequence range with a
+// single atomic add, reduces the records into pooled per-shard buffers with
+// one reused hash state, and hands each shard its share in a single channel
+// operation (IngestProxy is a batch of one). Each shard owns its slice of
+// the day state — the reduced visit buffer, a live histogram.Online
+// analyzer per (host, domain) pair, and per-domain accumulators — so the
+// hot path takes no locks: a shard's maps are touched only by its own
+// worker goroutine, and cross-shard operations (rollover, checkpoint,
+// stats) go through a control channel that the worker services between
+// batches.
 //
 // When the stream crosses a day boundary (or on an explicit Flush), shards
 // freeze their accumulated day, the engine merges the fragments back into
@@ -59,7 +64,9 @@ var (
 type Config struct {
 	// Shards is the number of ingest workers (default GOMAXPROCS).
 	Shards int
-	// QueueDepth is the per-shard channel buffer (default 4096).
+	// QueueDepth is the per-shard channel buffer, counted in batches, not
+	// records — an HTTP request or a replay chunk occupies one slot however
+	// many records it carries (default 4096).
 	QueueDepth int
 	// TrainingDays routes the first N completed days through the
 	// pipeline's Train path (profiling) before Process takes over.
@@ -141,12 +148,12 @@ type ctrlReq struct {
 	done chan struct{}
 }
 
-// shard owns one slice of the open day. All fields below items/ctrl are
+// shard owns one slice of the open day. All fields below batches/ctrl are
 // touched only by the shard's worker goroutine.
 type shard struct {
-	eng   *Engine
-	items chan item
-	ctrl  chan ctrlReq
+	eng     *Engine
+	batches chan *[]item
+	ctrl    chan ctrlReq
 
 	visits  []seqVisit
 	all     map[string]struct{} // distinct folded domains seen today
@@ -161,7 +168,7 @@ type shard struct {
 func newShard(e *Engine, depth int) *shard {
 	return &shard{
 		eng:     e,
-		items:   make(chan item, depth),
+		batches: make(chan *[]item, depth),
 		ctrl:    make(chan ctrlReq),
 		all:     make(map[string]struct{}),
 		pairs:   make(map[pairKey]*histogram.Online),
@@ -172,19 +179,19 @@ func newShard(e *Engine, depth int) *shard {
 func (s *shard) run() {
 	for {
 		select {
-		case it, ok := <-s.items:
+		case b, ok := <-s.batches:
 			if !ok {
 				return
 			}
-			s.apply(it)
+			s.applyBatch(b)
 		case c := <-s.ctrl:
-			// Drain queued records first: the engine only issues control
-			// requests while holding the write lock, so no new items can
+			// Drain queued batches first: the engine only issues control
+			// requests while holding the write lock, so no new batches can
 			// race in and the drain observes the complete prefix.
 			for {
 				select {
-				case it := <-s.items:
-					s.apply(it)
+				case b := <-s.batches:
+					s.applyBatch(b)
 					continue
 				default:
 				}
@@ -196,8 +203,16 @@ func (s *shard) run() {
 	}
 }
 
-func (s *shard) apply(it item) {
-	s.ingested.Add(1)
+// applyBatch applies one routed slice and recycles its buffer.
+func (s *shard) applyBatch(b *[]item) {
+	for i := range *b {
+		s.apply(&(*b)[i])
+	}
+	s.ingested.Add(uint64(len(*b)))
+	s.eng.putBuf(b)
+}
+
+func (s *shard) apply(it *item) {
 	if !it.resolved {
 		s.all[it.domain] = struct{}{}
 		s.markers = append(s.markers, seqMarker{seq: it.seq, domain: it.domain})
@@ -259,7 +274,11 @@ type Engine struct {
 	dayRecords   atomic.Uint64 // raw records ingested into the open day
 	dayDroppedIP atomic.Uint64 // IP-literal drops in the open day
 	totalRecords atomic.Uint64
-	rejected     atomic.Uint64 // backpressure rejections
+	rejected     atomic.Uint64 // backpressure rejections, in records
+	lateRecords  atomic.Uint64 // out-of-order records folded into a newer open day
+
+	bufPool     sync.Pool // *[]item: shard send buffers, recycled by the workers
+	scratchPool sync.Pool // *routeScratch: per-batch routing state
 
 	// mu orders ingestion against rollover: ingest holds it shared (the
 	// hot path's only synchronization besides the channel send), rollover
@@ -299,13 +318,55 @@ func New(cfg Config, pipe *pipeline.Enterprise) *Engine {
 // the engine is open.
 func (e *Engine) Pipeline() *pipeline.Enterprise { return e.pipe }
 
-func (e *Engine) shardFor(host, domain string) *shard {
-	var h maphash.Hash
-	h.SetSeed(e.seed)
+// shardIndex hashes a (host, domain) pair onto a shard. The caller owns the
+// hash state so a whole batch reuses one seeded maphash.Hash instead of
+// constructing one per record.
+func (e *Engine) shardIndex(h *maphash.Hash, host, domain string) int {
+	h.Reset()
 	h.WriteString(host)
 	h.WriteByte(0xff)
 	h.WriteString(domain)
-	return e.shards[h.Sum64()%uint64(len(e.shards))]
+	return int(h.Sum64() % uint64(len(e.shards)))
+}
+
+// routeScratch is the reusable routing state of one batch: a pending send
+// buffer per shard plus the list of shards touched, so routing costs pool
+// lookups instead of per-record allocations — even for a batch of one.
+type routeScratch struct {
+	bufs    []*[]item
+	touched []int
+}
+
+func (e *Engine) getBuf() *[]item {
+	if b, ok := e.bufPool.Get().(*[]item); ok {
+		return b
+	}
+	return new([]item)
+}
+
+func (e *Engine) putBuf(b *[]item) {
+	*b = (*b)[:0]
+	e.bufPool.Put(b)
+}
+
+func (e *Engine) getScratch() *routeScratch {
+	if sc, ok := e.scratchPool.Get().(*routeScratch); ok {
+		return sc
+	}
+	return &routeScratch{bufs: make([]*[]item, len(e.shards))}
+}
+
+// putScratch recycles the scratch, returning any buffers still attached
+// (a rejected batch's) to the buffer pool.
+func (e *Engine) putScratch(sc *routeScratch) {
+	for _, si := range sc.touched {
+		if sc.bufs[si] != nil {
+			e.putBuf(sc.bufs[si])
+			sc.bufs[si] = nil
+		}
+	}
+	sc.touched = sc.touched[:0]
+	e.scratchPool.Put(sc)
 }
 
 // recDay returns the UTC day a record belongs to once normalized.
@@ -356,27 +417,54 @@ func (e *Engine) Close() error {
 	err := e.rolloverLocked()
 	e.closed = true
 	for _, s := range e.shards {
-		close(s.items)
+		close(s.batches)
 	}
 	return err
 }
 
 // IngestProxy feeds one raw proxy record, blocking while its shard's queue
-// is full. Safe for concurrent use.
-func (e *Engine) IngestProxy(r logs.ProxyRecord) error { return e.ingest(r, true) }
+// is full. Safe for concurrent use. It rides the batched hot path as a
+// batch of one; bulk producers should prefer IngestBatch.
+func (e *Engine) IngestProxy(r logs.ProxyRecord) error {
+	recs := [1]logs.ProxyRecord{r}
+	return e.ingestBatch(recs[:], true)
+}
 
 // TryIngestProxy is IngestProxy with backpressure: it returns
 // ErrBackpressure instead of blocking when the target shard lags.
-func (e *Engine) TryIngestProxy(r logs.ProxyRecord) error { return e.ingest(r, false) }
+func (e *Engine) TryIngestProxy(r logs.ProxyRecord) error {
+	recs := [1]logs.ProxyRecord{r}
+	return e.ingestBatch(recs[:], false)
+}
 
-func (e *Engine) ingest(r logs.ProxyRecord, block bool) error {
-	for {
+// IngestBatch feeds a slice of raw proxy records through the batched hot
+// path: the engine lock is taken once, one atomic add reserves a contiguous
+// sequence range, the records reduce into pooled per-shard buffers, and
+// each shard receives its share in a single channel operation. The records
+// land in slice order, atomically with respect to concurrent batches, and
+// an error (ErrClosed, ErrNoDay) means none of the batch was ingested —
+// except under AutoRollover, where a batch spanning a day boundary commits
+// one day chunk at a time and an error mid-batch (a failed rollover, a
+// concurrent Close) leaves the already-committed chunks ingested. Blocks
+// while a destination shard's queue is full. The slice is not retained.
+// Safe for concurrent use.
+func (e *Engine) IngestBatch(recs []logs.ProxyRecord) error { return e.ingestBatch(recs, true) }
+
+// TryIngestBatch is IngestBatch with backpressure: when a destination
+// shard's queue is full it returns ErrBackpressure with nothing ingested.
+// (Under AutoRollover a batch spanning a day boundary commits one day
+// chunk at a time, so a rejection mid-batch can leave earlier chunks
+// ingested; single-day batches — the common case — stay all-or-nothing.)
+func (e *Engine) TryIngestBatch(recs []logs.ProxyRecord) error { return e.ingestBatch(recs, false) }
+
+func (e *Engine) ingestBatch(recs []logs.ProxyRecord, block bool) error {
+	for len(recs) > 0 {
 		e.mu.RLock()
 		if e.closed {
 			e.mu.RUnlock()
 			return ErrClosed
 		}
-		if e.day.IsZero() || (e.cfg.AutoRollover && recDay(r).After(e.day)) {
+		if e.day.IsZero() || (e.cfg.AutoRollover && recDay(recs[0]).After(e.day)) {
 			e.mu.RUnlock()
 			if !e.cfg.AutoRollover {
 				if e.dayOpen() {
@@ -384,18 +472,22 @@ func (e *Engine) ingest(r logs.ProxyRecord, block bool) error {
 				}
 				return ErrNoDay
 			}
-			if err := e.BeginDay(recDay(r), e.currentLeases()); err != nil {
+			if err := e.BeginDay(recDay(recs[0]), e.currentLeases()); err != nil {
 				return err
 			}
 			continue
 		}
-		err := e.routeLocked(r, block)
+		n, err := e.routeBatchLocked(recs, block)
 		e.mu.RUnlock()
-		if errors.Is(err, ErrBackpressure) {
-			e.rejected.Add(1)
+		if err != nil {
+			if errors.Is(err, ErrBackpressure) {
+				e.rejected.Add(uint64(len(recs)))
+			}
+			return err
 		}
-		return err
+		recs = recs[n:]
 	}
+	return nil
 }
 
 func (e *Engine) dayOpen() bool {
@@ -410,54 +502,96 @@ func (e *Engine) currentLeases() map[netip.Addr]string {
 	return e.leases
 }
 
-// routeLocked reduces one record via the shared per-record reducer and
-// hands the result to its shard. Counters are bumped only once the record
-// is accepted: a backpressure rejection leaves no trace, so the caller's
-// retry is not double-counted and streaming stats stay equal to batch
-// stats. Caller holds mu (shared).
-func (e *Engine) routeLocked(r logs.ProxyRecord, block bool) error {
-	v, folded, outcome := normalize.ReduceProxyRecord(r, e.leases)
-	if outcome == normalize.ProxyDroppedIPLiteral {
-		e.countAccepted()
-		e.dayDroppedIP.Add(1)
-		return nil
-	}
-	it := item{seq: e.seq.Add(1)}
-	if outcome == normalize.ProxyDroppedUnresolved {
-		// Unresolvable source: the record still counts toward the day's
-		// distinct-domain statistic, exactly as in batch.
-		it.domain = folded
-		if err := e.send(e.shardFor("", folded), it, block); err != nil {
-			return err
+// routeBatchLocked routes the longest prefix of recs that belongs to the
+// open day (everything, unless AutoRollover finds a later day inside the
+// batch) and returns its length. Each record reduces via the shared
+// per-record reducer into a per-shard buffer; one seq-range reservation and
+// at most one channel send per shard replace the per-record atomics and
+// sends the engine used before batching. Counters are bumped only after
+// every send has landed, so a backpressure rejection leaves no trace beyond
+// an unused seq gap (harmless: seq only orders the rollover merge) and
+// streaming stats stay equal to batch stats. Caller holds mu (shared).
+func (e *Engine) routeBatchLocked(recs []logs.ProxyRecord, block bool) (int, error) {
+	n := len(recs)
+	if e.cfg.AutoRollover {
+		// The chunk ends at the first record of a later day. Records of
+		// *earlier* days stay in the chunk: the rollover policy files late
+		// stragglers into the open day (their original day has already been
+		// reported) and counts them in Stats.LateRecords.
+		for i := range recs {
+			if recDay(recs[i]).After(e.day) {
+				n = i
+				break
+			}
 		}
-		e.countAccepted()
-		return nil
 	}
-	it.resolved = true
-	it.visit = v
-	if err := e.send(e.shardFor(v.Host, folded), it, block); err != nil {
-		return err
-	}
-	e.countAccepted()
-	return nil
-}
+	chunk := recs[:n]
 
-func (e *Engine) countAccepted() {
-	e.dayRecords.Add(1)
-	e.totalRecords.Add(1)
-}
+	sc := e.getScratch()
+	defer e.putScratch(sc)
 
-func (e *Engine) send(s *shard, it item, block bool) error {
-	if block {
-		s.items <- it
-		return nil
+	base := e.seq.Add(uint64(n)) - uint64(n)
+	var h maphash.Hash
+	h.SetSeed(e.seed)
+	var droppedIP, late uint64
+	for i := range chunk {
+		v, folded, outcome := normalize.ReduceProxyRecord(chunk[i], e.leases)
+		if outcome == normalize.ProxyDroppedIPLiteral {
+			droppedIP++
+			continue
+		}
+		if e.cfg.AutoRollover && recDay(chunk[i]).Before(e.day) {
+			late++
+		}
+		it := item{seq: base + uint64(i) + 1}
+		host := ""
+		if outcome == normalize.ProxyDroppedUnresolved {
+			// Unresolvable source: the record still counts toward the day's
+			// distinct-domain statistic, exactly as in batch.
+			it.domain = folded
+		} else {
+			it.resolved = true
+			it.visit = v
+			host = v.Host
+		}
+		si := e.shardIndex(&h, host, folded)
+		buf := sc.bufs[si]
+		if buf == nil {
+			buf = e.getBuf()
+			sc.bufs[si] = buf
+			sc.touched = append(sc.touched, si)
+		}
+		*buf = append(*buf, it)
 	}
-	select {
-	case s.items <- it:
-		return nil
-	default:
-		return ErrBackpressure
+
+	if !block {
+		// All-or-nothing backpressure: reject before handing any shard its
+		// share. A concurrent batch may still win the checked capacity, in
+		// which case the send below blocks momentarily — safe, because the
+		// workers always drain (control requests need the exclusive lock,
+		// which cannot be taken while we hold it shared).
+		for _, si := range sc.touched {
+			s := e.shards[si]
+			if len(s.batches) >= cap(s.batches) {
+				return 0, ErrBackpressure
+			}
+		}
 	}
+	for _, si := range sc.touched {
+		e.shards[si].batches <- sc.bufs[si]
+		sc.bufs[si] = nil // owned by the worker now
+	}
+	sc.touched = sc.touched[:0]
+
+	e.dayRecords.Add(uint64(n))
+	e.totalRecords.Add(uint64(n))
+	if droppedIP > 0 {
+		e.dayDroppedIP.Add(droppedIP)
+	}
+	if late > 0 {
+		e.lateRecords.Add(late)
+	}
+	return n, nil
 }
 
 // quiesce runs fn against every shard on its worker goroutine, after the
@@ -595,18 +729,20 @@ func (e *Engine) evictOldReportsLocked() {
 
 // ---- Introspection ----
 
-// Lagging reports whether any shard queue is at least 90% full — the
-// signal HTTP frontends turn into 429 before accepting another batch.
+// Lagging reports whether any shard queue is at least 90% full (measured in
+// queued batches) — the signal HTTP frontends turn into 429 before
+// accepting another batch.
 func (e *Engine) Lagging() bool {
 	for _, s := range e.shards {
-		if len(s.items)*10 >= e.cfg.QueueDepth*9 {
+		if len(s.batches)*10 >= e.cfg.QueueDepth*9 {
 			return true
 		}
 	}
 	return false
 }
 
-// ShardStats is one shard's live counters.
+// ShardStats is one shard's live counters. Queue counts queued batches,
+// not records.
 type ShardStats struct {
 	Queue          int    `json:"queue"`
 	Ingested       uint64 `json:"ingested"`
@@ -617,13 +753,21 @@ type ShardStats struct {
 
 // Stats is an engine-wide snapshot.
 type Stats struct {
-	Day          string       `json:"day,omitempty"`
-	DayRecords   uint64       `json:"dayRecords"`
-	TotalRecords uint64       `json:"totalRecords"`
-	DaysDone     int          `json:"daysDone"`
-	Rejected     uint64       `json:"rejected"`
-	Dates        []string     `json:"dates,omitempty"`
-	Shards       []ShardStats `json:"shards"`
+	Day          string `json:"day,omitempty"`
+	DayRecords   uint64 `json:"dayRecords"`
+	TotalRecords uint64 `json:"totalRecords"`
+	DaysDone     int    `json:"daysDone"`
+	// Rejected counts records refused for backpressure (TryIngest* only).
+	Rejected uint64 `json:"rejected"`
+	// LateRecords counts out-of-order records that arrived, under
+	// AutoRollover, after their own day had already rolled over. Policy:
+	// such stragglers are filed into the currently open day — their home
+	// day's report is final and non-destructive rollover forbids reopening
+	// it — so a nonzero value flags that recent daily stats carry traffic
+	// from an earlier day.
+	LateRecords uint64       `json:"lateRecords"`
+	Dates       []string     `json:"dates,omitempty"`
+	Shards      []ShardStats `json:"shards"`
 }
 
 // LivePair is one beaconing-looking (host, domain) pair of the open day.
@@ -662,6 +806,7 @@ func (e *Engine) Snapshot(maxLive int) (Stats, []LivePair) {
 		TotalRecords: e.totalRecords.Load(),
 		DaysDone:     e.daysDone,
 		Rejected:     e.rejected.Load(),
+		LateRecords:  e.lateRecords.Load(),
 		Dates:        append([]string(nil), e.dates...),
 		Shards:       make([]ShardStats, len(e.shards)),
 	}
@@ -675,7 +820,7 @@ func (e *Engine) Snapshot(maxLive int) (Stats, []LivePair) {
 	var outMu sync.Mutex
 	e.quiesce(func(i int, s *shard) {
 		ss := ShardStats{
-			Queue:       len(s.items),
+			Queue:       len(s.batches),
 			Ingested:    s.ingested.Load(),
 			LivePairs:   len(s.pairs),
 			LiveDomains: len(s.domains),

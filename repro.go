@@ -34,7 +34,7 @@
 //
 //	e := repro.NewStreamEngine(repro.StreamConfig{TrainingDays: 31}, p)
 //	e.BeginDay(date, leases)
-//	for rec := range feed { e.IngestProxy(rec) }
+//	for batch := range feed { e.IngestBatch(batch) } // or IngestProxy per record
 //	e.Flush() // or let the next BeginDay roll the day over
 //
 // cmd/reprod wraps the engine in a long-running daemon with an HTTP
@@ -435,9 +435,10 @@ func RunEnterpriseBatches(dir string, p *EnterprisePipeline, trainingDays int) (
 
 type (
 	// StreamEngine is the sharded live-feed ingestion engine: records
-	// stream in one at a time, day rollover hands each completed day to
-	// the batch pipeline path, and the results are byte-identical to
-	// batch processing over the same records.
+	// stream in via IngestBatch (or IngestProxy, a batch of one), day
+	// rollover hands each completed day to the batch pipeline path, and
+	// the results are byte-identical to batch processing over the same
+	// records, whichever ingestion shape delivered them.
 	StreamEngine = stream.Engine
 	// StreamConfig parameterizes the engine (shards, queue depth, day
 	// handling).
@@ -454,8 +455,9 @@ type (
 	StreamReplayOptions = stream.ReplayOptions
 )
 
-// ErrStreamBackpressure is returned by StreamEngine.TryIngestProxy when a
-// shard queue is full; HTTP frontends translate it to 429.
+// ErrStreamBackpressure is returned by StreamEngine.TryIngestBatch and
+// TryIngestProxy when a shard queue is full — the batch variant rejects
+// all-or-nothing; HTTP frontends translate it to 429.
 var ErrStreamBackpressure = stream.ErrBackpressure
 
 // NewStreamEngine starts a streaming engine around a pipeline. The engine
