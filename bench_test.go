@@ -443,6 +443,91 @@ func BenchmarkBeliefPropagationDay(b *testing.B) {
 	}
 }
 
+// ---- Day-close stages (the PR 3 concurrency tentpole) ----
+//
+// Both benchmarks below resolve their worker pools from GOMAXPROCS
+// (Workers = 0), so `-cpu 1,4` compares the sequential and parallel
+// day-close paths on identical work.
+
+var (
+	dayCloseOnce   sync.Once
+	dayCloseDay    time.Time
+	dayCloseVisits []Visit
+	dayCloseHist   *History
+	dayCloseDet    *CCDetector
+)
+
+// dayCloseFixture prepares one realistic operation day: a trained history
+// plus the day's reduced visits, so each benchmark iteration replays the
+// pure analytics (no history commit, so every iteration sees identical
+// work).
+func dayCloseFixture() {
+	dayCloseOnce.Do(func() {
+		g := NewEnterpriseGenerator(EnterpriseGeneratorConfig{
+			Seed: 9, TrainingDays: 5, OperationDays: 1,
+			Hosts: 300, PopularDomains: 150, NewRarePerDay: 80,
+			BenignAutoPerDay: 10, Campaigns: 4,
+		})
+		reg := NewWHOISRegistry()
+		PopulateWHOIS(reg, g.Truth, g.RareRegistrations(), g.DayTime(g.NumDays()))
+		hist := NewHistory()
+		for d := 0; d < g.Config().TrainingDays; d++ {
+			visits, _ := ReduceProxy(g.Day(d), g.DHCPMap(d))
+			NewSnapshot(g.DayTime(d), visits, hist, 10).Commit(hist)
+		}
+		opDay := g.Config().TrainingDays
+		dayCloseDay = g.DayTime(opDay)
+		dayCloseVisits, _ = ReduceProxy(g.Day(opDay), g.DHCPMap(opDay))
+		dayCloseHist = hist
+		dayCloseDet = NewCCDetector(&FeatureExtractor{Hist: hist, Whois: reg})
+	})
+}
+
+// BenchmarkDayClose measures the analytics half of a streaming rollover —
+// snapshot build, periodicity profiling, feature extraction — over one
+// operation day.
+func BenchmarkDayClose(b *testing.B) {
+	dayCloseFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := NewSnapshotParallel(dayCloseDay, dayCloseVisits, dayCloseHist, 10, 0)
+		ads := dayCloseDet.FindAutomatedParallel(snap, 0)
+		dayCloseDet.FillFeaturesParallel(ads, dayCloseDay, 0)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(len(dayCloseVisits))/b.Elapsed().Seconds(), "visits/s")
+}
+
+// BenchmarkBeliefProp measures one no-hint belief propagation run on a
+// trained enterprise day, seeded by its own C&C detections — the
+// Compute_SimScore/Detect_C&C fan that dominates Algorithm 1.
+func BenchmarkBeliefProp(b *testing.B) {
+	run := entFixture(b)
+	var rep *EnterpriseDayReport
+	reps := run.OperationReports()
+	for i := range reps {
+		if len(reps[i].CC) > 0 {
+			rep = &reps[i]
+			break
+		}
+	}
+	if rep == nil {
+		b.Skip("no operation day with C&C detections")
+	}
+	var seeds []string
+	for _, ad := range rep.CC {
+		seeds = append(seeds, ad.Domain)
+	}
+	det := run.Pipe.Detector()
+	sim := run.Pipe.SimilarityScorer()
+	cfg := BPConfig{ScoreThreshold: run.Pipe.SimThreshold(), MaxIterations: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BeliefPropagation(rep.Snapshot, nil, seeds, det, sim, cfg)
+	}
+}
+
 func BenchmarkFindAutomatedSequential(b *testing.B) {
 	run := entFixture(b)
 	reps := run.OperationReports()

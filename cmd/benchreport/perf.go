@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/ccdetect"
+	"repro/internal/features"
+	"repro/internal/gen"
+	"repro/internal/logs"
+	"repro/internal/normalize"
+	"repro/internal/pipeline"
+	"repro/internal/profile"
+	"repro/internal/stream"
+	"repro/internal/whois"
+)
+
+// perfSnapshot is the BENCH_PR3.json schema: one comparable point on the
+// perf trajectory per CI run. Rates are records (or visits) per second;
+// durations are milliseconds, medians of perfRounds runs.
+type perfSnapshot struct {
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	Seed       int64 `json:"seed"`
+
+	// Day-close analytics (snapshot build + periodicity profiling +
+	// feature extraction) over one generated operation day.
+	DayCloseVisits       int     `json:"dayCloseVisits"`
+	DayCloseSequentialMs float64 `json:"dayCloseSequentialMs"` // Workers=1
+	DayCloseParallelMs   float64 `json:"dayCloseParallelMs"`   // Workers=GOMAXPROCS
+	DayCloseSpeedup      float64 `json:"dayCloseSpeedup"`
+
+	// Full streaming day cycle (batched ingest + pipeline rollover),
+	// day-closes serialized by per-day Flush vs overlapped with next-day
+	// ingest via BeginDay swap-and-continue.
+	IngestDays              int     `json:"ingestDays"`
+	IngestRecordsPerDay     int     `json:"ingestRecordsPerDay"`
+	IngestToReportSerialRps float64 `json:"ingestToReportSerialRecS"`
+	IngestToReportPipelined float64 `json:"ingestToReportPipelinedRecS"`
+
+	// The rollover ingest-stall (exclusive-lock hold during the buffer
+	// swap) vs the background pipeline duration it used to contain.
+	RolloverPauseMicros int64 `json:"rolloverPauseMicros"`
+	DayCloseMillis      int64 `json:"dayCloseMillis"`
+}
+
+const perfRounds = 3
+
+func medianMs(runs []time.Duration) float64 {
+	sort.Slice(runs, func(i, j int) bool { return runs[i] < runs[j] })
+	return float64(runs[len(runs)/2].Microseconds()) / 1000
+}
+
+// runPerf measures the PR 3 concurrency surfaces and writes the snapshot.
+func runPerf(path string, seed int64) error {
+	snap := perfSnapshot{GOMAXPROCS: runtime.GOMAXPROCS(0), Seed: seed}
+
+	if err := perfDayClose(&snap, seed); err != nil {
+		return err
+	}
+	if err := perfIngestToReport(&snap); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("perf snapshot written to %s\n%s", path, data)
+	return nil
+}
+
+// perfDayClose times the pure analytics of one rollover at Workers=1 vs
+// Workers=GOMAXPROCS over identical inputs (no history commit, so every
+// round replays the same work).
+func perfDayClose(snap *perfSnapshot, seed int64) error {
+	g := gen.NewEnterprise(gen.EnterpriseConfig{
+		Seed: seed, TrainingDays: 5, OperationDays: 1,
+		Hosts: 300, PopularDomains: 150, NewRarePerDay: 80,
+		BenignAutoPerDay: 10, Campaigns: 4,
+	})
+	reg := whois.NewRegistry()
+	gen.PopulateWHOIS(reg, g.Truth, g.RareRegistrations(), g.DayTime(g.NumDays()))
+	hist := profile.NewHistory()
+	for d := 0; d < g.Config().TrainingDays; d++ {
+		visits, _ := normalize.ReduceProxy(g.Day(d), g.DHCPMap(d))
+		profile.NewSnapshot(g.DayTime(d), visits, hist, 10).Commit(hist)
+	}
+	opDay := g.Config().TrainingDays
+	day := g.DayTime(opDay)
+	visits, _ := normalize.ReduceProxy(g.Day(opDay), g.DHCPMap(opDay))
+	det := ccdetect.NewDetector(&features.Extractor{Hist: hist, Whois: reg})
+	snap.DayCloseVisits = len(visits)
+
+	measure := func(workers int) float64 {
+		var runs []time.Duration
+		for r := 0; r < perfRounds; r++ {
+			start := time.Now()
+			s := profile.NewSnapshotParallel(day, visits, hist, 10, workers)
+			ads := det.FindAutomatedParallel(s, workers)
+			det.FillFeaturesParallel(ads, day, workers)
+			runs = append(runs, time.Since(start))
+		}
+		return medianMs(runs)
+	}
+	snap.DayCloseSequentialMs = measure(1)
+	snap.DayCloseParallelMs = measure(0)
+	if snap.DayCloseParallelMs > 0 {
+		snap.DayCloseSpeedup = snap.DayCloseSequentialMs / snap.DayCloseParallelMs
+	}
+	return nil
+}
+
+// perfIngestToReport drives the streaming engine through several full days
+// twice: with day-closes serialized by per-day Flush, and with the
+// swap-and-continue overlap (BeginDay rollovers, one final Flush). The
+// total work is identical; the difference is the overlap the non-blocking
+// rollover buys.
+func perfIngestToReport(snap *perfSnapshot) error {
+	const days, perDay, batchSize = 4, 20000, 512
+	snap.IngestDays = days
+	snap.IngestRecordsPerDay = perDay
+	base := time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC)
+	recs := make([]logs.ProxyRecord, perDay)
+	for i := range recs {
+		recs[i] = logs.ProxyRecord{
+			Host:      fmt.Sprintf("host-%03d", i%64),
+			Domain:    fmt.Sprintf("dom-%03d.example.net", i%61),
+			URL:       "http://example.net/index.html",
+			Method:    "GET",
+			Status:    200,
+			UserAgent: "bench-agent/1.0",
+		}
+	}
+
+	newEngine := func() *stream.Engine {
+		pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{}, whois.NewRegistry(), nil, nil)
+		return stream.New(stream.Config{Shards: 4, QueueDepth: 8192, TrainingDays: 1 << 30}, pipe)
+	}
+	runCycle := func(pipelined bool) (float64, error) {
+		var best float64
+		for r := 0; r < perfRounds; r++ {
+			e := newEngine()
+			start := time.Now()
+			for d := 0; d < days; d++ {
+				dayT := base.AddDate(0, 0, d)
+				if err := e.BeginDay(dayT, nil); err != nil {
+					return 0, err
+				}
+				for i := range recs {
+					recs[i].Time = dayT.Add(time.Duration(i) * 4 * time.Millisecond)
+				}
+				for i := 0; i < perDay; i += batchSize {
+					end := i + batchSize
+					if end > perDay {
+						end = perDay
+					}
+					if err := e.IngestBatch(recs[i:end]); err != nil {
+						return 0, err
+					}
+				}
+				if !pipelined {
+					if err := e.Flush(); err != nil {
+						return 0, err
+					}
+				}
+			}
+			if err := e.Flush(); err != nil {
+				return 0, err
+			}
+			rps := float64(days*perDay) / time.Since(start).Seconds()
+			if rps > best {
+				best = rps
+			}
+			if pipelined {
+				st := e.Stats()
+				snap.RolloverPauseMicros = st.LastRolloverPauseMicros
+				snap.DayCloseMillis = st.LastDayCloseMillis
+			}
+			if err := e.Close(); err != nil {
+				return 0, err
+			}
+		}
+		return best, nil
+	}
+
+	var err error
+	if snap.IngestToReportSerialRps, err = runCycle(false); err != nil {
+		return err
+	}
+	if snap.IngestToReportPipelined, err = runCycle(true); err != nil {
+		return err
+	}
+	return nil
+}

@@ -22,11 +22,15 @@
 //	POST /ingest            TSV proxy records (the internal/logs codec),
 //	                        ingested as one atomic batch; responds 429 when
 //	                        shards lag, 413 over -max-ingest-bytes
-//	POST /flush             completes the open day
+//	POST /flush             completes the open day (retrying a failed
+//	                        day-close first; 409 names the failed day)
 //	POST /checkpoint        writes the engine state to -checkpoint
-//	GET  /report/YYYY-MM-DD the day's SOC report (JSON)
+//	GET  /report/YYYY-MM-DD the day's SOC report (JSON); 202 + Retry-After
+//	                        while the day's close still runs in the background
 //	GET  /reports           completed days
-//	GET  /stats             engine statistics + live beaconing pairs
+//	GET  /stats             engine statistics, live beaconing pairs, and
+//	                        day-close state (closing/closeFailed, last
+//	                        rollover pause, last pipeline duration)
 //	GET  /healthz           liveness
 package main
 

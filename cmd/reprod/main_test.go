@@ -229,9 +229,10 @@ func TestHTTPClosedEngineStatus(t *testing.T) {
 	}
 }
 
-// TestHTTPFlushConflictKeepsDay: a rollover that fails in the pipeline
-// (calibration starvation) is a 409 — the engine's rollover is
-// non-destructive, so the day and its records must still be there.
+// TestHTTPFlushConflictKeepsDay: a day-close that fails in the pipeline
+// (calibration starvation) is a 409 — the close is non-destructive, so the
+// day's records stay buffered as a failed close that /stats surfaces
+// (closeFailed/closeError) and a later flush retries.
 func TestHTTPFlushConflictKeepsDay(t *testing.T) {
 	// TrainingDays 0 and a one-day calibration window: with no automated
 	// traffic, the fit is starved and errors once the grace window (one
@@ -270,10 +271,89 @@ func TestHTTPFlushConflictKeepsDay(t *testing.T) {
 	if rr.Code != http.StatusConflict {
 		t.Fatalf("starved flush = %d %v, want 409", rr.Code, body)
 	}
-	// The day survived the failed rollover, records intact.
+	// The day survived the failed close: /stats surfaces the failed state
+	// instead of silently dropping the traffic.
 	rr, body = doJSON(t, m, "GET", "/stats", "")
-	if rr.Code != http.StatusOK || body["day"] != "2014-03-02" || body["dayRecords"] != float64(8) {
-		t.Fatalf("after failed flush, stats = %d %v; want the open day intact", rr.Code, body)
+	if rr.Code != http.StatusOK || body["closeFailed"] != "2014-03-02" {
+		t.Fatalf("after failed flush, stats = %d %v; want closeFailed=2014-03-02", rr.Code, body)
+	}
+	if msg, _ := body["closeError"].(string); !strings.Contains(msg, "calibrate") {
+		t.Fatalf("closeError = %v; want the calibration cause", body["closeError"])
+	}
+	// A new day may open and buffer records meanwhile, but it cannot
+	// complete past the failed one: the next flush retries 2014-03-02
+	// first — still starved here, so still 409 — and the new day stays
+	// open with its records. Days therefore never complete out of order.
+	rr, _ = doJSON(t, m, "POST", "/day", `{"date":"2014-03-03"}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("day open behind a failed close = %d, want 200", rr.Code)
+	}
+	doJSON(t, m, "POST", "/ingest", proxyTSV(t, sparse(d1.AddDate(0, 0, 2), 8)))
+	rr, body = doJSON(t, m, "POST", "/flush", "")
+	if rr.Code != http.StatusConflict {
+		t.Fatalf("retry flush = %d %v, want 409 (still starved)", rr.Code, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "2014-03-02") {
+		t.Fatalf("retry error %q does not name the failed day", body["error"])
+	}
+	rr, body = doJSON(t, m, "GET", "/stats", "")
+	if rr.Code != http.StatusOK || body["day"] != "2014-03-03" || body["dayRecords"] != float64(8) {
+		t.Fatalf("after refused flush, stats = %d %v; want day 2014-03-03 intact", rr.Code, body)
+	}
+}
+
+// TestHTTPReportDuringDayClose: a report requested for a day whose close
+// still runs in the background is coming, not missing — 202 with a
+// Retry-After hint, and 200 with the report once the close lands. The
+// daemon keeps ingesting the new day the whole time.
+func TestHTTPReportDuringDayClose(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{}, whois.NewRegistry(), nil, nil)
+	e := stream.New(stream.Config{
+		Shards: 2, TrainingDays: 1 << 30,
+		CloseHook: func(string) { started <- struct{}{}; <-release },
+	}, pipe)
+	t.Cleanup(func() { _ = e.Close() })
+	srv := newServer(e, "", 0)
+	m := srv.mux()
+
+	day := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	doJSON(t, m, "POST", "/day", `{"date":"2014-03-01"}`)
+	doJSON(t, m, "POST", "/ingest", proxyTSV(t, testRecords(day, 12)))
+	// Roll over via /day: swap-and-continue, the close parks in the hook.
+	if rr, _ := doJSON(t, m, "POST", "/day", `{"date":"2014-03-02"}`); rr.Code != http.StatusOK {
+		t.Fatalf("next day open = %d, want 200", rr.Code)
+	}
+	<-started
+
+	rr, body := doJSON(t, m, "GET", "/report/2014-03-01", "")
+	if rr.Code != http.StatusAccepted {
+		t.Fatalf("report during close = %d %v, want 202", rr.Code, body)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("202 without Retry-After")
+	}
+	// Ingestion into the new day is not blocked by the in-flight close.
+	rr, body = doJSON(t, m, "POST", "/ingest", proxyTSV(t, testRecords(day.AddDate(0, 0, 1), 5)))
+	if rr.Code != http.StatusOK || body["ingested"] != float64(5) {
+		t.Fatalf("ingest during close = %d %v", rr.Code, body)
+	}
+	// /stats surfaces the pending close without waiting for it.
+	rr, body = doJSON(t, m, "GET", "/stats", "")
+	if rr.Code != http.StatusOK || body["closing"] != "2014-03-01" {
+		t.Fatalf("stats during close = %d %v; want closing=2014-03-01", rr.Code, body)
+	}
+
+	close(release)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A training day still has no SOC report — but now it is a plain 404,
+	// not a 202: the close is done.
+	rr, _ = doJSON(t, m, "GET", "/report/2014-03-01", "")
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("report after close = %d, want 404 (training day)", rr.Code)
 	}
 }
 

@@ -105,7 +105,19 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad date %q: want YYYY-MM-DD", date)
 		return
 	}
-	daily, ok := s.eng.Report(date)
+	// TryReport decides under one engine-lock acquisition, so a rollover
+	// racing this request cannot slip between a pending-check and the
+	// read. A day whose close still runs in the background is coming, not
+	// missing: answer 202 with a retry hint instead of blocking the
+	// request on the pipeline (engine Report would wait) or lying with 404.
+	daily, ok, pending := s.eng.TryReport(date)
+	if pending {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusAccepted, map[string]string{
+			"status": "day-close in flight", "date": date,
+		})
+		return
+	}
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no report for %s (training day, unknown day, or day still open)", date)
 		return

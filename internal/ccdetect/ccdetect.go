@@ -14,13 +14,12 @@ package ccdetect
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/features"
 	"repro/internal/histogram"
+	"repro/internal/par"
 	"repro/internal/profile"
 	"repro/internal/regression"
 )
@@ -91,39 +90,15 @@ func (d *Detector) FindAutomated(s *profile.Snapshot) []*AutomatedDomain {
 }
 
 // FindAutomatedParallel is FindAutomated with the per-domain periodicity
-// analysis fanned out over a bounded worker pool. The output is identical
-// (same domains, same order); only wall-clock differs. workers <= 0 uses
-// GOMAXPROCS.
+// analysis fanned out over a bounded worker pool (par.ForEachIndex). The
+// output is identical (same domains, same order); only wall-clock differs.
+// workers <= 0 uses GOMAXPROCS.
 func (d *Detector) FindAutomatedParallel(s *profile.Snapshot, workers int) []*AutomatedDomain {
 	domains := s.RareDomains()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(domains) {
-		workers = len(domains)
-	}
-	if workers <= 1 {
-		return d.FindAutomated(s)
-	}
-
 	slots := make([]*AutomatedDomain, len(domains))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				slots[i] = analyzeActivity(s.Rare[domains[i]], d.Hist)
-			}
-		}()
-	}
-	for i := range domains {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
+	par.ForEachIndex(len(domains), workers, func(i int) {
+		slots[i] = analyzeActivity(s.Rare[domains[i]], d.Hist)
+	})
 	out := make([]*AutomatedDomain, 0, len(slots))
 	for _, ad := range slots {
 		if ad != nil {
@@ -159,10 +134,22 @@ func analyzeActivity(da *profile.DomainActivity, cfg histogram.Config) *Automate
 // substitutes the batch average for DomAge/DomValidity where WHOIS was
 // unparseable, as §VI-C prescribes.
 func (d *Detector) FillFeatures(ads []*AutomatedDomain, day time.Time) {
+	d.FillFeaturesParallel(ads, day, 1)
+}
+
+// FillFeaturesParallel is FillFeatures with the per-domain feature
+// extraction fanned out over a bounded worker pool. Each domain writes only
+// its own Features field and the WHOIS averaging runs sequentially in slice
+// order afterwards, so the result is identical to the sequential fill for
+// any worker count. workers <= 0 uses GOMAXPROCS.
+func (d *Detector) FillFeaturesParallel(ads []*AutomatedDomain, day time.Time, workers int) {
+	par.ForEachIndex(len(ads), workers, func(i int) {
+		ads[i].Features = d.Extractor.CC(ads[i].Activity, len(ads[i].AutoHosts), day)
+	})
+
 	var sumAge, sumVal float64
 	n := 0
 	for _, ad := range ads {
-		ad.Features = d.Extractor.CC(ad.Activity, len(ad.AutoHosts), day)
 		if ad.Features.HasWhois {
 			sumAge += ad.Features.DomAge
 			sumVal += ad.Features.DomValidity
@@ -320,6 +307,28 @@ func (d *LANLDetector) FindCC(s *profile.Snapshot) []*AutomatedDomain {
 		da := s.Rare[domain]
 		if d.IsCC(da, s.Day) {
 			out = append(out, analyzeActivity(da, d.Hist))
+		}
+	}
+	return out
+}
+
+// FindCCParallel is FindCC with the per-domain heuristic fanned out over a
+// bounded worker pool (par.ForEachIndex). The output is identical (same
+// domains, same sorted order); only wall-clock differs. workers <= 0 uses
+// GOMAXPROCS.
+func (d *LANLDetector) FindCCParallel(s *profile.Snapshot, workers int) []*AutomatedDomain {
+	domains := s.RareDomains()
+	slots := make([]*AutomatedDomain, len(domains))
+	par.ForEachIndex(len(domains), workers, func(i int) {
+		da := s.Rare[domains[i]]
+		if d.IsCC(da, s.Day) {
+			slots[i] = analyzeActivity(da, d.Hist)
+		}
+	})
+	out := make([]*AutomatedDomain, 0, len(slots))
+	for _, ad := range slots {
+		if ad != nil {
+			out = append(out, ad)
 		}
 	}
 	return out

@@ -18,10 +18,12 @@
 package core
 
 import (
+	"runtime"
 	"sort"
 	"time"
 
 	"repro/internal/features"
+	"repro/internal/par"
 	"repro/internal/profile"
 )
 
@@ -45,6 +47,15 @@ type Config struct {
 	// paper runs five iterations per LANL case and leaves the bound
 	// configurable by SOC capacity on enterprise data.
 	MaxIterations int
+	// Workers bounds the worker pool that fans the per-candidate
+	// Detect_C&C and Compute_SimScore evaluations of each iteration —
+	// the dominant cost on days with tens of thousands of rare domains.
+	// The hooks are evaluated concurrently but consumed in the exact
+	// sorted order of the sequential algorithm, so the result is
+	// byte-identical for any worker count. 0 means GOMAXPROCS; 1 runs
+	// sequentially. Workers > 1 requires cc and sim to be safe for
+	// concurrent calls (the detectors and scorers in this module are).
+	Workers int
 }
 
 func (c Config) maxIter() int {
@@ -52,6 +63,13 @@ func (c Config) maxIter() int {
 		return 10
 	}
 	return c.MaxIterations
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
 }
 
 // Reason explains why a domain was labeled.
@@ -192,17 +210,41 @@ func BeliefPropagation(
 		}
 	}
 
+	// candidates returns R \ M in sorted order — the iteration order of the
+	// sequential algorithm. The hook evaluations below fan out over the
+	// worker pool but land in per-candidate slots, and the selection loops
+	// walk the slots in this order, so labeling decisions (and therefore
+	// the detection order the SOC sees) are identical for any worker count.
+	workers := cfg.workers()
+	candidates := func() []string {
+		out := make([]string, 0, len(rare))
+		for d := range rare {
+			if !malicious[d] {
+				out = append(out, d)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+
 	for iter := 1; iter <= cfg.maxIter(); iter++ {
 		res.Iterations = iter
 		labeledThisIter := false
+		// One candidate list serves both steps: step 2 only runs when
+		// step 1 labeled nothing, so R \ M is provably unchanged between
+		// them.
+		cand := candidates()
 
-		// Step 1: sweep R \ M for C&C-like domains.
+		// Step 1: sweep R \ M for C&C-like domains. IsCC depends only on
+		// the candidate's own activity, never on the labels accumulated
+		// during the sweep, so all verdicts can be computed up front.
 		if cc != nil {
-			for _, d := range sortedKeys(rare) {
-				if malicious[d] {
-					continue
-				}
-				if cc.IsCC(s.Rare[d], s.Day) {
+			isCC := make([]bool, len(cand))
+			par.ForEachIndex(len(cand), workers, func(i int) {
+				isCC[i] = cc.IsCC(s.Rare[cand[i]], s.Day)
+			})
+			for i, d := range cand {
+				if isCC[i] {
 					label(d, ReasonCC, 0, iter)
 					labeledThisIter = true
 				}
@@ -210,16 +252,21 @@ func BeliefPropagation(
 		}
 
 		// Step 2: if no C&C was found, label the top-scoring domain.
+		// Step 1 labeled nothing, so R is unchanged and the labeled set is
+		// fixed for the whole scan — every score is independent. The
+		// argmax replays the sequential scan over the score slots, keeping
+		// its exact tie-break: the first candidate in sorted order at the
+		// maximum (and no label at all when every score is negative).
 		if !labeledThisIter && sim != nil {
+			scores := make([]float64, len(cand))
+			par.ForEachIndex(len(cand), workers, func(i int) {
+				scores[i] = sim.Score(s.Rare[cand[i]], labeled, s.Day)
+			})
 			bestScore := 0.0
 			bestDomain := ""
-			for _, d := range sortedKeys(rare) {
-				if malicious[d] {
-					continue
-				}
-				score := sim.Score(s.Rare[d], labeled, s.Day)
-				if score > bestScore || (score == bestScore && bestDomain == "") {
-					bestScore = score
+			for i, d := range cand {
+				if scores[i] > bestScore || (scores[i] == bestScore && bestDomain == "") {
+					bestScore = scores[i]
 					bestDomain = d
 				}
 			}
@@ -243,13 +290,4 @@ func BeliefPropagation(
 	sort.Strings(res.Hosts)
 	sort.Strings(res.NewHosts)
 	return res
-}
-
-func sortedKeys(m map[string]bool) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
 }

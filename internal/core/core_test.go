@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"net/netip"
 	"testing"
 	"time"
@@ -340,5 +341,41 @@ func TestBeliefPropagationPicksMaxScore(t *testing.T) {
 	}
 	if res.Detections[0].Score != 0.9 {
 		t.Errorf("score = %v", res.Detections[0].Score)
+	}
+}
+
+// TestBeliefPropagationWorkersDeterminism: the parallel Detect_C&C /
+// Compute_SimScore fan must reproduce the sequential run exactly — same
+// detections, same order, same scores, same iteration labels, same host
+// sets — for any worker count.
+func TestBeliefPropagationWorkersDeterminism(t *testing.T) {
+	s := buildCampaignSnapshot()
+	cc, sim := lanlStack()
+	run := func(workers int) *Result {
+		return BeliefPropagation(s, []string{"hostA"}, nil, cc, sim, Config{
+			ScoreThreshold: scoring.AdditiveThreshold,
+			MaxIterations:  8,
+			Workers:        workers,
+		})
+	}
+	want := run(1)
+	for _, w := range []int{2, 3, 8, 0} { // 0 = GOMAXPROCS
+		got := run(w)
+		if len(got.Detections) != len(want.Detections) {
+			t.Fatalf("workers=%d: %d detections, want %d", w, len(got.Detections), len(want.Detections))
+		}
+		for i := range want.Detections {
+			g, wnt := got.Detections[i], want.Detections[i]
+			if g.Domain != wnt.Domain || g.Reason != wnt.Reason || g.Score != wnt.Score ||
+				g.Iteration != wnt.Iteration || fmt.Sprint(g.Hosts) != fmt.Sprint(wnt.Hosts) {
+				t.Fatalf("workers=%d: detection %d = %+v, want %+v", w, i, g, wnt)
+			}
+		}
+		if fmt.Sprint(got.Hosts) != fmt.Sprint(want.Hosts) || fmt.Sprint(got.NewHosts) != fmt.Sprint(want.NewHosts) {
+			t.Fatalf("workers=%d: hosts %v/%v, want %v/%v", w, got.Hosts, got.NewHosts, want.Hosts, want.NewHosts)
+		}
+		if got.Iterations != want.Iterations {
+			t.Fatalf("workers=%d: %d iterations, want %d", w, got.Iterations, want.Iterations)
+		}
 	}
 }

@@ -1,0 +1,49 @@
+// Package par provides the bounded fan-out primitive the day-close stages
+// share: run n independent index-addressed tasks over a worker pool, with
+// each task writing only its own result slot. The fan-out introduces no
+// ordering — callers consume the slots in index order and observe exactly
+// what a sequential loop would have produced, which is the determinism
+// argument the parallel snapshot build, feature extraction, and belief
+// propagation sweeps all rest on.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEachIndex runs fn(i) for every i in [0, n), fanned over at most
+// workers goroutines. workers <= 0 uses GOMAXPROCS; a pool of one (or
+// n <= 1) runs inline with no goroutines. fn must confine its writes to
+// per-index state.
+func ForEachIndex(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

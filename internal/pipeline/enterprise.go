@@ -44,6 +44,13 @@ type EnterpriseConfig struct {
 	// traffic with VirusTotal results gathered well after the fact
 	// (default 90, matching its three-month validation delay).
 	LabelLagDays int
+	// Workers bounds the worker pool the day-close stages fan out on:
+	// snapshot aggregation, periodicity profiling, feature extraction, and
+	// the per-iteration Compute_SimScore/Detect_C&C sweeps of belief
+	// propagation. Reports are byte-identical for every value — the
+	// parallel stages merge in deterministic order. 0 (the default) uses
+	// GOMAXPROCS; 1 forces the sequential path.
+	Workers int
 }
 
 func (c *EnterpriseConfig) setDefaults() {
@@ -182,12 +189,8 @@ func (p *Enterprise) Train(day time.Time, recs []logs.ProxyRecord, leases map[ne
 // stream (the streaming engine reduces records one at a time on ingest and
 // hands the merged day here, so streaming and batch share one code path).
 func (p *Enterprise) TrainVisits(day time.Time, visits []logs.Visit, stats normalize.ProxyStats) EnterpriseDayReport {
-	snap := profile.NewSnapshot(day, visits, p.hist, p.cfg.UnpopularThreshold)
-	rep := EnterpriseDayReport{
-		Day: day, Stats: stats,
-		NewCount: snap.NewDomains, RareCount: snap.RareCount(),
-		Snapshot: snap,
-	}
+	snap := p.stageSnapshot(day, visits)
+	rep := stageAssemble(day, stats, snap)
 	snap.Commit(p.hist)
 	return rep
 }
@@ -199,18 +202,93 @@ func (p *Enterprise) Process(day time.Time, recs []logs.ProxyRecord, leases map[
 	return p.ProcessVisits(day, visits, stats)
 }
 
-// ProcessVisits is Process for callers that already hold the reduced visit
-// stream; see TrainVisits.
-func (p *Enterprise) ProcessVisits(day time.Time, visits []logs.Visit, stats normalize.ProxyStats) (EnterpriseDayReport, error) {
-	snap := profile.NewSnapshot(day, visits, p.hist, p.cfg.UnpopularThreshold)
-	rep := EnterpriseDayReport{
+// ---- Day-close stages ----
+//
+// ProcessVisits is the composition of pure stages — snapshot (per-domain
+// aggregation, rare selection), detect (periodicity profiling + feature
+// extraction), score (Tc filter), propagate (Algorithm 1 in both modes),
+// and report assembly. Each stage reads the pipeline's models and history
+// but mutates nothing, so the stages fan out internally on the Workers
+// pool and are testable in isolation; only the calibration bookkeeping and
+// the final Snapshot.Commit write pipeline state.
+
+// stageSnapshot builds the day's reduced view: per-domain activity
+// aggregation and rare-destination selection against the history,
+// partitioned over the worker pool with a deterministic ordered merge.
+func (p *Enterprise) stageSnapshot(day time.Time, visits []logs.Visit) *profile.Snapshot {
+	return profile.NewSnapshotParallel(day, visits, p.hist, p.cfg.UnpopularThreshold, p.cfg.Workers)
+}
+
+// stageDetect runs the periodicity test over every rare domain and fills
+// the C&C features of the automated ones, both fanned over the pool.
+func (p *Enterprise) stageDetect(snap *profile.Snapshot) []*ccdetect.AutomatedDomain {
+	ads := p.detector.FindAutomatedParallel(snap, p.cfg.Workers)
+	p.detector.FillFeaturesParallel(ads, snap.Day, p.cfg.Workers)
+	return ads
+}
+
+// stageScore labels the automated domains scoring at or above Tc as
+// potential C&C, ordered by descending score. It requires a trained model.
+func (p *Enterprise) stageScore(automated []*ccdetect.AutomatedDomain) []*ccdetect.AutomatedDomain {
+	var cc []*ccdetect.AutomatedDomain
+	for _, ad := range automated {
+		if p.detector.Score(ad) >= p.detector.Threshold {
+			cc = append(cc, ad)
+		}
+	}
+	sort.Slice(cc, func(i, j int) bool { return cc[i].Score > cc[j].Score })
+	return cc
+}
+
+// stagePropagate runs belief propagation in both deployment modes: no-hint
+// (seeded by the detected C&C domains) and SOC-hints (seeded by the IOC
+// domains present in today's rare traffic). Either result is nil when its
+// seed set is empty.
+func (p *Enterprise) stagePropagate(snap *profile.Snapshot, cc []*ccdetect.AutomatedDomain) (noHint, socHints *core.Result) {
+	bpCfg := core.Config{
+		ScoreThreshold: p.simThreshold,
+		MaxIterations:  p.cfg.MaxIterations,
+		Workers:        p.cfg.Workers,
+	}
+
+	if len(cc) > 0 {
+		var seedDomains []string
+		for _, ad := range cc {
+			seedDomains = append(seedDomains, ad.Domain)
+		}
+		noHint = core.BeliefPropagation(snap, nil, seedDomains, p.detector, p.simScorer, bpCfg)
+	}
+
+	if p.IOCs != nil {
+		var seeds []string
+		for _, ioc := range p.IOCs() {
+			if _, ok := snap.Rare[ioc]; ok {
+				seeds = append(seeds, ioc)
+			}
+		}
+		sort.Strings(seeds)
+		if len(seeds) > 0 {
+			socHints = core.BeliefPropagation(snap, nil, seeds, p.detector, p.simScorer, bpCfg)
+		}
+	}
+	return noHint, socHints
+}
+
+// stageAssemble builds the day report skeleton from the snapshot.
+func stageAssemble(day time.Time, stats normalize.ProxyStats, snap *profile.Snapshot) EnterpriseDayReport {
+	return EnterpriseDayReport{
 		Day: day, Stats: stats,
 		NewCount: snap.NewDomains, RareCount: snap.RareCount(),
 		Snapshot: snap,
 	}
+}
 
-	rep.Automated = p.detector.FindAutomated(snap)
-	p.detector.FillFeatures(rep.Automated, day)
+// ProcessVisits is Process for callers that already hold the reduced visit
+// stream; see TrainVisits.
+func (p *Enterprise) ProcessVisits(day time.Time, visits []logs.Visit, stats normalize.ProxyStats) (EnterpriseDayReport, error) {
+	snap := p.stageSnapshot(day, visits)
+	rep := stageAssemble(day, stats, snap)
+	rep.Automated = p.stageDetect(snap)
 
 	if !p.trained {
 		p.collectExamples(snap, rep.Automated, day)
@@ -231,39 +309,8 @@ func (p *Enterprise) ProcessVisits(day time.Time, visits []logs.Visit, stats nor
 		return rep, nil
 	}
 
-	// Score automated domains; those above Tc are potential C&C.
-	for _, ad := range rep.Automated {
-		if p.detector.Score(ad) >= p.detector.Threshold {
-			rep.CC = append(rep.CC, ad)
-		}
-	}
-	sort.Slice(rep.CC, func(i, j int) bool { return rep.CC[i].Score > rep.CC[j].Score })
-
-	bpCfg := core.Config{ScoreThreshold: p.simThreshold, MaxIterations: p.cfg.MaxIterations}
-
-	// No-hint mode: seed with detected C&C domains and their hosts.
-	if len(rep.CC) > 0 {
-		var seedDomains []string
-		for _, ad := range rep.CC {
-			seedDomains = append(seedDomains, ad.Domain)
-		}
-		rep.NoHint = core.BeliefPropagation(snap, nil, seedDomains, p.detector, p.simScorer, bpCfg)
-	}
-
-	// SOC-hints mode: seed with IOC domains that appear in today's rare
-	// traffic.
-	if p.IOCs != nil {
-		var seeds []string
-		for _, ioc := range p.IOCs() {
-			if _, ok := snap.Rare[ioc]; ok {
-				seeds = append(seeds, ioc)
-			}
-		}
-		sort.Strings(seeds)
-		if len(seeds) > 0 {
-			rep.SOCHints = core.BeliefPropagation(snap, nil, seeds, p.detector, p.simScorer, bpCfg)
-		}
-	}
+	rep.CC = p.stageScore(rep.Automated)
+	rep.NoHint, rep.SOCHints = p.stagePropagate(snap, rep.CC)
 
 	snap.Commit(p.hist)
 	return rep, nil

@@ -36,6 +36,11 @@ type LANLConfig struct {
 	ScoreThreshold float64
 	// MaxIterations bounds belief propagation (default 5, §V-C).
 	MaxIterations int
+	// Workers bounds the worker pool for the day-close stages (snapshot
+	// aggregation, the C&C sweep, and the per-iteration similarity scans
+	// of belief propagation). Results are identical for every value.
+	// 0 uses GOMAXPROCS; 1 forces the sequential path.
+	Workers int
 }
 
 func (c *LANLConfig) setDefaults() {
@@ -87,7 +92,7 @@ type LANLDayReport struct {
 // detection.
 func (p *LANL) Train(day time.Time, recs []logs.DNSRecord) LANLDayReport {
 	visits, stats := normalize.ReduceDNS(recs)
-	snap := profile.NewSnapshot(day, visits, p.hist, p.cfg.UnpopularThreshold)
+	snap := profile.NewSnapshotParallel(day, visits, p.hist, p.cfg.UnpopularThreshold, p.cfg.Workers)
 	rep := LANLDayReport{
 		Day: day, Stats: stats,
 		NewCount: snap.NewDomains, RareCount: snap.RareCount(),
@@ -102,7 +107,7 @@ func (p *LANL) Train(day time.Time, recs []logs.DNSRecord) LANLDayReport {
 // C&C heuristic finds seeds first (case 4).
 func (p *LANL) Process(day time.Time, recs []logs.DNSRecord, hintHosts []string) LANLDayReport {
 	visits, stats := normalize.ReduceDNS(recs)
-	snap := profile.NewSnapshot(day, visits, p.hist, p.cfg.UnpopularThreshold)
+	snap := profile.NewSnapshotParallel(day, visits, p.hist, p.cfg.UnpopularThreshold, p.cfg.Workers)
 	rep := LANLDayReport{
 		Day: day, Stats: stats,
 		NewCount: snap.NewDomains, RareCount: snap.RareCount(),
@@ -114,7 +119,7 @@ func (p *LANL) Process(day time.Time, recs []logs.DNSRecord, hintHosts []string)
 	if len(hintHosts) == 0 {
 		// No-hint mode: seed belief propagation with the heuristic's C&C
 		// domains and the hosts contacting them.
-		for _, ad := range p.cc.FindCC(snap) {
+		for _, ad := range p.cc.FindCCParallel(snap, p.cfg.Workers) {
 			rep.CCDomains = append(rep.CCDomains, ad.Domain)
 			seedDomains = append(seedDomains, ad.Domain)
 		}
@@ -124,6 +129,7 @@ func (p *LANL) Process(day time.Time, recs []logs.DNSRecord, hintHosts []string)
 		rep.Result = core.BeliefPropagation(snap, seedHosts, seedDomains, p.cc, p.scorer, core.Config{
 			ScoreThreshold: p.cfg.ScoreThreshold,
 			MaxIterations:  p.cfg.MaxIterations,
+			Workers:        p.cfg.Workers,
 		})
 		// In no-hint mode the seeds themselves are detections.
 		if len(hintHosts) == 0 {

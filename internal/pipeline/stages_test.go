@@ -1,0 +1,98 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/logs"
+	"repro/internal/normalize"
+	"repro/internal/whois"
+)
+
+// The day-close stages are pure (no pipeline mutation), so they can be
+// driven one at a time against hand-built inputs — the property the
+// ProcessVisits split exists for.
+
+func stageFixture() (*Enterprise, time.Time, []logs.Visit) {
+	day := time.Date(2014, 3, 10, 0, 0, 0, 0, time.UTC)
+	var visits []logs.Visit
+	// A beaconing rare domain (automated) and scattered one-off domains.
+	for i := 0; i < 40; i++ {
+		visits = append(visits, logs.Visit{
+			Time: day.Add(time.Duration(i) * 10 * time.Minute),
+			Host: "victim", Domain: "beacon.example",
+		})
+	}
+	for i := 0; i < 15; i++ {
+		visits = append(visits, logs.Visit{
+			Time: day.Add(time.Duration(i*53) * time.Minute),
+			Host: fmt.Sprintf("h%d", i), Domain: fmt.Sprintf("once-%d.example", i),
+		})
+	}
+	p := NewEnterprise(EnterpriseConfig{Workers: 2}, whois.NewRegistry(), nil, nil)
+	return p, day, visits
+}
+
+func TestStageSnapshotIsolated(t *testing.T) {
+	p, day, visits := stageFixture()
+	snap := p.stageSnapshot(day, visits)
+	if snap.AllDomains != 16 {
+		t.Fatalf("AllDomains = %d, want 16", snap.AllDomains)
+	}
+	if snap.RareCount() != 16 {
+		t.Fatalf("RareCount = %d, want 16 (empty history: everything is new+unpopular)", snap.RareCount())
+	}
+	// Pure: the history must be untouched until Commit.
+	if p.History().DomainCount() != 0 {
+		t.Fatal("stageSnapshot mutated the history")
+	}
+	if got := len(snap.HostRare["victim"]); got != 1 {
+		t.Fatalf("victim contacts %d rare domains, want 1", got)
+	}
+}
+
+func TestStageDetectIsolated(t *testing.T) {
+	p, day, visits := stageFixture()
+	snap := p.stageSnapshot(day, visits)
+	ads := p.stageDetect(snap)
+	if len(ads) != 1 || ads[0].Domain != "beacon.example" {
+		t.Fatalf("automated = %+v, want exactly beacon.example", ads)
+	}
+	if len(ads[0].AutoHosts) != 1 || ads[0].AutoHosts[0] != "victim" {
+		t.Fatalf("AutoHosts = %v, want [victim]", ads[0].AutoHosts)
+	}
+	// Detection must not commit anything either.
+	if p.History().DomainCount() != 0 {
+		t.Fatal("stageDetect mutated the history")
+	}
+}
+
+func TestStageAssembleIsolated(t *testing.T) {
+	p, day, visits := stageFixture()
+	snap := p.stageSnapshot(day, visits)
+	stats := normalize.ProxyStats{Records: len(visits), Kept: len(visits)}
+	rep := stageAssemble(day, stats, snap)
+	if !rep.Day.Equal(day) || rep.Stats != stats {
+		t.Fatalf("assembled report header %+v", rep)
+	}
+	if rep.RareCount != snap.RareCount() || rep.NewCount != snap.NewDomains {
+		t.Fatalf("assembled counts %d/%d, want %d/%d",
+			rep.NewCount, rep.RareCount, snap.NewDomains, snap.RareCount())
+	}
+	if rep.Snapshot != snap {
+		t.Fatal("assembled report does not carry the snapshot")
+	}
+}
+
+// TestStagePropagateUntrained: stageScore/stagePropagate are only entered
+// once the models exist; with no C&C seeds and no IOC hook the propagate
+// stage is a pair of nils, not a panic.
+func TestStagePropagateUntrainedSeedless(t *testing.T) {
+	p, day, visits := stageFixture()
+	snap := p.stageSnapshot(day, visits)
+	noHint, soc := p.stagePropagate(snap, nil)
+	if noHint != nil || soc != nil {
+		t.Fatalf("seedless propagate = %v/%v, want nil/nil", noHint, soc)
+	}
+}

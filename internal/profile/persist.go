@@ -49,6 +49,8 @@ func (h *History) Save(w io.Writer) error {
 // embed the history as one section of a larger line-delimited stream (the
 // streaming engine's checkpoints do).
 func (h *History) SaveTo(enc *json.Encoder) error {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	if err := enc.Encode(persistHeader{
 		Version: persistVersion,
 		Days:    h.days,

@@ -7,12 +7,19 @@
 package profile
 
 import (
+	"sync"
 	"time"
 )
 
 // History is the incrementally updated profile of normal activity.
 // The zero value is not usable; construct with NewHistory.
+//
+// History is safe for concurrent use: reads (SeenDomain, RareUA, ...) take
+// a shared lock and updates an exclusive one. The streaming engine relies
+// on this — a background day-close commits yesterday into the history
+// while the ingest shards consult SeenDomain for today's records.
 type History struct {
+	mu      sync.RWMutex
 	domains map[string]time.Time       // folded domain -> first day seen
 	uaHosts map[string]map[string]bool // UA -> hosts ever using it
 	days    int                        // number of days ingested
@@ -30,6 +37,8 @@ func NewHistory() *History {
 // Call this at the end of each day, after rare-destination extraction, so
 // that "new" is always judged against the history *before* today.
 func (h *History) UpdateDomains(day time.Time, domains []string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	for _, d := range domains {
 		if _, ok := h.domains[d]; !ok {
 			h.domains[d] = day
@@ -43,6 +52,8 @@ func (h *History) UpdateUA(host, ua string) {
 	if ua == "" {
 		return
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	set, ok := h.uaHosts[ua]
 	if !ok {
 		set = make(map[string]bool)
@@ -53,19 +64,28 @@ func (h *History) UpdateUA(host, ua string) {
 
 // SeenDomain reports whether the folded domain appears in the history.
 func (h *History) SeenDomain(d string) bool {
+	h.mu.RLock()
 	_, ok := h.domains[d]
+	h.mu.RUnlock()
 	return ok
 }
 
 // FirstSeen returns the day a domain first appeared and whether it is known.
 func (h *History) FirstSeen(d string) (time.Time, bool) {
+	h.mu.RLock()
 	t, ok := h.domains[d]
+	h.mu.RUnlock()
 	return t, ok
 }
 
 // UAHostCount returns the number of distinct hosts that have ever used the
 // user-agent string.
-func (h *History) UAHostCount(ua string) int { return len(h.uaHosts[ua]) }
+func (h *History) UAHostCount(ua string) int {
+	h.mu.RLock()
+	n := len(h.uaHosts[ua])
+	h.mu.RUnlock()
+	return n
+}
 
 // RareUA reports whether a user-agent string is rare: used by fewer than
 // threshold hosts across the history, or absent entirely. The empty string
@@ -74,14 +94,32 @@ func (h *History) RareUA(ua string, threshold int) bool {
 	if ua == "" {
 		return true
 	}
-	return len(h.uaHosts[ua]) < threshold
+	h.mu.RLock()
+	n := len(h.uaHosts[ua])
+	h.mu.RUnlock()
+	return n < threshold
 }
 
 // DomainCount returns the size of the destination history.
-func (h *History) DomainCount() int { return len(h.domains) }
+func (h *History) DomainCount() int {
+	h.mu.RLock()
+	n := len(h.domains)
+	h.mu.RUnlock()
+	return n
+}
 
 // UACount returns the number of distinct user-agent strings on file.
-func (h *History) UACount() int { return len(h.uaHosts) }
+func (h *History) UACount() int {
+	h.mu.RLock()
+	n := len(h.uaHosts)
+	h.mu.RUnlock()
+	return n
+}
 
 // Days returns how many days have been ingested.
-func (h *History) Days() int { return h.days }
+func (h *History) Days() int {
+	h.mu.RLock()
+	n := h.days
+	h.mu.RUnlock()
+	return n
+}

@@ -2,8 +2,10 @@ package profile
 
 import (
 	"net/netip"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/logs"
@@ -85,67 +87,82 @@ type Snapshot struct {
 	uaPairs map[[2]string]bool
 }
 
-// NewSnapshot classifies the day's visits against the history: a domain is
-// new if absent from the history and rare if additionally contacted by
-// fewer than unpopularThreshold distinct hosts today (§III-A, §IV-A; the
-// paper sets the threshold to 10 on SOC advice).
-func NewSnapshot(day time.Time, visits []logs.Visit, hist *History, unpopularThreshold int) *Snapshot {
-	s := &Snapshot{
-		Day:      day,
-		Rare:     make(map[string]*DomainActivity),
-		HostRare: make(map[string][]string),
-		uaPairs:  make(map[[2]string]bool),
-	}
+// domainAgg is the pre-classification aggregation of one domain's visits.
+type domainAgg struct {
+	hosts map[string]*HostActivity
+	ip    netip.Addr
+	paths map[string]bool
+}
 
-	type agg struct {
-		hosts map[string]*HostActivity
-		ip    netip.Addr
-		paths map[string]bool
-	}
-	perDomain := make(map[string]*agg)
-	for i := range visits {
-		v := &visits[i]
-		a, ok := perDomain[v.Domain]
-		if !ok {
-			a = &agg{hosts: make(map[string]*HostActivity)}
-			perDomain[v.Domain] = a
-		}
-		if !a.ip.IsValid() && v.DestIP.IsValid() {
-			a.ip = v.DestIP
-		}
-		if p := urlPath(v.URL); p != "" {
-			if a.paths == nil {
-				a.paths = make(map[string]bool)
-			}
-			if len(a.paths) < maxPathsPerDomain || a.paths[p] {
-				a.paths[p] = true
-			}
-		}
-		ha, ok := a.hosts[v.Host]
-		if !ok {
-			ha = &HostActivity{Host: v.Host, UAs: make(map[string]bool)}
-			a.hosts[v.Host] = ha
-		}
-		ha.Times = append(ha.Times, v.Time)
-		if !v.HasRef {
-			ha.NoRefVisits++
-		}
-		if v.HasUA {
-			ha.UAs[v.UserAgent] = true
-			s.uaPairs[[2]string{v.Host, v.UserAgent}] = true
-		} else {
-			ha.UAs[""] = true
-		}
-	}
+// snapPart is the aggregation of one partition of the day's domains. Every
+// domain is owned by exactly one partition, and a partition's owner scans
+// its visits in stream order — so per-domain state (first-seen IP, the
+// first-16-paths cap, per-host visit order) is identical to what the
+// sequential single-partition pass produces.
+type snapPart struct {
+	perDomain map[string]*domainAgg
+	uaPairs   map[[2]string]bool
+	// Classification results, filled by classify.
+	domains []string
+	newCnt  int
+	rare    map[string]*DomainActivity
+}
 
-	s.AllDomains = len(perDomain)
-	s.domains = make([]string, 0, len(perDomain))
-	for d, a := range perDomain {
-		s.domains = append(s.domains, d)
+func newSnapPart() *snapPart {
+	return &snapPart{
+		perDomain: make(map[string]*domainAgg),
+		uaPairs:   make(map[[2]string]bool),
+	}
+}
+
+// absorb folds one visit into the partition.
+func (p *snapPart) absorb(v *logs.Visit) {
+	a, ok := p.perDomain[v.Domain]
+	if !ok {
+		a = &domainAgg{hosts: make(map[string]*HostActivity)}
+		p.perDomain[v.Domain] = a
+	}
+	if !a.ip.IsValid() && v.DestIP.IsValid() {
+		a.ip = v.DestIP
+	}
+	if pth := urlPath(v.URL); pth != "" {
+		if a.paths == nil {
+			a.paths = make(map[string]bool)
+		}
+		if len(a.paths) < maxPathsPerDomain || a.paths[pth] {
+			a.paths[pth] = true
+		}
+	}
+	ha, ok := a.hosts[v.Host]
+	if !ok {
+		ha = &HostActivity{Host: v.Host, UAs: make(map[string]bool)}
+		a.hosts[v.Host] = ha
+	}
+	ha.Times = append(ha.Times, v.Time)
+	if !v.HasRef {
+		ha.NoRefVisits++
+	}
+	if v.HasUA {
+		ha.UAs[v.UserAgent] = true
+		p.uaPairs[[2]string{v.Host, v.UserAgent}] = true
+	} else {
+		ha.UAs[""] = true
+	}
+}
+
+// classify runs the rare-destination selection (§III-A) over the
+// partition's domains: new (absent from the history) and unpopular (fewer
+// than unpopularThreshold distinct hosts). Rare domains get their per-host
+// timestamps sorted here, so the expensive sorts also run per partition.
+func (p *snapPart) classify(hist *History, unpopularThreshold int) {
+	p.domains = make([]string, 0, len(p.perDomain))
+	p.rare = make(map[string]*DomainActivity)
+	for d, a := range p.perDomain {
+		p.domains = append(p.domains, d)
 		if hist.SeenDomain(d) {
 			continue
 		}
-		s.NewDomains++
+		p.newCnt++
 		if len(a.hosts) >= unpopularThreshold {
 			continue
 		}
@@ -153,7 +170,94 @@ func NewSnapshot(day time.Time, visits []logs.Visit, hist *History, unpopularThr
 		for _, ha := range da.Hosts {
 			sort.Slice(ha.Times, func(i, j int) bool { return ha.Times[i].Before(ha.Times[j]) })
 		}
-		s.Rare[d] = da
+		p.rare[d] = da
+	}
+}
+
+// NewSnapshot classifies the day's visits against the history: a domain is
+// new if absent from the history and rare if additionally contacted by
+// fewer than unpopularThreshold distinct hosts today (§III-A, §IV-A; the
+// paper sets the threshold to 10 on SOC advice).
+func NewSnapshot(day time.Time, visits []logs.Visit, hist *History, unpopularThreshold int) *Snapshot {
+	return NewSnapshotParallel(day, visits, hist, unpopularThreshold, 1)
+}
+
+// parallelCutoff is the day size below which the partitioned build is not
+// worth its fan-out overhead.
+const parallelCutoff = 4096
+
+// NewSnapshotParallel is NewSnapshot with the per-domain aggregation and
+// rare-destination selection fanned out over a worker pool. Domains are
+// partitioned by hash so each is owned by exactly one worker, and the merge
+// is ordered — the resulting snapshot is identical to the sequential build
+// for any worker count. workers <= 0 uses GOMAXPROCS.
+func NewSnapshotParallel(day time.Time, visits []logs.Visit, hist *History, unpopularThreshold, workers int) *Snapshot {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 && len(visits) < parallelCutoff {
+		workers = 1
+	}
+
+	var parts []*snapPart
+	if workers <= 1 {
+		p := newSnapPart()
+		for i := range visits {
+			p.absorb(&visits[i])
+		}
+		p.classify(hist, unpopularThreshold)
+		parts = []*snapPart{p}
+	} else {
+		// One sequential pass assigns every visit to its domain's partition;
+		// the per-partition index lists preserve stream order, so each
+		// worker replays exactly the subsequence the sequential pass would
+		// have fed it.
+		idx := make([][]int32, workers)
+		est := len(visits)/workers + 16
+		for p := range idx {
+			idx[p] = make([]int32, 0, est)
+		}
+		for i := range visits {
+			p := int(domainPartition(visits[i].Domain) % uint32(workers))
+			idx[p] = append(idx[p], int32(i))
+		}
+		parts = make([]*snapPart, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				p := newSnapPart()
+				for _, i := range idx[w] {
+					p.absorb(&visits[i])
+				}
+				p.classify(hist, unpopularThreshold)
+				parts[w] = p
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Ordered merge: partitions hold disjoint domain sets, so the merge is
+	// pure set union; iterating parts in index order keeps it deterministic
+	// (the maps themselves are order-free, and every ordered consumer of
+	// the snapshot sorts).
+	s := &Snapshot{
+		Day:      day,
+		Rare:     make(map[string]*DomainActivity),
+		HostRare: make(map[string][]string),
+		uaPairs:  make(map[[2]string]bool),
+	}
+	for _, p := range parts {
+		s.AllDomains += len(p.perDomain)
+		s.NewDomains += p.newCnt
+		s.domains = append(s.domains, p.domains...)
+		for d, da := range p.rare {
+			s.Rare[d] = da
+		}
+		for pair := range p.uaPairs {
+			s.uaPairs[pair] = true
+		}
 	}
 	for d, da := range s.Rare {
 		for h := range da.Hosts {
@@ -164,6 +268,17 @@ func NewSnapshot(day time.Time, visits []logs.Visit, hist *History, unpopularThr
 		sort.Strings(s.HostRare[h])
 	}
 	return s
+}
+
+// domainPartition hashes a domain onto a partition (FNV-1a). Any stable
+// hash works — the partition assignment never leaks into the snapshot.
+func domainPartition(domain string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(domain); i++ {
+		h ^= uint32(domain[i])
+		h *= 16777619
+	}
+	return h
 }
 
 // RareCount returns the number of rare destinations today.

@@ -20,6 +20,12 @@ import (
 // Scorer computes the similarity of a candidate rare domain to the set of
 // domains already labeled malicious in earlier belief propagation
 // iterations.
+//
+// Score must be safe for concurrent calls on a shared receiver: belief
+// propagation with core.Config.Workers > 1 fans Compute_SimScore over all
+// candidate domains at once. Both scorers in this package qualify — they
+// read the trained model, the history, and the WHOIS registry, none of
+// which is mutated during a scan.
 type Scorer interface {
 	Score(da *profile.DomainActivity, labeled []features.Labeled, day time.Time) float64
 }

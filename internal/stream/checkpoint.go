@@ -71,12 +71,24 @@ type checkpointItem struct {
 }
 
 // Checkpoint streams the engine's full state to w. The engine is quiesced
-// for the duration; concurrent ingestion blocks and resumes afterwards.
+// for the duration; concurrent ingestion blocks and resumes afterwards. A
+// day-close in flight is waited out first — its day lives in neither the
+// completed reports nor the open-day buffers until it publishes, so a
+// checkpoint taken mid-close would silently drop it. A close that failed
+// and awaits retry makes the engine state unrepresentable in the one-open-
+// day checkpoint format; Checkpoint refuses until a Flush retries it.
 func (e *Engine) Checkpoint(w io.Writer) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return ErrClosed
+	}
+	e.awaitCloseLocked()
+	if e.closed {
+		return ErrClosed
+	}
+	if e.failed != nil {
+		return fmt.Errorf("stream: checkpoint: day %s close failed (%v); retry with Flush first", e.failed.date, e.failed.err)
 	}
 
 	frags := e.collectDay()

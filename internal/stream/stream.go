@@ -18,12 +18,19 @@
 // stats) go through a control channel that the worker services between
 // batches.
 //
-// When the stream crosses a day boundary (or on an explicit Flush), shards
-// freeze their accumulated day, the engine merges the fragments back into
-// arrival order, and hands the day to the exact internal/pipeline
-// Train/Process path the batch runner uses — so streaming reports are
-// byte-identical to batch reports over the same records (the
-// TestStreamingMatchesBatch golden test holds this invariant).
+// When the stream crosses a day boundary (or on an explicit Flush), the
+// rollover is swap-and-continue: under the exclusive lock the engine only
+// swaps the open day's shard buffers out — O(queued batches + shards), not
+// O(pipeline run) — then a background day-close goroutine merges the
+// fragments back into arrival order and hands the day to the exact
+// internal/pipeline Train/Process path the batch runner uses, concurrent
+// with next-day ingestion. Streaming reports are therefore byte-identical
+// to batch reports over the same records (the TestStreamingMatchesBatch
+// golden test holds this invariant), and ingestion never stalls for the
+// duration of the analytics. Day-closes are strictly serialized: Flush,
+// Close, Checkpoint, Report-of-the-closing-day and the next rollover all
+// wait on (or refuse during) an in-flight close, so days complete in order
+// and the pipeline is never entered concurrently.
 //
 // In between rollovers the per-pair Online analyzers give an early-warning
 // signal: LiveAutomated lists the beaconing-looking (host, domain) pairs of
@@ -88,11 +95,19 @@ type Config struct {
 	// all (tests, short evaluations).
 	RetainDayReports int
 	// OnReport, when set, observes every completed day. daily is nil for
-	// training days. The callback runs while the engine is frozen for
-	// rollover: it must not call back into the Engine (Checkpoint, Flush,
-	// Stats, ... would self-deadlock) — hand such work to another
-	// goroutine, as cmd/reprod does for its rollover checkpoints.
+	// training days. The callback runs on the background day-close
+	// goroutine after the day is published but while the close still
+	// counts as in flight, so successive days' callbacks never overlap.
+	// It must not synchronously call engine operations that wait on the
+	// in-flight close (Checkpoint, Flush, Close, Report of the just-closed
+	// day would self-deadlock) — hand such work to another goroutine, as
+	// cmd/reprod does for its rollover checkpoints.
 	OnReport func(rep pipeline.EnterpriseDayReport, daily *report.Daily)
+	// CloseHook, when set, runs on the day-close goroutine before the
+	// pipeline, with the closing date. It is a test seam for observing or
+	// stalling the background close (the ingest-during-close and HTTP 202
+	// tests); leave nil in production.
+	CloseHook func(date string)
 }
 
 func (c *Config) setDefaults() {
@@ -225,8 +240,11 @@ func (s *shard) apply(it *item) {
 	// Live periodicity state only for domains absent from the history:
 	// anything already profiled can never be rare today, and skipping it
 	// keeps the pair map proportional to the day's new traffic rather than
-	// its full volume. The history is safe to read here — it is mutated
-	// only during rollover, when every shard is quiescent.
+	// its full volume. The history is safe to read here — it is internally
+	// locked, and the only writer is the background day-close committing
+	// yesterday while this shard ingests today. A read that races such a
+	// commit can at worst track live state for a domain that just became
+	// historical; the day reports never depend on it.
 	if s.eng.hist.SeenDomain(v.Domain) {
 		return
 	}
@@ -281,9 +299,12 @@ type Engine struct {
 	scratchPool sync.Pool // *routeScratch: per-batch routing state
 
 	// mu orders ingestion against rollover: ingest holds it shared (the
-	// hot path's only synchronization besides the channel send), rollover
-	// and checkpointing hold it exclusively, which also guarantees every
-	// shard queue drains to a quiescent state before day processing runs.
+	// hot path's only synchronization besides the channel send), the
+	// rollover swap and checkpointing hold it exclusively, which also
+	// guarantees every shard queue drains to a quiescent state before the
+	// day is frozen. The pipeline itself runs on a background day-close
+	// goroutine without the lock, so the ingest stall at rollover is the
+	// buffer swap, not the analytics.
 	mu       sync.RWMutex
 	day      time.Time // open day (UTC midnight); zero when none
 	leases   map[netip.Addr]string
@@ -292,6 +313,32 @@ type Engine struct {
 	dailies  map[string]report.Daily
 	dates    []string // completed days in processing order
 	closed   bool
+
+	// closing is the in-flight background day-close; nil when none. failed
+	// holds a close that ended in a pipeline error, with its day's buffers
+	// intact, awaiting a retry (Flush) — while it is set, further rollovers
+	// are refused so days cannot complete out of order.
+	closing *dayClose
+	failed  *dayClose
+	// lastSwap is the exclusive-lock hold time of the last rollover (the
+	// ingest stall); lastCloseDur the last background pipeline duration.
+	lastSwap     time.Duration
+	lastCloseDur time.Duration
+	// closeHook is Config.CloseHook (settable directly by in-package tests
+	// before the engine starts rolling days).
+	closeHook func(date string)
+}
+
+// dayClose carries one swapped-out day through its background close.
+type dayClose struct {
+	day       time.Time
+	date      string
+	frags     []dayFrag // retained until the pipeline accepts the day
+	records   uint64
+	droppedIP uint64
+	training  bool
+	done      chan struct{} // closed when the close (or its failure) is final
+	err       error
 }
 
 // New starts an engine around a pipeline. The pipeline must not be used
@@ -299,12 +346,13 @@ type Engine struct {
 func New(cfg Config, pipe *pipeline.Enterprise) *Engine {
 	cfg.setDefaults()
 	e := &Engine{
-		cfg:     cfg,
-		pipe:    pipe,
-		hist:    pipe.History(),
-		seed:    maphash.MakeSeed(),
-		reports: make(map[string]pipeline.EnterpriseDayReport),
-		dailies: make(map[string]report.Daily),
+		cfg:       cfg,
+		pipe:      pipe,
+		hist:      pipe.History(),
+		seed:      maphash.MakeSeed(),
+		reports:   make(map[string]pipeline.EnterpriseDayReport),
+		dailies:   make(map[string]report.Daily),
+		closeHook: cfg.CloseHook,
 	}
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
@@ -375,9 +423,13 @@ func recDay(r logs.ProxyRecord) time.Time {
 	return time.Date(utc.Year(), utc.Month(), utc.Day(), 0, 0, 0, 0, time.UTC)
 }
 
-// BeginDay opens a day, first completing any previously open one. The lease
-// map resolves source addresses without a Host field for the whole day; it
-// may be nil when records carry hostnames.
+// BeginDay opens a day, first swapping any previously open one out to a
+// background day-close (swap-and-continue: ingestion into the new day
+// proceeds while the analytics run). The lease map resolves source
+// addresses without a Host field for the whole day; it may be nil when
+// records carry hostnames. When an earlier day's close has failed, the
+// rollover is refused (the open day and the failed day both stay intact)
+// until a Flush retries the failed close.
 func (e *Engine) BeginDay(day time.Time, leases map[netip.Addr]string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -386,8 +438,11 @@ func (e *Engine) BeginDay(day time.Time, leases map[netip.Addr]string) error {
 	}
 	day = time.Date(day.Year(), day.Month(), day.Day(), 0, 0, 0, 0, time.UTC)
 	if !e.day.IsZero() && !e.day.Equal(day) {
-		if err := e.rolloverLocked(); err != nil {
+		if _, err := e.beginCloseLocked(e.day); err != nil {
 			return err
+		}
+		if e.closed { // Close slipped in while awaiting the previous close
+			return ErrClosed
 		}
 	}
 	e.day = day
@@ -396,30 +451,116 @@ func (e *Engine) BeginDay(day time.Time, leases map[netip.Addr]string) error {
 }
 
 // Flush completes the open day (if any records were ingested) and leaves no
-// day open.
+// day open. Unlike BeginDay it waits for the day-close to finish, so the
+// day's report is readable when Flush returns; a failed earlier close is
+// retried first, and on failure the day's buffers stay intact for another
+// Flush.
 func (e *Engine) Flush() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return ErrClosed
 	}
-	return e.rolloverLocked()
+	if err := e.retryFailedLocked(); err != nil {
+		return err
+	}
+	c, err := e.beginCloseLocked(e.day)
+	if err != nil || c == nil {
+		return err
+	}
+	e.mu.Unlock()
+	<-c.done
+	e.mu.Lock()
+	return c.err
 }
 
-// Close flushes the open day and stops the shard workers. The engine
-// rejects ingestion afterwards; reports remain readable.
+// Close flushes the open day, waits for the close to complete, and stops
+// the shard workers. The engine rejects ingestion afterwards; reports
+// remain readable. The flush loops: a concurrent BeginDay can slip a new
+// day in while the lock is released for a close wait, and records the
+// engine accepted must never be silently dropped — Close keeps closing
+// until no day is open (an error breaks out, matching the old behavior of
+// closing over a failed day).
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return nil
 	}
-	err := e.rolloverLocked()
+	var err error
+	for {
+		if err = e.retryFailedLocked(); err != nil {
+			break
+		}
+		if e.closed { // a concurrent Close finished while the lock was released
+			return nil
+		}
+		if e.day.IsZero() {
+			break
+		}
+		var c *dayClose
+		c, err = e.beginCloseLocked(e.day)
+		if err != nil {
+			break
+		}
+		if c == nil {
+			// Empty day cleared, or another goroutine rolled the day while
+			// the lock was released — re-evaluate what is open now.
+			continue
+		}
+		e.mu.Unlock()
+		<-c.done
+		e.mu.Lock()
+		if c.err != nil {
+			err = c.err
+			break
+		}
+	}
+	if e.closed {
+		return err
+	}
 	e.closed = true
 	for _, s := range e.shards {
 		close(s.batches)
 	}
 	return err
+}
+
+// awaitCloseLocked blocks until no day-close is in flight. Caller holds mu
+// exclusively; the wait releases and reacquires it, so callers must
+// re-validate any state they read before calling.
+func (e *Engine) awaitCloseLocked() {
+	for e.closing != nil {
+		c := e.closing
+		e.mu.Unlock()
+		<-c.done
+		e.mu.Lock()
+	}
+}
+
+// retryFailedLocked re-runs a previously failed day-close (the caller
+// waits for it). Returns nil when there was nothing to retry or the retry
+// succeeded; on another failure the day is re-stashed for the next
+// attempt. Caller holds mu exclusively; the waits release and reacquire it.
+func (e *Engine) retryFailedLocked() error {
+	for {
+		e.awaitCloseLocked()
+		if e.failed == nil {
+			return nil
+		}
+		c := e.failed
+		e.failed = nil
+		c.done = make(chan struct{})
+		c.err = nil
+		e.closing = c
+		go e.runDayClose(c)
+		e.mu.Unlock()
+		<-c.done
+		e.mu.Lock()
+		if c.err != nil {
+			return c.err
+		}
+	}
 }
 
 // IngestProxy feeds one raw proxy record, blocking while its shard's queue
@@ -651,66 +792,137 @@ func mergeDay(frags []dayFrag) ([]logs.Visit, map[string]struct{}, int) {
 	return visits, all, unresolved
 }
 
-// rolloverLocked completes the open day: freeze shards, merge, run the
-// batch pipeline path, record the report. Day state is torn down only
-// after the pipeline succeeds — on error the day stays open with every
-// buffered record intact, so the caller can fix the cause (typically
-// calibration starvation) and Flush again without losing traffic. Caller
-// holds mu exclusively.
-func (e *Engine) rolloverLocked() error {
-	if e.day.IsZero() {
-		return nil
+// beginCloseLocked swaps the open day out of the shards and starts its
+// close on a background goroutine, after waiting out any close already in
+// flight (day-closes are strictly serialized, so days complete in order
+// and the pipeline is never entered concurrently). The exclusive lock is
+// held only for the shard buffer swap — O(queued batches + shards) — not
+// for the pipeline run, so next-day ingestion resumes immediately.
+//
+// expect is the day the caller intends to close (its read of e.day before
+// the call): the wait releases the lock, so a concurrent rollover may
+// already have closed that day — or opened a different one — by the time
+// it reacquires. In that case beginCloseLocked returns nil without
+// touching the now-open day; closing whatever happens to be open would
+// sever a day another producer is mid-stream into.
+//
+// Returns the started close, or nil when there was nothing (left) to
+// close — no open day, no records (an empty day produces no report, as in
+// batch mode, where it has no file), or the expected day already closed by
+// someone else. Returns an error — with the open day untouched — when a
+// previous close failed and awaits retry, or the engine closed while
+// waiting. Caller holds mu exclusively; the wait releases and reacquires it.
+func (e *Engine) beginCloseLocked(expect time.Time) (*dayClose, error) {
+	e.awaitCloseLocked()
+	if e.failed != nil {
+		return nil, fmt.Errorf("stream: day %s close failed (%v); retry with Flush", e.failed.date, e.failed.err)
 	}
-	day := e.day
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if e.day.IsZero() || !e.day.Equal(expect) {
+		return nil, nil
+	}
 	records := e.dayRecords.Load()
-	droppedIP := e.dayDroppedIP.Load()
 	if records == 0 {
 		e.day = time.Time{}
 		e.leases = nil
-		return nil // empty day: batch mode would have no file either
-	}
-	visits, all, unresolved := mergeDay(e.collectDay())
-	stats := normalize.ProxyStats{
-		Records:           int(records),
-		DomainsAll:        len(all),
-		DroppedIPLiteral:  int(droppedIP),
-		DroppedUnresolved: unresolved,
-		Kept:              len(visits),
+		return nil, nil
 	}
 
-	date := day.Format("2006-01-02")
-	var rep pipeline.EnterpriseDayReport
-	var daily *report.Daily
-	if e.daysDone < e.cfg.TrainingDays {
-		rep = e.pipe.TrainVisits(day, visits, stats)
-	} else {
-		var err error
-		rep, err = e.pipe.ProcessVisits(day, visits, stats)
-		if err != nil {
-			return fmt.Errorf("stream: day %s: %w", date, err)
-		}
-		d := report.Build(rep)
-		daily = &d
+	start := time.Now()
+	c := &dayClose{
+		day:       e.day,
+		date:      e.day.Format("2006-01-02"),
+		records:   records,
+		droppedIP: e.dayDroppedIP.Load(),
+		// All earlier days are published (no close in flight, none failed),
+		// so the train/process split is decided here, consistently with the
+		// sequential engine.
+		training: e.daysDone < e.cfg.TrainingDays,
+		done:     make(chan struct{}),
 	}
-
-	// The pipeline accepted the day: tear down the open-day state.
-	e.quiesce(func(_ int, s *shard) { s.resetDay() })
+	// One quiesce swaps every shard's day buffers out and resets its live
+	// state; this is the whole ingest stall of a rollover.
+	frags := make([]dayFrag, len(e.shards))
+	e.quiesce(func(i int, s *shard) {
+		frags[i] = dayFrag{visits: s.visits, all: s.all, markers: s.markers}
+		s.resetDay()
+	})
+	c.frags = frags
 	e.dayRecords.Store(0)
 	e.dayDroppedIP.Store(0)
 	e.day = time.Time{}
 	e.leases = nil
+	e.lastSwap = time.Since(start)
+	e.closing = c
+	go e.runDayClose(c)
+	return c, nil
+}
 
-	e.daysDone++
-	e.reports[date] = rep
-	if daily != nil {
-		e.dailies[date] = *daily
+// runDayClose is the background half of a rollover: merge the swapped
+// shard fragments back into arrival order, run the batch pipeline path,
+// publish the report. On a pipeline error the day's buffers are retained
+// on e.failed so a later Flush can retry without losing traffic (the
+// paper's calibration-starvation case). Runs without the engine lock; the
+// shards are already ingesting the next day.
+func (e *Engine) runDayClose(c *dayClose) {
+	if e.closeHook != nil {
+		e.closeHook(c.date)
 	}
-	e.dates = append(e.dates, date)
+	start := time.Now()
+	visits, all, unresolved := mergeDay(c.frags)
+	stats := normalize.ProxyStats{
+		Records:           int(c.records),
+		DomainsAll:        len(all),
+		DroppedIPLiteral:  int(c.droppedIP),
+		DroppedUnresolved: unresolved,
+		Kept:              len(visits),
+	}
+
+	var rep pipeline.EnterpriseDayReport
+	var daily *report.Daily
+	var err error
+	if c.training {
+		rep = e.pipe.TrainVisits(c.day, visits, stats)
+	} else {
+		rep, err = e.pipe.ProcessVisits(c.day, visits, stats)
+		if err == nil {
+			d := report.Build(rep)
+			daily = &d
+		}
+	}
+	dur := time.Since(start)
+
+	e.mu.Lock()
+	e.lastCloseDur = dur
+	if err != nil {
+		c.err = fmt.Errorf("stream: day %s: %w", c.date, err)
+		e.failed = c
+		e.closing = nil
+		e.mu.Unlock()
+		close(c.done)
+		return
+	}
+	c.frags = nil // the day lives in the history now; free the buffers
+	e.daysDone++
+	e.reports[c.date] = rep
+	if daily != nil {
+		e.dailies[c.date] = *daily
+	}
+	e.dates = append(e.dates, c.date)
 	e.evictOldReportsLocked()
+	e.mu.Unlock()
+
+	// OnReport runs outside the lock but before the close is marked done,
+	// so callbacks for successive days never overlap.
 	if e.cfg.OnReport != nil {
 		e.cfg.OnReport(rep, daily)
 	}
-	return nil
+	e.mu.Lock()
+	e.closing = nil
+	e.mu.Unlock()
+	close(c.done)
 }
 
 // evictOldReportsLocked drops the oldest full day reports beyond the
@@ -768,6 +980,20 @@ type Stats struct {
 	LateRecords uint64       `json:"lateRecords"`
 	Dates       []string     `json:"dates,omitempty"`
 	Shards      []ShardStats `json:"shards"`
+
+	// Day-close observability. Closing is the date whose close currently
+	// runs in the background ("" when none); CloseFailed/CloseError report
+	// a close that ended in a pipeline error and awaits a Flush retry.
+	Closing     string `json:"closing,omitempty"`
+	CloseFailed string `json:"closeFailed,omitempty"`
+	CloseError  string `json:"closeError,omitempty"`
+	// LastRolloverPauseMicros is the exclusive-lock hold time of the last
+	// rollover — the ingest stall, which swap-and-continue keeps at the
+	// shard buffer swap rather than the pipeline run.
+	LastRolloverPauseMicros int64 `json:"lastRolloverPauseMicros"`
+	// LastDayCloseMillis is the duration of the last completed background
+	// pipeline run.
+	LastDayCloseMillis int64 `json:"lastDayCloseMillis"`
 }
 
 // LivePair is one beaconing-looking (host, domain) pair of the open day.
@@ -802,16 +1028,25 @@ func (e *Engine) Snapshot(maxLive int) (Stats, []LivePair) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := Stats{
-		DayRecords:   e.dayRecords.Load(),
-		TotalRecords: e.totalRecords.Load(),
-		DaysDone:     e.daysDone,
-		Rejected:     e.rejected.Load(),
-		LateRecords:  e.lateRecords.Load(),
-		Dates:        append([]string(nil), e.dates...),
-		Shards:       make([]ShardStats, len(e.shards)),
+		DayRecords:              e.dayRecords.Load(),
+		TotalRecords:            e.totalRecords.Load(),
+		DaysDone:                e.daysDone,
+		Rejected:                e.rejected.Load(),
+		LateRecords:             e.lateRecords.Load(),
+		Dates:                   append([]string(nil), e.dates...),
+		Shards:                  make([]ShardStats, len(e.shards)),
+		LastRolloverPauseMicros: e.lastSwap.Microseconds(),
+		LastDayCloseMillis:      e.lastCloseDur.Milliseconds(),
 	}
 	if !e.day.IsZero() {
 		st.Day = e.day.Format("2006-01-02")
+	}
+	if e.closing != nil {
+		st.Closing = e.closing.date
+	}
+	if e.failed != nil {
+		st.CloseFailed = e.failed.date
+		st.CloseError = e.failed.err.Error()
 	}
 	if e.closed {
 		return st, nil
@@ -861,23 +1096,90 @@ func (e *Engine) Snapshot(maxLive int) (Stats, []LivePair) {
 	return st, out
 }
 
-// Report returns the SOC-facing daily report for a completed operation day.
+// awaitDateLocked blocks while the given date's close is in flight, so
+// readers of a just-rolled-over day observe its published report rather
+// than a transient absence. Caller holds mu exclusively; the wait releases
+// and reacquires it.
+func (e *Engine) awaitDateLocked(date string) {
+	for e.closing != nil && e.closing.date == date {
+		c := e.closing
+		e.mu.Unlock()
+		<-c.done
+		e.mu.Lock()
+	}
+}
+
+// Report returns the SOC-facing daily report for a completed operation
+// day. When the date's close is still running in the background, Report
+// waits for it — callers that would rather not block (an HTTP frontend
+// answering 202) use TryReport. The common case — no close in flight for
+// this date — reads under the shared lock so report polling never stalls
+// the ingest hot path.
 func (e *Engine) Report(date string) (report.Daily, bool) {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
+	if e.closing == nil || e.closing.date != date {
+		d, ok := e.dailies[date]
+		e.mu.RUnlock()
+		return d, ok
+	}
+	e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.awaitDateLocked(date)
 	d, ok := e.dailies[date]
 	return d, ok
 }
 
-// DayReport returns the full pipeline report for a completed day (training
-// days included). Only the Config.RetainDayReports most recent days
-// completed since the engine started (or was restored) are available; the
-// compact Report dailies cover all days.
-func (e *Engine) DayReport(date string) (pipeline.EnterpriseDayReport, bool) {
+// TryReport is Report without the wait, decided under a single lock
+// acquisition: when the date's report is published it is returned
+// (ok=true); when the date's close is still in flight pending=true and the
+// caller should retry shortly (HTTP frontends answer 202 + Retry-After);
+// otherwise the date is unknown, a training day, or still open (ok=false,
+// pending=false).
+func (e *Engine) TryReport(date string) (d report.Daily, ok, pending bool) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	// Published wins even while the close still counts as in flight (the
+	// report lands before the close retires): never answer "pending" for
+	// a report that is already readable.
+	if d, ok := e.dailies[date]; ok {
+		return d, true, false
+	}
+	if e.closing != nil && e.closing.date == date {
+		return report.Daily{}, false, true
+	}
+	return report.Daily{}, false, false
+}
+
+// DayReport returns the full pipeline report for a completed day (training
+// days included), waiting like Report when the date's close is in flight.
+// Only the Config.RetainDayReports most recent days completed since the
+// engine started (or was restored) are available; the compact Report
+// dailies cover all days.
+func (e *Engine) DayReport(date string) (pipeline.EnterpriseDayReport, bool) {
+	e.mu.RLock()
+	if e.closing == nil || e.closing.date != date {
+		r, ok := e.reports[date]
+		e.mu.RUnlock()
+		return r, ok
+	}
+	e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.awaitDateLocked(date)
 	r, ok := e.reports[date]
 	return r, ok
+}
+
+// PendingClose reports the date of the day-close currently running in the
+// background, if any.
+func (e *Engine) PendingClose() (string, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closing == nil {
+		return "", false
+	}
+	return e.closing.date, true
 }
 
 // Dates returns the completed days in processing order.

@@ -182,6 +182,13 @@ func NewSnapshot(day time.Time, visits []Visit, hist *History, unpopularThreshol
 	return profile.NewSnapshot(day, visits, hist, unpopularThreshold)
 }
 
+// NewSnapshotParallel is NewSnapshot with the per-domain aggregation fanned
+// over a worker pool (0 = GOMAXPROCS); the snapshot is identical to the
+// sequential build for any worker count.
+func NewSnapshotParallel(day time.Time, visits []Visit, hist *History, unpopularThreshold, workers int) *Snapshot {
+	return profile.NewSnapshotParallel(day, visits, hist, unpopularThreshold, workers)
+}
+
 // ---- Periodicity detection ----
 
 type (
