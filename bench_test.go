@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/histogram"
+	"repro/internal/profile"
 	"repro/internal/regression"
 )
 
@@ -492,6 +493,46 @@ func BenchmarkDayClose(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		snap := NewSnapshotParallel(dayCloseDay, dayCloseVisits, dayCloseHist, 10, 0)
+		ads := dayCloseDet.FindAutomatedParallel(snap, 0)
+		dayCloseDet.FillFeaturesParallel(ads, dayCloseDay, 0)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(len(dayCloseVisits))/b.Elapsed().Seconds(), "visits/s")
+}
+
+// BenchmarkDayCloseIncremental measures the same day-close analytics as
+// BenchmarkDayClose, but from per-shard incremental partials maintained
+// during ingest (the streaming engine's rollover path since the
+// incremental-snapshot change): the snapshot stage is an O(domains) merge
+// + classification instead of a full O(visits) re-reduce of the day, so
+// the two benchmarks bracket exactly what incremental maintenance removes
+// from the rollover.
+func BenchmarkDayCloseIncremental(b *testing.B) {
+	dayCloseFixture()
+	// Rebuild the partials for every iteration, untimed (that cost rides
+	// the ingest hot path in production): reusing one set across
+	// iterations would hand later closes pre-sorted rare timestamps and
+	// understate the merge. One builder per shard, visits routed by the
+	// reference (host, domain) pair hash, seq = arrival index.
+	const shards = 4
+	buildParts := func() []*profile.IncrementalBuilder {
+		parts := make([]*profile.IncrementalBuilder, shards)
+		for i := range parts {
+			parts[i] = profile.NewIncrementalBuilder()
+		}
+		for i := range dayCloseVisits {
+			v := &dayCloseVisits[i]
+			parts[profile.PairPartition(v.Host, v.Domain, shards)].Add(uint64(i), v)
+		}
+		return parts
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		parts := buildParts()
+		b.StartTimer()
+		snap := MergeSnapshotParallel(dayCloseDay, parts, dayCloseHist, 10, 0)
 		ads := dayCloseDet.FindAutomatedParallel(snap, 0)
 		dayCloseDet.FillFeaturesParallel(ads, dayCloseDay, 0)
 	}

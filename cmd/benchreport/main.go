@@ -10,7 +10,7 @@
 // With -perf the tables are skipped and a machine-readable performance
 // snapshot is written instead: day-close wall-clock at Workers=1 vs
 // GOMAXPROCS, and the streaming ingest-to-report cycle serial vs
-// pipelined. CI uploads it as the BENCH_PR3.json artifact so the perf
+// pipelined. CI uploads it as the BENCH_PR4.json artifact so the perf
 // trajectory is tracked across pull requests.
 package main
 

@@ -19,7 +19,7 @@ import (
 	"repro/internal/whois"
 )
 
-// perfSnapshot is the BENCH_PR3.json schema: one comparable point on the
+// perfSnapshot is the BENCH_PR4.json schema: one comparable point on the
 // perf trajectory per CI run. Rates are records (or visits) per second;
 // durations are milliseconds, medians of perfRounds runs.
 type perfSnapshot struct {
@@ -32,6 +32,15 @@ type perfSnapshot struct {
 	DayCloseSequentialMs float64 `json:"dayCloseSequentialMs"` // Workers=1
 	DayCloseParallelMs   float64 `json:"dayCloseParallelMs"`   // Workers=GOMAXPROCS
 	DayCloseSpeedup      float64 `json:"dayCloseSpeedup"`
+
+	// The same analytics from per-shard incremental partials (the
+	// streaming rollover path): snapshot stage = merge + classification
+	// instead of a full re-reduce of the day's visits.
+	DayCloseIncrementalSequentialMs float64 `json:"dayCloseIncrementalSequentialMs"`
+	DayCloseIncrementalParallelMs   float64 `json:"dayCloseIncrementalParallelMs"`
+	// DayCloseIncrementalSpeedup compares incremental vs batch at equal
+	// worker counts (sequential/sequential).
+	DayCloseIncrementalSpeedup float64 `json:"dayCloseIncrementalSpeedup"`
 
 	// Full streaming day cycle (batched ingest + pipeline rollover),
 	// day-closes serialized by per-day Flush vs overlapped with next-day
@@ -114,6 +123,41 @@ func perfDayClose(snap *perfSnapshot, seed int64) error {
 	snap.DayCloseParallelMs = measure(0)
 	if snap.DayCloseParallelMs > 0 {
 		snap.DayCloseSpeedup = snap.DayCloseSequentialMs / snap.DayCloseParallelMs
+	}
+
+	// The incremental rollover path: per-shard partials maintained during
+	// ingest (untimed — that cost rides the ingest hot path), merged +
+	// classified at close. The partials are rebuilt for every round:
+	// reusing one set would hand later rounds pre-sorted rare timestamps
+	// and understate the merge.
+	const shards = 4
+	buildParts := func() []*profile.IncrementalBuilder {
+		parts := make([]*profile.IncrementalBuilder, shards)
+		for i := range parts {
+			parts[i] = profile.NewIncrementalBuilder()
+		}
+		for i := range visits {
+			v := &visits[i]
+			parts[profile.PairPartition(v.Host, v.Domain, shards)].Add(uint64(i), v)
+		}
+		return parts
+	}
+	measureInc := func(workers int) float64 {
+		var runs []time.Duration
+		for r := 0; r < perfRounds; r++ {
+			parts := buildParts()
+			start := time.Now()
+			s := profile.MergeSnapshotParallel(day, parts, hist, 10, workers)
+			ads := det.FindAutomatedParallel(s, workers)
+			det.FillFeaturesParallel(ads, day, workers)
+			runs = append(runs, time.Since(start))
+		}
+		return medianMs(runs)
+	}
+	snap.DayCloseIncrementalSequentialMs = measureInc(1)
+	snap.DayCloseIncrementalParallelMs = measureInc(0)
+	if snap.DayCloseIncrementalSequentialMs > 0 {
+		snap.DayCloseIncrementalSpeedup = snap.DayCloseSequentialMs / snap.DayCloseIncrementalSequentialMs
 	}
 	return nil
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	entdetect [-seed N] [-full] [-days]
+//	entdetect [-seed N] [-full] [-days] [-workers N]
 package main
 
 import (
@@ -24,28 +24,34 @@ func main() {
 	full := flag.Bool("full", false, "use the full-scale dataset")
 	days := flag.Bool("days", false, "print the per-day operational log")
 	jsonOut := flag.Bool("json", false, "emit per-day SOC reports as JSON instead of figures")
+	workers := flag.Int("workers", 0, "day-close pipeline workers (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	flag.Parse()
 	if *jsonOut {
-		if err := runJSON(os.Stdout, *seed, *full); err != nil {
+		if err := runJSON(os.Stdout, *seed, *full, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(os.Stdout, *seed, *full, *days); err != nil {
+	if err := run(os.Stdout, *seed, *full, *days, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-// runJSON emits the ordered suspicious-domain list of each operation day
-// as the SOC-facing JSON report.
-func runJSON(w io.Writer, seed int64, full bool) error {
+// newRun executes the full evaluation per the command-line knobs.
+func newRun(seed int64, full bool, workers int) (*eval.EnterpriseRun, error) {
 	scale := eval.ScaleSmall
 	if full {
 		scale = eval.ScaleFull
 	}
-	run, err := eval.RunEnterprise(scale, seed)
+	return eval.RunEnterpriseWorkers(scale, seed, workers)
+}
+
+// runJSON emits the ordered suspicious-domain list of each operation day
+// as the SOC-facing JSON report.
+func runJSON(w io.Writer, seed int64, full bool, workers int) error {
+	run, err := newRun(seed, full, workers)
 	if err != nil {
 		return err
 	}
@@ -61,12 +67,8 @@ func runJSON(w io.Writer, seed int64, full bool) error {
 	return nil
 }
 
-func run(w io.Writer, seed int64, full, days bool) error {
-	scale := eval.ScaleSmall
-	if full {
-		scale = eval.ScaleFull
-	}
-	run, err := eval.RunEnterprise(scale, seed)
+func run(w io.Writer, seed int64, full, days bool, workers int) error {
+	run, err := newRun(seed, full, workers)
 	if err != nil {
 		return err
 	}

@@ -5,9 +5,21 @@ import (
 	"testing"
 )
 
+// TestWorkersFlagReachesPipeline: the -workers knob must land in the
+// pipeline configuration the evaluation runs with.
+func TestWorkersFlagReachesPipeline(t *testing.T) {
+	run, err := newRun(21, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run.Pipe.Config().Workers; got != 2 {
+		t.Fatalf("pipeline Workers = %d, want 2", got)
+	}
+}
+
 func TestRunProducesAllArtifacts(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 21, false, true); err != nil {
+	if err := run(&sb, 21, false, true, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	reprod [-addr :8714] [-shards N] [-seed N] [-full]
+//	reprod [-addr :8714] [-shards N] [-workers N] [-seed N] [-full]
 //	       [-replay DIR] [-speed X]
 //	       [-checkpoint FILE] [-max-ingest-bytes N]
 //
@@ -54,56 +54,103 @@ import (
 	"repro/internal/whois"
 )
 
+// daemonOpts carries the parsed command-line configuration.
+type daemonOpts struct {
+	addr       string
+	shards     int
+	queue      int
+	seed       int64
+	full       bool
+	training   int
+	workers    int
+	replay     string
+	speed      float64
+	checkpoint string
+	maxIngest  int64
+}
+
 func main() {
-	addr := flag.String("addr", ":8714", "HTTP listen address")
-	shards := flag.Int("shards", 0, "ingest shards (0 = GOMAXPROCS)")
-	queue := flag.Int("queue", 0, "per-shard queue depth (0 = default)")
-	seed := flag.Int64("seed", 1, "dataset seed for the simulated WHOIS/intel externals")
-	full := flag.Bool("full", false, "size the externals for the full-scale dataset")
-	training := flag.Int("training", 0, "training days (0 = the scale's default)")
-	replay := flag.String("replay", "", "replay a cmd/datagen enterprise dataset directory, then keep serving")
-	speed := flag.Float64("speed", 0, "replay time-compression factor (0 = as fast as possible)")
-	checkpoint := flag.String("checkpoint", "", "checkpoint file: restored on start if present, written on rollover and shutdown")
-	maxIngest := flag.Int64("max-ingest-bytes", defaultMaxIngestBytes, "largest accepted /ingest body in bytes (oversized requests get 413)")
+	var o daemonOpts
+	flag.StringVar(&o.addr, "addr", ":8714", "HTTP listen address")
+	flag.IntVar(&o.shards, "shards", 0, "ingest shards (0 = GOMAXPROCS)")
+	flag.IntVar(&o.queue, "queue", 0, "per-shard queue depth (0 = default)")
+	flag.Int64Var(&o.seed, "seed", 1, "dataset seed for the simulated WHOIS/intel externals")
+	flag.BoolVar(&o.full, "full", false, "size the externals for the full-scale dataset")
+	flag.IntVar(&o.training, "training", 0, "training days (0 = the scale's default)")
+	flag.IntVar(&o.workers, "workers", 0, "day-close pipeline workers for operators co-locating the daemon (1 = sequential; 0 = GOMAXPROCS on a fresh start, keeps the checkpointed value on restore)")
+	flag.StringVar(&o.replay, "replay", "", "replay a cmd/datagen enterprise dataset directory, then keep serving")
+	flag.Float64Var(&o.speed, "speed", 0, "replay time-compression factor (0 = as fast as possible)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file: restored on start if present, written on rollover and shutdown")
+	flag.Int64Var(&o.maxIngest, "max-ingest-bytes", defaultMaxIngestBytes, "largest accepted /ingest body in bytes (oversized requests get 413)")
 	flag.Parse()
 
-	if err := run(*addr, *shards, *queue, *seed, *full, *training, *replay, *speed, *checkpoint, *maxIngest); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, shards, queue int, seed int64, full bool, training int, replay string, speed float64, checkpoint string, maxIngest int64) error {
+// newEngine builds (or restores, when a checkpoint file exists) the
+// streaming engine the daemon serves, per the parsed flags. Separated from
+// run so the flag-plumbing tests can exercise it without a listening
+// daemon.
+func newEngine(o daemonOpts, engCfg stream.Config) (*stream.Engine, error) {
 	scale := eval.ScaleSmall
-	if full {
+	if o.full {
 		scale = eval.ScaleFull
 	}
-	genCfg := eval.EnterpriseScale(scale, seed)
+	genCfg := eval.EnterpriseScale(scale, o.seed)
 
 	// The simulated externals. Deterministic in the seed, so a daemon
 	// restarted against the same dataset reconstructs the same oracle.
 	g := gen.NewEnterprise(genCfg)
-	if training == 0 {
+	if engCfg.TrainingDays == 0 {
 		// The generator's defaulted config, not genCfg: the full-scale
 		// preset leaves TrainingDays zero for gen to default.
-		training = g.Config().TrainingDays
+		engCfg.TrainingDays = g.Config().TrainingDays
 	}
 	reg := whois.NewRegistry()
 	gen.PopulateWHOIS(reg, g.Truth, g.RareRegistrations(), g.DayTime(g.NumDays()))
 	oracle := intel.NewOracle()
-	gen.PopulateOracle(oracle, g.Truth, gen.OracleConfig{Seed: seed})
+	gen.PopulateOracle(oracle, g.Truth, gen.OracleConfig{Seed: o.seed})
 
 	calDays := 7
-	if full {
+	if o.full {
 		calDays = 14
 	}
 
-	var e *stream.Engine
+	deps := stream.RestoreDeps{Whois: reg, Reported: oracle.Reported, IOCs: oracle.IOCs, Workers: o.workers}
+	if o.checkpoint != "" {
+		f, err := os.Open(o.checkpoint)
+		switch {
+		case err == nil:
+			restored, rerr := stream.Restore(f, engCfg, deps)
+			f.Close()
+			if rerr != nil {
+				// A corrupt or truncated checkpoint must stop the daemon
+				// here, with the cause: silently starting fresh would
+				// overwrite it and destroy the behavioural history.
+				return nil, fmt.Errorf("restore checkpoint %s: %w (remove or repair the file to start fresh)", o.checkpoint, rerr)
+			}
+			log.Printf("restored from %s: %d days done", o.checkpoint, restored.DaysDone())
+			return restored, nil
+		case !os.IsNotExist(err):
+			// Anything but a clean absence must stop the daemon: starting
+			// fresh would overwrite the checkpoint and destroy the history.
+			return nil, fmt.Errorf("open checkpoint %s: %w", o.checkpoint, err)
+		}
+	}
+	pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{CalibrationDays: calDays, Workers: o.workers},
+		reg, oracle.Reported, oracle.IOCs)
+	return stream.New(engCfg, pipe), nil
+}
+
+func run(o daemonOpts) error {
 	// OnReport fires while the engine is frozen for rollover, so the
 	// checkpoint (which re-freezes it) is kicked to a separate goroutine.
 	rolledOver := make(chan struct{}, 1)
 	engCfg := stream.Config{
-		Shards: shards, QueueDepth: queue, TrainingDays: training,
+		Shards: o.shards, QueueDepth: o.queue, TrainingDays: o.training,
 		OnReport: func(rep pipeline.EnterpriseDayReport, daily *report.Daily) {
 			if daily == nil {
 				log.Printf("day %s trained: %d records, %d rare", rep.Day.Format("2006-01-02"),
@@ -119,39 +166,17 @@ func run(addr string, shards, queue int, seed int64, full bool, training int, re
 			}
 		},
 	}
-	deps := stream.RestoreDeps{Whois: reg, Reported: oracle.Reported, IOCs: oracle.IOCs}
-	if checkpoint != "" {
-		f, err := os.Open(checkpoint)
-		switch {
-		case err == nil:
-			restored, rerr := stream.Restore(f, engCfg, deps)
-			f.Close()
-			if rerr != nil {
-				// A corrupt or truncated checkpoint must stop the daemon
-				// here, with the cause: silently starting fresh would
-				// overwrite it and destroy the behavioural history.
-				return fmt.Errorf("restore checkpoint %s: %w (remove or repair the file to start fresh)", checkpoint, rerr)
-			}
-			e = restored
-			log.Printf("restored from %s: %d days done", checkpoint, e.DaysDone())
-		case !os.IsNotExist(err):
-			// Anything but a clean absence must stop the daemon: starting
-			// fresh would overwrite the checkpoint and destroy the history.
-			return fmt.Errorf("open checkpoint %s: %w", checkpoint, err)
-		}
-	}
-	if e == nil {
-		pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{CalibrationDays: calDays},
-			reg, oracle.Reported, oracle.IOCs)
-		e = stream.New(engCfg, pipe)
+	e, err := newEngine(o, engCfg)
+	if err != nil {
+		return err
 	}
 
-	srv := newServer(e, checkpoint, maxIngest)
-	httpSrv := &http.Server{Addr: addr, Handler: srv.mux()}
+	srv := newServer(e, o.checkpoint, o.maxIngest)
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv.mux()}
 
 	errc := make(chan error, 2)
 	go func() {
-		log.Printf("reprod listening on %s", addr)
+		log.Printf("reprod listening on %s", o.addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 	go func() {
@@ -162,11 +187,11 @@ func run(addr string, shards, queue int, seed int64, full bool, training int, re
 		}
 	}()
 
-	if replay != "" {
+	if o.replay != "" {
 		go func() {
 			start := time.Now()
-			err := stream.ReplayDir(e, replay, stream.ReplayOptions{
-				Speed: speed,
+			err := stream.ReplayDir(e, o.replay, stream.ReplayOptions{
+				Speed: o.speed,
 				OnDay: func(d batch.Day, records int) {
 					log.Printf("replaying %s (%d records)", d.Date.Format("2006-01-02"), records)
 				},
@@ -175,7 +200,7 @@ func run(addr string, shards, queue int, seed int64, full bool, training int, re
 				errc <- fmt.Errorf("replay: %w", err)
 				return
 			}
-			log.Printf("replay of %s done in %v; serving reports", replay, time.Since(start).Round(time.Millisecond))
+			log.Printf("replay of %s done in %v; serving reports", o.replay, time.Since(start).Round(time.Millisecond))
 			if cerr := srv.writeCheckpoint(); cerr != nil {
 				log.Printf("checkpoint: %v", cerr)
 			}

@@ -357,6 +357,49 @@ func TestHTTPReportDuringDayClose(t *testing.T) {
 	}
 }
 
+// TestWorkersFlagReachesPipeline: the -workers knob must land in the
+// day-close pipeline configuration, on both engine construction paths —
+// fresh start and checkpoint restore (where the running host's flag
+// overrides the checkpointed value).
+func TestWorkersFlagReachesPipeline(t *testing.T) {
+	opts := daemonOpts{seed: 1, workers: 3}
+	e, err := newEngine(opts, stream.Config{Shards: 1, TrainingDays: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Pipeline().Config().Workers; got != 3 {
+		t.Fatalf("fresh engine pipeline Workers = %d, want 3", got)
+	}
+
+	// Checkpoint with Workers=3, restore with -workers 2: the restore
+	// host's flag wins (reports are worker-count independent).
+	path := filepath.Join(t.TempDir(), "reprod.ckpt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts.checkpoint = path
+	opts.workers = 2
+	restored, err := newEngine(opts, stream.Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if got := restored.Pipeline().Config().Workers; got != 2 {
+		t.Fatalf("restored engine pipeline Workers = %d, want the flag override 2", got)
+	}
+}
+
 // TestRunFailsOnCorruptCheckpoint: daemon startup against an empty or
 // corrupt checkpoint must stop with a descriptive error instead of
 // starting fresh (which would overwrite the history on the next write).
@@ -370,7 +413,7 @@ func TestRunFailsOnCorruptCheckpoint(t *testing.T) {
 			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 				t.Fatal(err)
 			}
-			err := run("127.0.0.1:0", 1, 0, 1, false, 0, "", 0, path, 0)
+			err := run(daemonOpts{addr: "127.0.0.1:0", shards: 1, seed: 1, checkpoint: path})
 			if err == nil {
 				t.Fatal("run accepted a corrupt checkpoint")
 			}

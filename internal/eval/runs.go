@@ -113,6 +113,13 @@ type EnterpriseRun struct {
 // RunEnterprise executes training, calibration and daily operation on a
 // fresh synthetic enterprise dataset.
 func RunEnterprise(scale Scale, seed int64) (*EnterpriseRun, error) {
+	return RunEnterpriseWorkers(scale, seed, 0)
+}
+
+// RunEnterpriseWorkers is RunEnterprise with the day-close worker pool
+// pinned (0 = GOMAXPROCS, 1 = sequential); results are identical for
+// every value.
+func RunEnterpriseWorkers(scale Scale, seed int64, workers int) (*EnterpriseRun, error) {
 	e := gen.NewEnterprise(EnterpriseScale(scale, seed))
 	reg := whois.NewRegistry()
 	gen.PopulateWHOIS(reg, e.Truth, e.RareRegistrations(), e.DayTime(e.NumDays()))
@@ -123,7 +130,7 @@ func RunEnterprise(scale Scale, seed int64) (*EnterpriseRun, error) {
 	if scale == ScaleFull {
 		calDays = 14
 	}
-	p := pipeline.NewEnterprise(pipeline.EnterpriseConfig{CalibrationDays: calDays},
+	p := pipeline.NewEnterprise(pipeline.EnterpriseConfig{CalibrationDays: calDays, Workers: workers},
 		reg, oracle.Reported, oracle.IOCs)
 
 	run := &EnterpriseRun{Gen: e, Oracle: oracle, WHOIS: reg, Pipe: p}

@@ -1,0 +1,79 @@
+package logs
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+// foldDomainRef is the straightforward Split/Join folding the allocation-
+// free FoldDomain replaced; the fuzzer holds the two equivalent on
+// arbitrary input.
+func foldDomainRef(domain string, n int) string {
+	d := strings.ToLower(strings.TrimSuffix(domain, "."))
+	if n <= 0 {
+		return d
+	}
+	labels := strings.Split(d, ".")
+	if len(labels) <= n {
+		return d
+	}
+	return strings.Join(labels[len(labels)-n:], ".")
+}
+
+// FuzzFoldDomain differentially fuzzes the hot-path domain folding against
+// the reference implementation and checks its structural guarantees: the
+// result is a label-suffix of the lowercased input, has at most n labels,
+// and folding is idempotent.
+func FuzzFoldDomain(f *testing.F) {
+	for _, seed := range []string{
+		"news.nbc.com", "NBC.COM.", "a.b.c.d.e", "", ".", "..", "...",
+		"trailing.dot.", "a..b", "xn--bcher-kva.example",
+		"ünïcode.пример.рф", "single", "localhost.",
+	} {
+		for _, n := range []int{0, 1, 2, 3, 7} {
+			f.Add(seed, n)
+		}
+	}
+	f.Fuzz(func(t *testing.T, domain string, n int) {
+		got := FoldDomain(domain, n)
+		if want := foldDomainRef(domain, n); got != want {
+			t.Fatalf("FoldDomain(%q, %d) = %q, reference = %q", domain, n, got, want)
+		}
+		lower := strings.ToLower(strings.TrimSuffix(domain, "."))
+		if !strings.HasSuffix(lower, got) {
+			t.Fatalf("FoldDomain(%q, %d) = %q is not a suffix of %q", domain, n, got, lower)
+		}
+		if n > 0 && got != "" {
+			if labels := strings.Count(got, ".") + 1; labels > n {
+				t.Fatalf("FoldDomain(%q, %d) = %q has %d labels", domain, n, got, labels)
+			}
+		}
+		// Folding is idempotent except on degenerate all-dot names, where
+		// re-folding strips another trailing dot (".." -> "." -> "").
+		if !strings.HasSuffix(got, ".") {
+			if again := FoldDomain(got, n); again != got {
+				t.Fatalf("FoldDomain not idempotent: %q -> %q -> %q", domain, got, again)
+			}
+		}
+	})
+}
+
+// FuzzIsIPLiteral differentially fuzzes the allocation-avoiding IP-literal
+// scan against the real parser it fronts: IsIPLiteral(s) must agree with
+// netip.ParseAddr succeeding, for any input.
+func FuzzIsIPLiteral(f *testing.F) {
+	for _, seed := range []string{
+		"93.184.216.34", "example.com", "::1", "fe80::1%eth0", "2001:db8::",
+		"1.2.3.4.5", "999.1.1.1", "0x7f.0.0.1", "", ".", "1.2.3.4%zone",
+		"256.256.256.256", "01.02.03.04", "a.b.c.d",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		_, err := netip.ParseAddr(s)
+		if got, want := IsIPLiteral(s), err == nil; got != want {
+			t.Fatalf("IsIPLiteral(%q) = %v, netip.ParseAddr err = %v", s, got, err)
+		}
+	})
+}

@@ -189,7 +189,16 @@ func (p *Enterprise) Train(day time.Time, recs []logs.ProxyRecord, leases map[ne
 // stream (the streaming engine reduces records one at a time on ingest and
 // hands the merged day here, so streaming and batch share one code path).
 func (p *Enterprise) TrainVisits(day time.Time, visits []logs.Visit, stats normalize.ProxyStats) EnterpriseDayReport {
-	snap := p.stageSnapshot(day, visits)
+	return p.TrainSnapshot(day, p.stageSnapshot(day, visits), stats)
+}
+
+// TrainSnapshot is TrainVisits for callers that already hold the day's
+// snapshot — the streaming engine maintains per-shard partial snapshots
+// during the day and merges them at rollover, so the snapshot stage here
+// is prebuilt. The snapshot must have been classified against this
+// pipeline's history with every earlier day committed (the engine's
+// serialized day-closes guarantee it).
+func (p *Enterprise) TrainSnapshot(day time.Time, snap *profile.Snapshot, stats normalize.ProxyStats) EnterpriseDayReport {
 	rep := stageAssemble(day, stats, snap)
 	snap.Commit(p.hist)
 	return rep
@@ -286,7 +295,16 @@ func stageAssemble(day time.Time, stats normalize.ProxyStats, snap *profile.Snap
 // ProcessVisits is Process for callers that already hold the reduced visit
 // stream; see TrainVisits.
 func (p *Enterprise) ProcessVisits(day time.Time, visits []logs.Visit, stats normalize.ProxyStats) (EnterpriseDayReport, error) {
-	snap := p.stageSnapshot(day, visits)
+	return p.ProcessSnapshot(day, p.stageSnapshot(day, visits), stats)
+}
+
+// ProcessSnapshot is ProcessVisits with the snapshot stage prebuilt; see
+// TrainSnapshot for the history contract. A calibration failure returns
+// before the snapshot is committed, so the caller may retry with the same
+// snapshot — with the same semantics as re-running ProcessVisits over the
+// day's visits (note that during calibration both paths re-collect the
+// day's labeled examples on such a retry).
+func (p *Enterprise) ProcessSnapshot(day time.Time, snap *profile.Snapshot, stats normalize.ProxyStats) (EnterpriseDayReport, error) {
 	rep := stageAssemble(day, stats, snap)
 	rep.Automated = p.stageDetect(snap)
 

@@ -1,0 +1,201 @@
+package profile
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/logs"
+)
+
+// buildParts splits visits into partition builders by (host, domain) pair
+// — mimicking the streaming engine's sharding, where a domain's hosts
+// spread across partitions (the overlapping-parts case
+// MergeSnapshotParallel exists for) — and feeds each builder its share in
+// the given per-partition apply order (seq stays the global visit index
+// either way).
+func buildParts(visits []logs.Visit, parts int, shuffle *rand.Rand) []*IncrementalBuilder {
+	idx := make([][]int, parts)
+	for i := range visits {
+		p := PairPartition(visits[i].Host, visits[i].Domain, parts)
+		idx[p] = append(idx[p], i)
+	}
+	out := make([]*IncrementalBuilder, parts)
+	for p := range out {
+		if shuffle != nil {
+			shuffle.Shuffle(len(idx[p]), func(a, b int) { idx[p][a], idx[p][b] = idx[p][b], idx[p][a] })
+		}
+		out[p] = NewIncrementalBuilder()
+		for _, i := range idx[p] {
+			out[p].Add(uint64(i), &visits[i])
+		}
+	}
+	return out
+}
+
+// assertSnapshotsEqual compares every field of two snapshots that any
+// report consumer can observe, with the per-host timestamps normalized the
+// way classification leaves them (sorted for rare domains).
+func assertSnapshotsEqual(t *testing.T, label string, got, want *Snapshot) {
+	t.Helper()
+	if got.AllDomains != want.AllDomains || got.NewDomains != want.NewDomains {
+		t.Fatalf("%s: counts all=%d new=%d, want all=%d new=%d",
+			label, got.AllDomains, got.NewDomains, want.AllDomains, want.NewDomains)
+	}
+	if !reflect.DeepEqual(got.Rare, want.Rare) {
+		if len(got.Rare) != len(want.Rare) {
+			t.Fatalf("%s: %d rare domains, want %d", label, len(got.Rare), len(want.Rare))
+		}
+		for d, wda := range want.Rare {
+			gda, ok := got.Rare[d]
+			if !ok {
+				t.Fatalf("%s: rare domain %s missing", label, d)
+			}
+			if !reflect.DeepEqual(gda, wda) {
+				t.Fatalf("%s: rare domain %s differs:\ngot  %+v\nwant %+v", label, d, gda, wda)
+			}
+		}
+		t.Fatalf("%s: Rare differs (extra domains)", label)
+	}
+	if !reflect.DeepEqual(got.HostRare, want.HostRare) {
+		t.Fatalf("%s: HostRare differs", label)
+	}
+	if !reflect.DeepEqual(got.uaPairs, want.uaPairs) {
+		t.Fatalf("%s: uaPairs differ", label)
+	}
+	gd := append([]string(nil), got.domains...)
+	wd := append([]string(nil), want.domains...)
+	sort.Strings(gd)
+	sort.Strings(wd)
+	if !reflect.DeepEqual(gd, wd) {
+		t.Fatalf("%s: domain lists differ", label)
+	}
+}
+
+// TestIncrementalMergeMatchesBatch is the profile-level half of the
+// equivalence sweep: partitioning a day by (host, domain) pair — domains
+// overlapping across parts — feeding each partition in a scrambled apply
+// order, and merging, must reproduce the sequential NewSnapshot exactly:
+// same rare set (first-seen IPs and 16-path caps included), same counts,
+// same indexes, for any partition and worker count.
+func TestIncrementalMergeMatchesBatch(t *testing.T) {
+	day := time.Date(2014, 2, 5, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(17))
+
+	hist := NewHistory()
+	var known []string
+	for i := 0; i < 40; i++ {
+		known = append(known, fmt.Sprintf("known-%d.example", i))
+	}
+	hist.UpdateDomains(day.AddDate(0, 0, -30), known)
+
+	visits := randomVisits(rng, day, 9000)
+	want := NewSnapshot(day, visits, hist, 10)
+
+	for _, parts := range []int{1, 3, 8} {
+		for _, workers := range []int{1, 4, 0} {
+			for _, scrambled := range []bool{false, true} {
+				var shuffle *rand.Rand
+				if scrambled {
+					shuffle = rand.New(rand.NewSource(int64(parts*100 + workers)))
+				}
+				label := fmt.Sprintf("parts=%d workers=%d scrambled=%v", parts, workers, scrambled)
+				bs := buildParts(visits, parts, shuffle)
+				got := MergeSnapshotParallel(day, bs, hist, 10, workers)
+				assertSnapshotsEqual(t, label, got, want)
+				// The merge must not consume the builders: a second merge
+				// over the same partials reproduces the snapshot (the
+				// retry-after-failed-close path relies on replayability).
+				again := MergeSnapshotParallel(day, bs, hist, 10, workers)
+				assertSnapshotsEqual(t, label+" (re-merged)", again, want)
+			}
+		}
+	}
+}
+
+// TestIncrementalSeqDecidesOrderSensitiveState pins the two decisions the
+// builder keys by arrival seq rather than apply order: the first-seen
+// destination IP and the 16-path retention cap must both follow the
+// smallest sequence numbers even when later-seq visits are applied first.
+func TestIncrementalSeqDecidesOrderSensitiveState(t *testing.T) {
+	day := time.Date(2014, 2, 5, 0, 0, 0, 0, time.UTC)
+	mk := func(host string, ip string, url string) logs.Visit {
+		v := logs.Visit{Time: day, Host: host, Domain: "rare.example", HasRef: true}
+		if ip != "" {
+			v.DestIP = netip.MustParseAddr(ip)
+		}
+		v.URL = url
+		return v
+	}
+	// 20 distinct paths; seqs 0..19. Batch admits the first 16 (seq order).
+	visits := make([]logs.Visit, 0, 21)
+	for i := 0; i < 20; i++ {
+		visits = append(visits, mk("h1", "", fmt.Sprintf("http://rare.example/p-%02d", i)))
+	}
+	// The IP carried by the smallest-seq visit that has one: seq 20 comes
+	// last, so seq 3 should win once it carries an address.
+	visits[3].DestIP = netip.MustParseAddr("192.0.2.7")
+	visits = append(visits, mk("h2", "192.0.2.99", "http://rare.example/late"))
+
+	hist := NewHistory()
+	want := NewSnapshot(day, visits, hist, 10)
+
+	// Apply in reverse: every order-sensitive decision arrives "wrong way
+	// round" relative to seq.
+	b := NewIncrementalBuilder()
+	for i := len(visits) - 1; i >= 0; i-- {
+		b.Add(uint64(i), &visits[i])
+	}
+	got := MergeSnapshot(day, []*IncrementalBuilder{b}, hist, 10)
+	assertSnapshotsEqual(t, "reverse apply", got, want)
+
+	da := got.Rare["rare.example"]
+	if da == nil {
+		t.Fatal("rare.example not rare")
+	}
+	if want := netip.MustParseAddr("192.0.2.7"); da.IP != want {
+		t.Fatalf("IP = %v, want the smallest-seq address %v", da.IP, want)
+	}
+	if len(da.Paths) != 16 {
+		t.Fatalf("retained %d paths, want 16", len(da.Paths))
+	}
+	if da.Paths["/late"] {
+		t.Fatal("seq-20 path /late admitted over the 16 earlier paths")
+	}
+	if !da.Paths["/p-00"] || !da.Paths["/p-15"] {
+		t.Fatalf("smallest-seq paths missing from %v", da.Paths)
+	}
+	if da.Paths["/p-16"] {
+		t.Fatal("seq-16 path admitted: cap should hold the 16 smallest seqs")
+	}
+}
+
+// TestIncrementalMergeProperty is a randomized sweep across many partition
+// shapes and days — the fuzz-style lockdown that arbitrary splits and
+// apply orders can never drift from the batch reference.
+func TestIncrementalMergeProperty(t *testing.T) {
+	day := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		hist := NewHistory()
+		var known []string
+		for i := 0; i < rng.Intn(40); i++ {
+			known = append(known, fmt.Sprintf("known-%d.example", i))
+		}
+		if len(known) > 0 {
+			hist.UpdateDomains(day.AddDate(0, 0, -10), known)
+		}
+		visits := randomVisits(rng, day, 200+rng.Intn(3000))
+		want := NewSnapshot(day, visits, hist, 10)
+
+		parts := 1 + rng.Intn(9)
+		workers := 1 + rng.Intn(5)
+		bs := buildParts(visits, parts, rng)
+		got := MergeSnapshotParallel(day, bs, hist, 10, workers)
+		assertSnapshotsEqual(t, fmt.Sprintf("seed=%d parts=%d workers=%d", seed, parts, workers), got, want)
+	}
+}

@@ -87,51 +87,146 @@ type Snapshot struct {
 	uaPairs map[[2]string]bool
 }
 
-// domainAgg is the pre-classification aggregation of one domain's visits.
-type domainAgg struct {
+// incrementalAgg is the pre-classification aggregation of one domain's
+// visits. The two order-sensitive decisions of the sequential reduction —
+// which destination IP is "first seen" and which 16 URL paths beat the
+// retention cap — are keyed by the visit's arrival sequence number instead
+// of apply order, so the aggregate is a pure function of the (seq, visit)
+// multiset: partitions can absorb their share of a day in any order (the
+// streaming shards apply concurrent batches as they drain) and still merge
+// into exactly the state a single sequential pass over the seq-ordered day
+// would have produced.
+type incrementalAgg struct {
 	hosts map[string]*HostActivity
 	ip    netip.Addr
-	paths map[string]bool
+	ipSeq uint64
+	// paths maps each retained URL path to the smallest arrival seq it was
+	// seen at, keeping the maxPathsPerDomain paths with the smallest
+	// first-occurrence seqs — exactly the set a seq-ordered scan admits
+	// before the cap fills.
+	paths map[string]uint64
 }
 
-// snapPart is the aggregation of one partition of the day's domains. Every
-// domain is owned by exactly one partition, and a partition's owner scans
-// its visits in stream order — so per-domain state (first-seen IP, the
-// first-16-paths cap, per-host visit order) is identical to what the
-// sequential single-partition pass produces.
-type snapPart struct {
-	perDomain map[string]*domainAgg
+// admitPath offers one path occurrence to the bounded retention set.
+func (a *incrementalAgg) admitPath(pth string, seq uint64) {
+	if s, ok := a.paths[pth]; ok {
+		if seq < s {
+			a.paths[pth] = seq
+		}
+		return
+	}
+	if a.paths == nil {
+		a.paths = make(map[string]uint64)
+	}
+	if len(a.paths) < maxPathsPerDomain {
+		a.paths[pth] = seq
+		return
+	}
+	// Full: the newcomer displaces the largest-seq entry iff it is earlier.
+	// (In seq-ordered absorption this branch never displaces — newcomers
+	// always carry the largest seq so far — reproducing the plain "first 16
+	// distinct paths win" cap.)
+	evict, evictSeq := "", uint64(0)
+	for q, s := range a.paths {
+		if s > evictSeq {
+			evict, evictSeq = q, s
+		}
+	}
+	if seq < evictSeq {
+		delete(a.paths, evict)
+		a.paths[pth] = seq
+	}
+}
+
+// pathSet materializes the retained paths (nil when none were seen).
+func (a *incrementalAgg) pathSet() map[string]bool {
+	if len(a.paths) == 0 {
+		return nil
+	}
+	out := make(map[string]bool, len(a.paths))
+	for p := range a.paths {
+		out[p] = true
+	}
+	return out
+}
+
+// mergeFrom folds another partition's aggregate of the same domain into a.
+// Shared hosts are combined copy-on-write (neither input HostActivity is
+// mutated), so merging is safe even when the partitions split a
+// (host, domain) pair.
+func (a *incrementalAgg) mergeFrom(o *incrementalAgg) {
+	for h, ha := range o.hosts {
+		if cur, ok := a.hosts[h]; ok {
+			a.hosts[h] = mergeHostActivity(cur, ha)
+		} else {
+			a.hosts[h] = ha
+		}
+	}
+	if o.ip.IsValid() && (!a.ip.IsValid() || o.ipSeq < a.ipSeq) {
+		a.ip, a.ipSeq = o.ip, o.ipSeq
+	}
+	for p, s := range o.paths {
+		a.admitPath(p, s)
+	}
+}
+
+func mergeHostActivity(x, y *HostActivity) *HostActivity {
+	out := &HostActivity{
+		Host:        x.Host,
+		Times:       make([]time.Time, 0, len(x.Times)+len(y.Times)),
+		NoRefVisits: x.NoRefVisits + y.NoRefVisits,
+		UAs:         make(map[string]bool, len(x.UAs)+len(y.UAs)),
+	}
+	out.Times = append(append(out.Times, x.Times...), y.Times...)
+	for ua := range x.UAs {
+		out.UAs[ua] = true
+	}
+	for ua := range y.UAs {
+		out.UAs[ua] = true
+	}
+	return out
+}
+
+// IncrementalBuilder accumulates the per-domain aggregation of one
+// partition of a day's visits as they arrive, deferring everything that
+// needs the complete day — rare-destination classification against the
+// History, per-host timestamp ordering — to the merge at day-close. The
+// streaming engine keeps one builder per shard and feeds it from the shard
+// apply path, so rollover merges ready-made partials instead of re-reducing
+// the whole day; the batch snapshot build runs on the same builder with
+// seq = visit index.
+//
+// seq is the visit's arrival sequence number: any strictly ordered,
+// per-visit-unique value. The builder's state depends only on the set of
+// (seq, visit) pairs added, never on the order of Add calls. A builder is
+// not safe for concurrent use; partitions handed to MergeSnapshotParallel
+// must hold disjoint (seq, visit) sets.
+type IncrementalBuilder struct {
+	perDomain map[string]*incrementalAgg
 	uaPairs   map[[2]string]bool
-	// Classification results, filled by classify.
-	domains []string
-	newCnt  int
-	rare    map[string]*DomainActivity
+	visits    int
 }
 
-func newSnapPart() *snapPart {
-	return &snapPart{
-		perDomain: make(map[string]*domainAgg),
+// NewIncrementalBuilder returns an empty partition builder.
+func NewIncrementalBuilder() *IncrementalBuilder {
+	return &IncrementalBuilder{
+		perDomain: make(map[string]*incrementalAgg),
 		uaPairs:   make(map[[2]string]bool),
 	}
 }
 
-// absorb folds one visit into the partition.
-func (p *snapPart) absorb(v *logs.Visit) {
-	a, ok := p.perDomain[v.Domain]
+// Add folds one visit into the partition.
+func (b *IncrementalBuilder) Add(seq uint64, v *logs.Visit) {
+	a, ok := b.perDomain[v.Domain]
 	if !ok {
-		a = &domainAgg{hosts: make(map[string]*HostActivity)}
-		p.perDomain[v.Domain] = a
+		a = &incrementalAgg{hosts: make(map[string]*HostActivity)}
+		b.perDomain[v.Domain] = a
 	}
-	if !a.ip.IsValid() && v.DestIP.IsValid() {
-		a.ip = v.DestIP
+	if v.DestIP.IsValid() && (!a.ip.IsValid() || seq < a.ipSeq) {
+		a.ip, a.ipSeq = v.DestIP, seq
 	}
 	if pth := urlPath(v.URL); pth != "" {
-		if a.paths == nil {
-			a.paths = make(map[string]bool)
-		}
-		if len(a.paths) < maxPathsPerDomain || a.paths[pth] {
-			a.paths[pth] = true
-		}
+		a.admitPath(pth, seq)
 	}
 	ha, ok := a.hosts[v.Host]
 	if !ok {
@@ -144,33 +239,68 @@ func (p *snapPart) absorb(v *logs.Visit) {
 	}
 	if v.HasUA {
 		ha.UAs[v.UserAgent] = true
-		p.uaPairs[[2]string{v.Host, v.UserAgent}] = true
+		b.uaPairs[[2]string{v.Host, v.UserAgent}] = true
 	} else {
 		ha.UAs[""] = true
 	}
+	b.visits++
 }
 
-// classify runs the rare-destination selection (§III-A) over the
-// partition's domains: new (absent from the history) and unpopular (fewer
-// than unpopularThreshold distinct hosts). Rare domains get their per-host
-// timestamps sorted here, so the expensive sorts also run per partition.
+// Visits returns how many visits the partition has absorbed.
+func (b *IncrementalBuilder) Visits() int { return b.visits }
+
+// Domains returns how many distinct domains the partition has seen.
+func (b *IncrementalBuilder) Domains() int { return len(b.perDomain) }
+
+// classifyAgg runs the rare-destination selection (§III-A) for one
+// domain's complete aggregate: new (absent from the history) and unpopular
+// (fewer than unpopularThreshold distinct hosts). Rare domains get their
+// per-host timestamps sorted into time order here — the only place the
+// arrival ordering the builder didn't preserve is needed, and only for the
+// day's few rare survivors.
+func classifyAgg(domain string, a *incrementalAgg, hist *History, unpopularThreshold int) (isNew bool, da *DomainActivity) {
+	if hist.SeenDomain(domain) {
+		return false, nil
+	}
+	if len(a.hosts) >= unpopularThreshold {
+		return true, nil
+	}
+	da = &DomainActivity{Domain: domain, Hosts: a.hosts, IP: a.ip, Paths: a.pathSet()}
+	for _, ha := range da.Hosts {
+		sort.Slice(ha.Times, func(i, j int) bool { return ha.Times[i].Before(ha.Times[j]) })
+	}
+	return true, da
+}
+
+// snapPart is one partition of the day's domains in the batch snapshot
+// build: every domain is owned by exactly one partition, aggregated by an
+// IncrementalBuilder and classified in place.
+type snapPart struct {
+	b *IncrementalBuilder
+	// Classification results, filled by classify.
+	domains []string
+	newCnt  int
+	rare    map[string]*DomainActivity
+}
+
+func newSnapPart() *snapPart {
+	return &snapPart{b: NewIncrementalBuilder()}
+}
+
+// classify runs the rare-destination selection over the partition's
+// domains; the expensive per-host sorts therefore also run per partition.
 func (p *snapPart) classify(hist *History, unpopularThreshold int) {
-	p.domains = make([]string, 0, len(p.perDomain))
+	p.domains = make([]string, 0, len(p.b.perDomain))
 	p.rare = make(map[string]*DomainActivity)
-	for d, a := range p.perDomain {
+	for d, a := range p.b.perDomain {
 		p.domains = append(p.domains, d)
-		if hist.SeenDomain(d) {
-			continue
+		isNew, da := classifyAgg(d, a, hist, unpopularThreshold)
+		if isNew {
+			p.newCnt++
 		}
-		p.newCnt++
-		if len(a.hosts) >= unpopularThreshold {
-			continue
+		if da != nil {
+			p.rare[d] = da
 		}
-		da := &DomainActivity{Domain: d, Hosts: a.hosts, IP: a.ip, Paths: a.paths}
-		for _, ha := range da.Hosts {
-			sort.Slice(ha.Times, func(i, j int) bool { return ha.Times[i].Before(ha.Times[j]) })
-		}
-		p.rare[d] = da
 	}
 }
 
@@ -203,7 +333,7 @@ func NewSnapshotParallel(day time.Time, visits []logs.Visit, hist *History, unpo
 	if workers <= 1 {
 		p := newSnapPart()
 		for i := range visits {
-			p.absorb(&visits[i])
+			p.b.Add(uint64(i), &visits[i])
 		}
 		p.classify(hist, unpopularThreshold)
 		parts = []*snapPart{p}
@@ -211,7 +341,8 @@ func NewSnapshotParallel(day time.Time, visits []logs.Visit, hist *History, unpo
 		// One sequential pass assigns every visit to its domain's partition;
 		// the per-partition index lists preserve stream order, so each
 		// worker replays exactly the subsequence the sequential pass would
-		// have fed it.
+		// have fed it (the builder is order-free anyway — the seq it is fed
+		// is the global visit index).
 		idx := make([][]int32, workers)
 		est := len(visits)/workers + 16
 		for p := range idx {
@@ -229,7 +360,7 @@ func NewSnapshotParallel(day time.Time, visits []logs.Visit, hist *History, unpo
 				defer wg.Done()
 				p := newSnapPart()
 				for _, i := range idx[w] {
-					p.absorb(&visits[i])
+					p.b.Add(uint64(i), &visits[i])
 				}
 				p.classify(hist, unpopularThreshold)
 				parts[w] = p
@@ -249,16 +380,21 @@ func NewSnapshotParallel(day time.Time, visits []logs.Visit, hist *History, unpo
 		uaPairs:  make(map[[2]string]bool),
 	}
 	for _, p := range parts {
-		s.AllDomains += len(p.perDomain)
+		s.AllDomains += len(p.b.perDomain)
 		s.NewDomains += p.newCnt
 		s.domains = append(s.domains, p.domains...)
 		for d, da := range p.rare {
 			s.Rare[d] = da
 		}
-		for pair := range p.uaPairs {
+		for pair := range p.b.uaPairs {
 			s.uaPairs[pair] = true
 		}
 	}
+	s.buildHostRare()
+	return s
+}
+
+func (s *Snapshot) buildHostRare() {
 	for d, da := range s.Rare {
 		for h := range da.Hosts {
 			s.HostRare[h] = append(s.HostRare[h], d)
@@ -267,6 +403,141 @@ func NewSnapshotParallel(day time.Time, visits []logs.Visit, hist *History, unpo
 	for h := range s.HostRare {
 		sort.Strings(s.HostRare[h])
 	}
+}
+
+// MergeSnapshot is MergeSnapshotParallel with a single merge worker.
+func MergeSnapshot(day time.Time, parts []*IncrementalBuilder, hist *History, unpopularThreshold int) *Snapshot {
+	return MergeSnapshotParallel(day, parts, hist, unpopularThreshold, 1)
+}
+
+// MergeSnapshotParallel assembles a day snapshot from partition builders —
+// the day-close half of incremental snapshot maintenance. Unlike the
+// partitions of NewSnapshotParallel, the parts may overlap by domain (the
+// streaming engine shards by (host, domain) pair, so a domain's hosts
+// spread across shards); overlapping aggregates are merged exactly because
+// every order-sensitive decision the builder recorded is keyed by arrival
+// seq. The result — and hence every report derived from it — is identical
+// to NewSnapshot over the same visits in seq order, for any partition
+// count, apply order, and worker count. workers <= 0 uses GOMAXPROCS.
+//
+// The snapshot shares structure with the builders (host maps are adopted,
+// rare per-host timestamps are sorted in place), so the partitions must
+// not absorb further visits once the snapshot is in use; the streaming
+// engine guarantees this by swapping fresh builders in at rollover.
+func MergeSnapshotParallel(day time.Time, parts []*IncrementalBuilder, hist *History, unpopularThreshold, workers int) *Snapshot {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.visits
+	}
+	if workers > 1 && total < parallelCutoff {
+		workers = 1
+	}
+
+	// One sequential pass buckets every (domain, aggregate) entry by its
+	// owner worker (the same domain-hash partitioning NewSnapshotParallel
+	// uses), so each worker walks only its own share instead of rescanning
+	// every part. A domain's aggregates land in its bucket in part index
+	// order, which keeps the copy-on-write merge below deterministic.
+	type partAgg struct {
+		domain string
+		agg    *incrementalAgg
+	}
+	buckets := make([][]partAgg, workers)
+	for _, p := range parts {
+		for d, a := range p.perDomain {
+			w := 0
+			if workers > 1 {
+				w = int(domainPartition(d) % uint32(workers))
+			}
+			buckets[w] = append(buckets[w], partAgg{domain: d, agg: a})
+		}
+	}
+
+	// Each merge worker combines overlapping aggregates copy-on-write and
+	// classifies — so the per-host sorts of the rare survivors fan out too.
+	type mergeRes struct {
+		domains []string
+		newCnt  int
+		rare    map[string]*DomainActivity
+	}
+	mergeBucket := func(bucket []partAgg) mergeRes {
+		merged := make(map[string]*incrementalAgg, len(bucket))
+		// adopted marks merged entries that still alias a part's aggregate;
+		// a second occurrence of the domain forces a private copy so no
+		// builder state is mutated by the merge.
+		adopted := make(map[string]bool)
+		for _, e := range bucket {
+			m, ok := merged[e.domain]
+			if !ok {
+				merged[e.domain] = e.agg
+				adopted[e.domain] = true
+				continue
+			}
+			if adopted[e.domain] {
+				priv := &incrementalAgg{hosts: make(map[string]*HostActivity, len(m.hosts))}
+				priv.mergeFrom(m)
+				merged[e.domain] = priv
+				adopted[e.domain] = false
+				m = priv
+			}
+			m.mergeFrom(e.agg)
+		}
+		res := mergeRes{
+			domains: make([]string, 0, len(merged)),
+			rare:    make(map[string]*DomainActivity),
+		}
+		for d, a := range merged {
+			res.domains = append(res.domains, d)
+			isNew, da := classifyAgg(d, a, hist, unpopularThreshold)
+			if isNew {
+				res.newCnt++
+			}
+			if da != nil {
+				res.rare[d] = da
+			}
+		}
+		return res
+	}
+
+	results := make([]mergeRes, workers)
+	if workers <= 1 {
+		results[0] = mergeBucket(buckets[0])
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				results[w] = mergeBucket(buckets[w])
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	s := &Snapshot{
+		Day:      day,
+		Rare:     make(map[string]*DomainActivity),
+		HostRare: make(map[string][]string),
+		uaPairs:  make(map[[2]string]bool),
+	}
+	for i := range results {
+		r := &results[i]
+		s.AllDomains += len(r.domains)
+		s.NewDomains += r.newCnt
+		s.domains = append(s.domains, r.domains...)
+		for d, da := range r.rare {
+			s.Rare[d] = da
+		}
+	}
+	for _, p := range parts {
+		for pair := range p.uaPairs {
+			s.uaPairs[pair] = true
+		}
+	}
+	s.buildHostRare()
 	return s
 }
 
@@ -279,6 +550,27 @@ func domainPartition(domain string) uint32 {
 		h *= 16777619
 	}
 	return h
+}
+
+// PairPartition deterministically assigns a (host, domain) pair to one of
+// n partitions (FNV-1a over host, a separator, domain) — the reference
+// partitioner for building IncrementalBuilder partitions in tests and
+// benchmarks. The streaming engine shards with a seeded maphash instead;
+// either is fine, because merge results are independent of the partition
+// assignment.
+func PairPartition(host, domain string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(host); i++ {
+		h ^= uint32(host[i])
+		h *= 16777619
+	}
+	h ^= 0xff
+	h *= 16777619
+	for i := 0; i < len(domain); i++ {
+		h ^= uint32(domain[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
 }
 
 // RareCount returns the number of rare destinations today.

@@ -22,14 +22,7 @@ import (
 // finished benchmark's engine doesn't stay reachable, inflating GC pressure
 // for the benchmarks that run after it.
 func discardEngine(b *testing.B, e *Engine) {
-	b.Cleanup(func() {
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		e.closed = true
-		for _, s := range e.shards {
-			close(s.batches)
-		}
-	})
+	b.Cleanup(func() { abandonEngine(e) })
 }
 
 func benchRecords(n int) []logs.ProxyRecord {

@@ -173,6 +173,13 @@ type RestoreDeps struct {
 	Reported func(string, time.Time) bool
 	// IOCs supplies the SOC IOC seed list.
 	IOCs func() []string
+	// Workers, when non-zero, overrides the checkpointed pipeline Workers
+	// knob (1 forces the sequential day-close path). The knob is an
+	// execution preference of the restoring host — an operator co-locating
+	// the daemon may want fewer cores than the checkpointing host used —
+	// not replayable state: reports are byte-identical for every value.
+	// Zero keeps the checkpointed value.
+	Workers int
 }
 
 // Restore rebuilds an engine from a checkpoint written by Checkpoint. The
@@ -246,6 +253,9 @@ func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 		items = append(items, ci)
 	}
 
+	if deps.Workers != 0 {
+		hdr.Pipeline.Workers = deps.Workers
+	}
 	pipe := pipeline.NewEnterpriseWithHistory(hdr.Pipeline, hist, deps.Whois, deps.Reported, deps.IOCs)
 	if err := pipe.RestoreCalibration(cal); err != nil {
 		return nil, err

@@ -174,12 +174,14 @@ func TestStreamingMatchesBatch(t *testing.T) {
 			if err := e.Checkpoint(&buf); err != nil {
 				t.Fatal(err)
 			}
+			abandoned := e
 			e, err = Restore(&buf, Config{Shards: 2, QueueDepth: 64}, RestoreDeps{
 				Whois: fx.whois, Reported: fx.oracle.Reported, IOCs: fx.oracle.IOCs,
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
+			abandonEngine(abandoned)
 			// Resume with the other ingestion shape than the first half
 			// used, crossing the restore boundary with batches in play.
 			ingest(e, recs[half:], i%2 != 0)
@@ -224,6 +226,144 @@ func TestStreamingMatchesBatch(t *testing.T) {
 	}
 	if err := e.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// abandonEngine stops an engine's shard workers without flushing the open
+// day through the pipeline — for tests that replace an engine with its
+// restored successor mid-dataset and would otherwise leak the
+// predecessor's goroutines. The engine must be quiescent (no concurrent
+// producers; a just-taken checkpoint guarantees drained queues).
+func abandonEngine(e *Engine) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, s := range e.shards {
+		close(s.batches)
+	}
+}
+
+// ingestDataset replays every day of the fixture dataset into e with the
+// given ingestion shape (97-record batches or per-record), optionally
+// cutting one post-calibration day in half with a checkpoint/restore cycle
+// into restoreCfg (nil: no restart). Returns the engine that finished the
+// dataset (the restored one when a restart happened).
+func (fx *equivFixture) ingestDataset(t *testing.T, e *Engine, days []batch.Day, batched bool, restoreCfg *Config) *Engine {
+	t.Helper()
+	ingest := func(e *Engine, recs []logs.ProxyRecord) {
+		t.Helper()
+		if batched {
+			for len(recs) > 0 {
+				n := min(97, len(recs))
+				if err := e.IngestBatch(recs[:n]); err != nil {
+					t.Fatal(err)
+				}
+				recs = recs[n:]
+			}
+			return
+		}
+		for _, r := range recs {
+			if err := e.IngestProxy(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ckptDay := -1
+	if restoreCfg != nil {
+		ckptDay = len(days) - 3 // a post-calibration operation day
+	}
+	for i, d := range days {
+		recs, leases, err := batch.LoadProxyDay(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.BeginDay(d.Date, leases); err != nil {
+			t.Fatal(err)
+		}
+		half := len(recs)
+		if i == ckptDay {
+			half = len(recs) / 2
+		}
+		ingest(e, recs[:half])
+		if i == ckptDay {
+			var buf bytes.Buffer
+			if err := e.Checkpoint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			abandoned := e
+			e, err = Restore(&buf, *restoreCfg, RestoreDeps{
+				Whois: fx.whois, Reported: fx.oracle.Reported, IOCs: fx.oracle.IOCs,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			abandonEngine(abandoned)
+			ingest(e, recs[half:])
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestIncrementalSnapshotMatchesBatch locks the incremental day-close down
+// against the batch reference: the per-shard partial snapshots merged at
+// rollover must yield SOC reports byte-identical to the batch NewSnapshot
+// path for every shard count, pipeline worker count and ingestion shape —
+// including a mid-day checkpoint/restore that changes the shard count, so
+// the open day's partials are deterministically rebuilt under a different
+// partitioning.
+func TestIncrementalSnapshotMatchesBatch(t *testing.T) {
+	fx := newEquivFixture(t, 83)
+	want, _ := fx.batchDailies(t)
+	if len(want) == 0 {
+		t.Fatal("batch produced no processed days")
+	}
+	days, err := batch.DiscoverEnterprise(fx.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name            string
+		shards, workers int
+		batched         bool
+		restoreShards   int // 0: no mid-day restart
+	}{
+		{"1shard-seqworkers-perrecord", 1, 1, false, 0},
+		{"3shard-seqworkers-batched", 3, 1, true, 0},
+		{"8shard-parworkers-batched", 8, 0, true, 0},
+		{"3to8shard-restore-perrecord", 3, 0, false, 8},
+		{"8to1shard-restore-batched", 8, 1, true, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pipeCfg := fx.pipeCfg
+			pipeCfg.Workers = tc.workers
+			pipe := pipeline.NewEnterprise(pipeCfg, fx.whois, fx.oracle.Reported, fx.oracle.IOCs)
+			e := New(Config{Shards: tc.shards, QueueDepth: 256, TrainingDays: fx.training}, pipe)
+			var restoreCfg *Config
+			if tc.restoreShards > 0 {
+				restoreCfg = &Config{Shards: tc.restoreShards, QueueDepth: 64}
+			}
+			e = fx.ingestDataset(t, e, days, tc.batched, restoreCfg)
+			defer e.Close()
+			for date, wantJSON := range want {
+				got, ok := e.Report(date)
+				if !ok {
+					t.Errorf("no report for %s", date)
+					continue
+				}
+				if gotJSON := dailyBytes(t, got); !bytes.Equal(gotJSON, wantJSON) {
+					t.Errorf("day %s: incremental report differs from batch\nbatch:       %s\nincremental: %s",
+						date, wantJSON, gotJSON)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,77 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/whois"
+)
+
+// fuzzCheckpointBytes produces a real checkpoint (open day with resolved
+// visits and lease-less markers, one completed day) for the fuzzer to
+// mutate from.
+func fuzzCheckpointBytes(tb testing.TB) []byte {
+	e := trainOnlyEngine(Config{Shards: 2, QueueDepth: 64})
+	defer e.Close()
+	d1, d2 := testDay(), testDay().AddDate(0, 0, 1)
+	if err := e.BeginDay(d1, nil); err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := e.IngestProxy(rec(d1, "h1", "alpha.test", time.Duration(i)*time.Minute)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := e.BeginDay(d2, nil); err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := e.IngestProxy(rec(d2, "h2", "beta.test", time.Duration(i)*time.Minute)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := e.Checkpoint(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzCheckpointDecode holds the restore path to its refusal contract:
+// corrupt, truncated or adversarial checkpoints must come back as errors —
+// never a panic (the PR 2 regression was a make() panic on a negative
+// header count) and never a huge speculative allocation. Inputs that do
+// decode must yield a working engine, which the target shuts down cleanly.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid := fuzzCheckpointBytes(f)
+	f.Add(valid)
+	// Truncations at awkward places: mid-header, between sections, mid-item.
+	for _, cut := range []int{0, 1, 10, len(valid) / 4, len(valid) / 2, len(valid) - 3} {
+		if cut >= 0 && cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	// Hostile headers: negative counts, absurd counts, wrong version,
+	// unparsable day, bad lease address.
+	for _, h := range []string{
+		`{"version":1,"dailies":-4,"items":-9}`,
+		`{"version":1,"items":2147483647}`,
+		`{"version":99}`,
+		`{"version":1,"day":"not-a-time"}`,
+		`{"version":1,"leases":{"999.999.0.1":"h"}}`,
+		`{"version":1}`,
+	} {
+		f.Add([]byte(h + "\n"))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Restore(bytes.NewReader(data), Config{Shards: 1, QueueDepth: 8},
+			RestoreDeps{Whois: whois.NewRegistry()})
+		if err != nil {
+			return // refused cleanly
+		}
+		if err := e.Close(); err != nil {
+			t.Fatalf("restored engine failed to close: %v", err)
+		}
+	})
+}

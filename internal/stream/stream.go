@@ -18,19 +18,28 @@
 // stats) go through a control channel that the worker services between
 // batches.
 //
+// Snapshot maintenance is incremental: alongside the raw visit buffer
+// (kept only so checkpoints can replay the open day), each shard folds
+// every visit into a profile.IncrementalBuilder — a partial day snapshot
+// whose order-sensitive state is keyed by arrival sequence number, so the
+// interleaving of concurrent batches cannot perturb it.
+//
 // When the stream crosses a day boundary (or on an explicit Flush), the
 // rollover is swap-and-continue: under the exclusive lock the engine only
-// swaps the open day's shard buffers out — O(queued batches + shards), not
-// O(pipeline run) — then a background day-close goroutine merges the
-// fragments back into arrival order and hands the day to the exact
+// swaps the open day's per-shard partials out — O(queued batches +
+// shards), not O(pipeline run) — then a background day-close goroutine
+// merges the partials into the day snapshot (profile.MergeSnapshotParallel,
+// O(domains) instead of an O(visits log visits) re-reduce; the closing
+// day's visit buffers free at the swap) and hands it to the exact
 // internal/pipeline Train/Process path the batch runner uses, concurrent
 // with next-day ingestion. Streaming reports are therefore byte-identical
 // to batch reports over the same records (the TestStreamingMatchesBatch
-// golden test holds this invariant), and ingestion never stalls for the
-// duration of the analytics. Day-closes are strictly serialized: Flush,
-// Close, Checkpoint, Report-of-the-closing-day and the next rollover all
-// wait on (or refuse during) an in-flight close, so days complete in order
-// and the pipeline is never entered concurrently.
+// and TestIncrementalSnapshotMatchesBatch golden tests hold this
+// invariant), and ingestion never stalls for the duration of the
+// analytics. Day-closes are strictly serialized: Flush, Close, Checkpoint,
+// Report-of-the-closing-day and the next rollover all wait on (or refuse
+// during) an in-flight close, so days complete in order and the pipeline
+// is never entered concurrently.
 //
 // In between rollovers the per-pair Online analyzers give an early-warning
 // signal: LiveAutomated lists the beaconing-looking (host, domain) pairs of
@@ -174,6 +183,13 @@ type shard struct {
 	all     map[string]struct{} // distinct folded domains seen today
 	markers []seqMarker         // lease-less records today
 
+	// part is the shard's partial day snapshot, maintained visit by visit
+	// on the apply path so day-close merges ready-made per-shard partials
+	// (profile.MergeSnapshotParallel) instead of re-reducing the whole
+	// day. The builder is seq-keyed, so the out-of-order interleaving of
+	// concurrent batches draining into the shard cannot perturb it.
+	part *profile.IncrementalBuilder
+
 	pairs   map[pairKey]*histogram.Online // live analyzers, unseen domains only
 	domains map[string]*domainLive
 
@@ -186,6 +202,7 @@ func newShard(e *Engine, depth int) *shard {
 		batches: make(chan *[]item, depth),
 		ctrl:    make(chan ctrlReq),
 		all:     make(map[string]struct{}),
+		part:    profile.NewIncrementalBuilder(),
 		pairs:   make(map[pairKey]*histogram.Online),
 		domains: make(map[string]*domainLive),
 	}
@@ -236,6 +253,7 @@ func (s *shard) apply(it *item) {
 	v := it.visit
 	s.all[v.Domain] = struct{}{}
 	s.visits = append(s.visits, seqVisit{seq: it.seq, v: v})
+	s.part.Add(it.seq, &v)
 
 	// Live periodicity state only for domains absent from the history:
 	// anything already profiled can never be rare today, and skipping it
@@ -276,6 +294,7 @@ func (s *shard) resetDay() {
 	s.visits = nil
 	s.all = make(map[string]struct{})
 	s.markers = nil
+	s.part = profile.NewIncrementalBuilder()
 	s.pairs = make(map[pairKey]*histogram.Online)
 	s.domains = make(map[string]*domainLive)
 }
@@ -329,16 +348,26 @@ type Engine struct {
 	closeHook func(date string)
 }
 
-// dayClose carries one swapped-out day through its background close.
+// dayClose carries one swapped-out day through its background close. The
+// swap takes only the shards' partial snapshots and domain sets — the
+// arrival-order visit buffers stay behind and are freed immediately, so a
+// closing day no longer holds its full visit buffer while the pipeline
+// runs (the old two-day resident peak). Once the partials are merged the
+// snapshot replaces them; a failed close retains that snapshot so a Flush
+// retry replays the pipeline without re-reducing anything.
 type dayClose struct {
-	day       time.Time
-	date      string
-	frags     []dayFrag // retained until the pipeline accepts the day
-	records   uint64
-	droppedIP uint64
-	training  bool
-	done      chan struct{} // closed when the close (or its failure) is final
-	err       error
+	day        time.Time
+	date       string
+	parts      []*profile.IncrementalBuilder // per-shard partial snapshots
+	allSets    []map[string]struct{}         // per-shard distinct-domain sets
+	unresolved int                           // lease-less records in the day
+	snap       *profile.Snapshot             // merged at close; retained on failure
+	stats      normalize.ProxyStats
+	records    uint64
+	droppedIP  uint64
+	training   bool
+	done       chan struct{} // closed when the close (or its failure) is final
+	err        error
 }
 
 // New starts an engine around a pipeline. The pipeline must not be used
@@ -750,6 +779,10 @@ func (e *Engine) quiesce(fn func(i int, s *shard)) {
 	wg.Wait()
 }
 
+// dayFrag is one shard's share of the open day's raw buffers, as a
+// checkpoint peeks at them: the arrival-order visits and lease-less
+// markers exist solely so a checkpoint can replay the open day exactly
+// (the analytics run from the incremental partials instead).
 type dayFrag struct {
 	visits  []seqVisit
 	all     map[string]struct{}
@@ -765,31 +798,6 @@ func (e *Engine) collectDay() []dayFrag {
 		frags[i] = dayFrag{visits: s.visits, all: s.all, markers: s.markers}
 	})
 	return frags
-}
-
-// mergeDay reassembles shard fragments into the order records arrived,
-// which is exactly the visit order batch reduction would have produced.
-func mergeDay(frags []dayFrag) ([]logs.Visit, map[string]struct{}, int) {
-	n := 0
-	for _, f := range frags {
-		n += len(f.visits)
-	}
-	merged := make([]seqVisit, 0, n)
-	all := make(map[string]struct{})
-	unresolved := 0
-	for _, f := range frags {
-		merged = append(merged, f.visits...)
-		for d := range f.all {
-			all[d] = struct{}{}
-		}
-		unresolved += len(f.markers)
-	}
-	sort.Slice(merged, func(i, j int) bool { return merged[i].seq < merged[j].seq })
-	visits := make([]logs.Visit, len(merged))
-	for i, sv := range merged {
-		visits[i] = sv.v
-	}
-	return visits, all, unresolved
 }
 
 // beginCloseLocked swaps the open day out of the shards and starts its
@@ -842,14 +850,24 @@ func (e *Engine) beginCloseLocked(expect time.Time) (*dayClose, error) {
 		training: e.daysDone < e.cfg.TrainingDays,
 		done:     make(chan struct{}),
 	}
-	// One quiesce swaps every shard's day buffers out and resets its live
-	// state; this is the whole ingest stall of a rollover.
-	frags := make([]dayFrag, len(e.shards))
+	// One quiesce swaps every shard's partial snapshot and domain set out
+	// and resets its live state; this is the whole ingest stall of a
+	// rollover. The arrival-order visit buffers are NOT carried along —
+	// the close runs from the partials, so the closing day's buffers free
+	// as soon as the swap returns instead of living until the pipeline
+	// accepts the day.
+	c.parts = make([]*profile.IncrementalBuilder, len(e.shards))
+	c.allSets = make([]map[string]struct{}, len(e.shards))
+	unresolved := make([]int, len(e.shards))
 	e.quiesce(func(i int, s *shard) {
-		frags[i] = dayFrag{visits: s.visits, all: s.all, markers: s.markers}
+		c.parts[i] = s.part
+		c.allSets[i] = s.all
+		unresolved[i] = len(s.markers)
 		s.resetDay()
 	})
-	c.frags = frags
+	for _, n := range unresolved {
+		c.unresolved += n
+	}
 	e.dayRecords.Store(0)
 	e.dayDroppedIP.Store(0)
 	e.day = time.Time{}
@@ -861,32 +879,51 @@ func (e *Engine) beginCloseLocked(expect time.Time) (*dayClose, error) {
 }
 
 // runDayClose is the background half of a rollover: merge the swapped
-// shard fragments back into arrival order, run the batch pipeline path,
-// publish the report. On a pipeline error the day's buffers are retained
-// on e.failed so a later Flush can retry without losing traffic (the
-// paper's calibration-starvation case). Runs without the engine lock; the
-// shards are already ingesting the next day.
+// per-shard partial snapshots (an O(domains) union + classification, not
+// an O(visits log visits) re-reduce of the day), run the batch pipeline
+// path on the prebuilt snapshot, publish the report. On a pipeline error
+// the merged snapshot and day statistics are retained on e.failed so a
+// later Flush can retry the pipeline without losing the day (the paper's
+// calibration-starvation case). Runs without the engine lock; the shards
+// are already ingesting the next day.
 func (e *Engine) runDayClose(c *dayClose) {
 	if e.closeHook != nil {
 		e.closeHook(c.date)
 	}
 	start := time.Now()
-	visits, all, unresolved := mergeDay(c.frags)
-	stats := normalize.ProxyStats{
-		Records:           int(c.records),
-		DomainsAll:        len(all),
-		DroppedIPLiteral:  int(c.droppedIP),
-		DroppedUnresolved: unresolved,
-		Kept:              len(visits),
+	if c.snap == nil {
+		all := make(map[string]struct{})
+		for _, set := range c.allSets {
+			for d := range set {
+				all[d] = struct{}{}
+			}
+		}
+		kept := 0
+		for _, p := range c.parts {
+			kept += p.Visits()
+		}
+		c.stats = normalize.ProxyStats{
+			Records:           int(c.records),
+			DomainsAll:        len(all),
+			DroppedIPLiteral:  int(c.droppedIP),
+			DroppedUnresolved: c.unresolved,
+			Kept:              kept,
+		}
+		// The merge classifies against the history with every earlier day
+		// committed — closes are strictly serialized, so the in-order
+		// commit the snapshot's "new domain" judgement depends on holds.
+		pcfg := e.pipe.Config()
+		c.snap = profile.MergeSnapshotParallel(c.day, c.parts, e.hist, pcfg.UnpopularThreshold, pcfg.Workers)
+		c.parts, c.allSets = nil, nil // the snapshot owns their structure now
 	}
 
 	var rep pipeline.EnterpriseDayReport
 	var daily *report.Daily
 	var err error
 	if c.training {
-		rep = e.pipe.TrainVisits(c.day, visits, stats)
+		rep = e.pipe.TrainSnapshot(c.day, c.snap, c.stats)
 	} else {
-		rep, err = e.pipe.ProcessVisits(c.day, visits, stats)
+		rep, err = e.pipe.ProcessSnapshot(c.day, c.snap, c.stats)
 		if err == nil {
 			d := report.Build(rep)
 			daily = &d
@@ -904,7 +941,7 @@ func (e *Engine) runDayClose(c *dayClose) {
 		close(c.done)
 		return
 	}
-	c.frags = nil // the day lives in the history now; free the buffers
+	c.snap = nil // the day lives in the history (and the report) now
 	e.daysDone++
 	e.reports[c.date] = rep
 	if daily != nil {

@@ -189,6 +189,22 @@ func NewSnapshotParallel(day time.Time, visits []Visit, hist *History, unpopular
 	return profile.NewSnapshotParallel(day, visits, hist, unpopularThreshold, workers)
 }
 
+// IncrementalBuilder accumulates a partition of a day's visits as they
+// arrive (keyed by arrival sequence number), deferring classification to
+// the day-close merge — the incremental snapshot maintenance the streaming
+// engine runs on its shards.
+type IncrementalBuilder = profile.IncrementalBuilder
+
+// NewIncrementalBuilder returns an empty partition builder.
+func NewIncrementalBuilder() *IncrementalBuilder { return profile.NewIncrementalBuilder() }
+
+// MergeSnapshotParallel assembles the day snapshot from partition builders
+// whose domain sets may overlap (disjoint (seq, visit) sets); the result is
+// identical to NewSnapshot over the same visits in seq order.
+func MergeSnapshotParallel(day time.Time, parts []*IncrementalBuilder, hist *History, unpopularThreshold, workers int) *Snapshot {
+	return profile.MergeSnapshotParallel(day, parts, hist, unpopularThreshold, workers)
+}
+
 // ---- Periodicity detection ----
 
 type (
