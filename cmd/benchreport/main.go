@@ -9,9 +9,10 @@
 //
 // With -perf the tables are skipped and a machine-readable performance
 // snapshot is written instead: day-close wall-clock at Workers=1 vs
-// GOMAXPROCS, and the streaming ingest-to-report cycle serial vs
-// pipelined. CI uploads it as the BENCH_PR4.json artifact so the perf
-// trajectory is tracked across pull requests.
+// GOMAXPROCS, the streaming ingest-to-report cycle serial vs pipelined,
+// and checkpoint encode/restore in both formats (legacy v1 replay vs v2
+// builder frames). CI uploads it as the BENCH_PR5.json artifact so the
+// perf trajectory is tracked across pull requests.
 package main
 
 import (

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -54,6 +56,19 @@ type perfSnapshot struct {
 	// swap) vs the background pipeline duration it used to contain.
 	RolloverPauseMicros int64 `json:"rolloverPauseMicros"`
 	DayCloseMillis      int64 `json:"dayCloseMillis"`
+
+	// Checkpoint format comparison over one high-volume open day: legacy v1
+	// (raw-record replay, size proportional to traffic volume) vs v2
+	// (domain-keyed builder frames, size proportional to distinct
+	// (host, domain) state; restore re-partitions instead of replaying
+	// per-record work).
+	CheckpointRecords     int     `json:"checkpointRecords"`
+	CheckpointV1Bytes     int64   `json:"checkpointV1Bytes"`
+	CheckpointV2Bytes     int64   `json:"checkpointV2Bytes"`
+	CheckpointV1EncodeMs  float64 `json:"checkpointV1EncodeMs"`
+	CheckpointV2EncodeMs  float64 `json:"checkpointV2EncodeMs"`
+	CheckpointV1RestoreMs float64 `json:"checkpointV1RestoreMs"`
+	CheckpointV2RestoreMs float64 `json:"checkpointV2RestoreMs"`
 }
 
 const perfRounds = 3
@@ -71,6 +86,9 @@ func runPerf(path string, seed int64) error {
 		return err
 	}
 	if err := perfIngestToReport(&snap); err != nil {
+		return err
+	}
+	if err := perfCheckpoint(&snap); err != nil {
 		return err
 	}
 
@@ -241,6 +259,80 @@ func perfIngestToReport(snap *perfSnapshot) error {
 	}
 	if snap.IngestToReportPipelined, err = runCycle(true); err != nil {
 		return err
+	}
+	return nil
+}
+
+// perfCheckpoint prices checkpoint encode and restore in both formats over
+// the same high-volume open day (many records over a bounded working set of
+// (host, domain) pairs — the shape where the v2 builder encoding wins).
+func perfCheckpoint(snap *perfSnapshot) error {
+	const perDay = 40000
+	snap.CheckpointRecords = perDay
+	base := time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC)
+	recs := make([]logs.ProxyRecord, perDay)
+	for i := range recs {
+		recs[i] = logs.ProxyRecord{
+			Time:      base.Add(time.Duration(i) * 2 * time.Millisecond),
+			Host:      fmt.Sprintf("host-%03d", i%64),
+			Domain:    fmt.Sprintf("dom-%03d.example.net", i%61),
+			URL:       "http://example.net/index.html",
+			Method:    "GET",
+			Status:    200,
+			UserAgent: "bench-agent/1.0",
+		}
+	}
+	pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{}, whois.NewRegistry(), nil, nil)
+	e := stream.New(stream.Config{Shards: 4, QueueDepth: 8192, TrainingDays: 1 << 30}, pipe)
+	defer e.Close()
+	if err := e.BeginDay(base, nil); err != nil {
+		return err
+	}
+	for i := 0; i < perDay; i += 512 {
+		end := min(i+512, perDay)
+		if err := e.IngestBatch(recs[i:end]); err != nil {
+			return err
+		}
+	}
+
+	type format struct {
+		encode    func(w io.Writer) error
+		bytes     *int64
+		encodeMs  *float64
+		restoreMs *float64
+	}
+	formats := []format{
+		{func(w io.Writer) error { return e.CheckpointV1(w, recs) },
+			&snap.CheckpointV1Bytes, &snap.CheckpointV1EncodeMs, &snap.CheckpointV1RestoreMs},
+		{func(w io.Writer) error { return e.Checkpoint(w) },
+			&snap.CheckpointV2Bytes, &snap.CheckpointV2EncodeMs, &snap.CheckpointV2RestoreMs},
+	}
+	for _, f := range formats {
+		var buf bytes.Buffer
+		var encRuns, resRuns []time.Duration
+		for r := 0; r < perfRounds; r++ {
+			buf.Reset()
+			start := time.Now()
+			if err := f.encode(&buf); err != nil {
+				return err
+			}
+			encRuns = append(encRuns, time.Since(start))
+
+			start = time.Now()
+			restored, err := stream.Restore(bytes.NewReader(buf.Bytes()),
+				stream.Config{Shards: 4, QueueDepth: 8192}, stream.RestoreDeps{})
+			if err != nil {
+				return err
+			}
+			_ = restored.Stats() // quiesce: include any queued replay work
+			resRuns = append(resRuns, time.Since(start))
+			if err := restored.Close(); err != nil {
+				return err
+			}
+		}
+		*f.bytes = int64(buf.Len())
+		*f.encodeMs = medianMs(encRuns)
+		*f.restoreMs = medianMs(resRuns)
 	}
 	return nil
 }

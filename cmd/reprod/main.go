@@ -8,7 +8,7 @@
 //
 //	reprod [-addr :8714] [-shards N] [-workers N] [-seed N] [-full]
 //	       [-replay DIR] [-speed X]
-//	       [-checkpoint FILE] [-max-ingest-bytes N]
+//	       [-checkpoint FILE] [-checkpoint-interval D] [-max-ingest-bytes N]
 //
 // Because the paper's intelligence externals (VirusTotal, SOC IOC lists,
 // WHOIS) are simulated, the daemon synthesizes them from the dataset seed:
@@ -56,17 +56,18 @@ import (
 
 // daemonOpts carries the parsed command-line configuration.
 type daemonOpts struct {
-	addr       string
-	shards     int
-	queue      int
-	seed       int64
-	full       bool
-	training   int
-	workers    int
-	replay     string
-	speed      float64
-	checkpoint string
-	maxIngest  int64
+	addr         string
+	shards       int
+	queue        int
+	seed         int64
+	full         bool
+	training     int
+	workers      int
+	replay       string
+	speed        float64
+	checkpoint   string
+	ckptInterval time.Duration
+	maxIngest    int64
 }
 
 func main() {
@@ -81,9 +82,14 @@ func main() {
 	flag.StringVar(&o.replay, "replay", "", "replay a cmd/datagen enterprise dataset directory, then keep serving")
 	flag.Float64Var(&o.speed, "speed", 0, "replay time-compression factor (0 = as fast as possible)")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file: restored on start if present, written on rollover and shutdown")
+	flag.DurationVar(&o.ckptInterval, "checkpoint-interval", 0, "also write the checkpoint periodically (e.g. 15m; 0 = rollover/shutdown only; requires -checkpoint); format v2 checkpoints no longer wait out an in-flight day-close")
 	flag.Int64Var(&o.maxIngest, "max-ingest-bytes", defaultMaxIngestBytes, "largest accepted /ingest body in bytes (oversized requests get 413)")
 	flag.Parse()
 
+	if o.ckptInterval > 0 && o.checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "-checkpoint-interval requires -checkpoint (there is no file to write to)")
+		os.Exit(2)
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -186,6 +192,9 @@ func run(o daemonOpts) error {
 			}
 		}
 	}()
+	if o.checkpoint != "" && o.ckptInterval > 0 {
+		go srv.runPeriodicCheckpoints(o.ckptInterval, nil)
+	}
 
 	if o.replay != "" {
 		go func() {

@@ -183,6 +183,58 @@ func TestHTTPCheckpointRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPeriodicCheckpoint: the -checkpoint-interval loop must publish a
+// restorable checkpoint without any rollover or HTTP trigger, and stop
+// when told to.
+func TestPeriodicCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reprod.ckpt")
+	srv, eng := testServer(t, path)
+	day := time.Date(2014, 3, 4, 0, 0, 0, 0, time.UTC)
+	if err := eng.BeginDay(day, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestBatch(testRecords(day, 30)); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		srv.runPeriodicCheckpoints(5*time.Millisecond, stop)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic checkpoint never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	<-loopDone
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	restored, err := stream.Restore(f, stream.Config{Shards: 1, TrainingDays: 1 << 30}, stream.RestoreDeps{Whois: whois.NewRegistry()})
+	if err != nil {
+		t.Fatalf("periodic checkpoint does not restore: %v", err)
+	}
+	defer restored.Close()
+	if err := restored.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := restored.DayReport("2014-03-04")
+	if !ok || rep.Stats.Records != 30 {
+		t.Fatalf("restored day: %v %+v, want 30 records", ok, rep.Stats)
+	}
+}
+
 // TestHTTPIngestBodyTooLarge: one oversized POST must die with 413 and
 // zero records ingested, not buffer without bound.
 func TestHTTPIngestBodyTooLarge(t *testing.T) {

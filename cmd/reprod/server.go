@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"net/netip"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -258,5 +260,42 @@ func (s *server) writeCheckpoint() error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, s.ckptPath)
+	if err := os.Rename(tmp, s.ckptPath); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// fsync the containing directory too: the rename itself is metadata,
+	// and without this a crash can surface the new name pointing at a
+	// zero-length (or missing) file — the startup refusal path would then
+	// reject a checkpoint that was never durably published. Directory
+	// fsync is advisory on some platforms; failure to open or sync is not
+	// fatal once the data file itself is synced.
+	if dir, err := os.Open(filepath.Dir(s.ckptPath)); err == nil {
+		_ = dir.Sync()
+		_ = dir.Close()
+	}
+	return nil
+}
+
+// runPeriodicCheckpoints writes the checkpoint every interval until stop
+// closes — the -checkpoint-interval auto-checkpoint loop, giving a daemon
+// that sees long gaps between rollovers a bounded restart window. Write
+// failures are logged and retried at the next tick; the engine shutting
+// down ends the loop.
+func (s *server) runPeriodicCheckpoints(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if err := s.writeCheckpoint(); err != nil {
+				if errors.Is(err, stream.ErrClosed) {
+					return
+				}
+				log.Printf("periodic checkpoint: %v", err)
+			}
+		}
+	}
 }

@@ -199,7 +199,20 @@ func (p *Enterprise) TrainVisits(day time.Time, visits []logs.Visit, stats norma
 // pipeline's history with every earlier day committed (the engine's
 // serialized day-closes guarantee it).
 func (p *Enterprise) TrainSnapshot(day time.Time, snap *profile.Snapshot, stats normalize.ProxyStats) EnterpriseDayReport {
+	return p.TrainSnapshotHooked(day, snap, stats, nil)
+}
+
+// TrainSnapshotHooked is TrainSnapshot with a pre-commit hook: when
+// preCommit is non-nil it runs exactly once, after the pure stages and
+// immediately before the first pipeline-state mutation. Until the hook
+// returns, the pipeline's observable state (history, calibration) still
+// describes the world before this day — the closing-day persistence point
+// the streaming engine checkpoints an in-flight close at.
+func (p *Enterprise) TrainSnapshotHooked(day time.Time, snap *profile.Snapshot, stats normalize.ProxyStats, preCommit func()) EnterpriseDayReport {
 	rep := stageAssemble(day, stats, snap)
+	if preCommit != nil {
+		preCommit()
+	}
 	snap.Commit(p.hist)
 	return rep
 }
@@ -305,10 +318,22 @@ func (p *Enterprise) ProcessVisits(day time.Time, visits []logs.Visit, stats nor
 // day's visits (note that during calibration both paths re-collect the
 // day's labeled examples on such a retry).
 func (p *Enterprise) ProcessSnapshot(day time.Time, snap *profile.Snapshot, stats normalize.ProxyStats) (EnterpriseDayReport, error) {
+	return p.ProcessSnapshotHooked(day, snap, stats, nil)
+}
+
+// ProcessSnapshotHooked is ProcessSnapshot with the pre-commit hook of
+// TrainSnapshotHooked: preCommit (when non-nil) runs exactly once on every
+// path, after the last pure stage of that path and before the first
+// pipeline-state mutation (calibration bookkeeping on calibration days, the
+// history commit otherwise).
+func (p *Enterprise) ProcessSnapshotHooked(day time.Time, snap *profile.Snapshot, stats normalize.ProxyStats, preCommit func()) (EnterpriseDayReport, error) {
 	rep := stageAssemble(day, stats, snap)
 	rep.Automated = p.stageDetect(snap)
 
 	if !p.trained {
+		if preCommit != nil {
+			preCommit()
+		}
 		p.collectExamples(snap, rep.Automated, day)
 		p.calDays++
 		if p.calDays >= p.cfg.CalibrationDays {
@@ -330,6 +355,9 @@ func (p *Enterprise) ProcessSnapshot(day time.Time, snap *profile.Snapshot, stat
 	rep.CC = p.stageScore(rep.Automated)
 	rep.NoHint, rep.SOCHints = p.stagePropagate(snap, rep.CC)
 
+	if preCommit != nil {
+		preCommit()
+	}
 	snap.Commit(p.hist)
 	return rep, nil
 }

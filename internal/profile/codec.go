@@ -1,0 +1,465 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// Streaming codecs for the two day-state shapes a format-v2 engine
+// checkpoint persists instead of raw visit replay: the open day's
+// IncrementalBuilder partial (domain-keyed aggregation, checkpoint size
+// proportional to distinct (host, domain) state rather than traffic
+// volume) and the merged Snapshot of a day whose close is in flight.
+//
+// Both follow the persist.go conventions: line-delimited JSON through a
+// caller-supplied encoder/decoder, a header record carrying the section's
+// record counts so the section is self-delimiting, and streaming record-by-
+// record so multi-million entry days never materialize as one value. The
+// decoders are paranoid — a checkpoint is adversarial input after a crash —
+// and refuse negative counts, duplicate keys, empty host activities and
+// internally inconsistent visit totals instead of building broken state.
+
+const (
+	builderCodecVersion  = 1
+	snapshotCodecVersion = 1
+)
+
+type builderHeader struct {
+	Version int `json:"version"`
+	Visits  int `json:"visits"`
+	Domains int `json:"domains"`
+	UAPairs int `json:"uaPairs"`
+}
+
+// codecHost is one host's activity toward one domain, shared by the builder
+// and snapshot codecs. Times are serialized in whatever order the in-memory
+// state holds (arrival order in a builder, sorted in a classified
+// snapshot); UAs carry the empty string for UA-less connections.
+type codecHost struct {
+	Host  string      `json:"h"`
+	Times []time.Time `json:"t"`
+	NoRef int         `json:"noRef,omitempty"`
+	UAs   []string    `json:"uas,omitempty"`
+}
+
+type builderDomainRec struct {
+	Domain string            `json:"d"`
+	IP     string            `json:"ip,omitempty"`
+	IPSeq  uint64            `json:"ipSeq,omitempty"`
+	Paths  map[string]uint64 `json:"paths,omitempty"`
+	Hosts  []codecHost       `json:"hosts"`
+}
+
+// uaPairRec is one (host, user-agent) pair of the day, shared by both
+// codecs.
+type uaPairRec struct {
+	Host string `json:"h"`
+	UA   string `json:"ua"`
+}
+
+func encodeHostActivity(ha *HostActivity) codecHost {
+	ch := codecHost{Host: ha.Host, Times: ha.Times, NoRef: ha.NoRefVisits}
+	ch.UAs = make([]string, 0, len(ha.UAs))
+	for ua := range ha.UAs {
+		ch.UAs = append(ch.UAs, ua)
+	}
+	return ch
+}
+
+func decodeHostActivity(ch codecHost) (*HostActivity, error) {
+	if len(ch.Times) == 0 {
+		return nil, fmt.Errorf("host %q has no connection times", ch.Host)
+	}
+	if ch.NoRef < 0 || ch.NoRef > len(ch.Times) {
+		return nil, fmt.Errorf("host %q: noRef %d out of range (0..%d)", ch.Host, ch.NoRef, len(ch.Times))
+	}
+	ha := &HostActivity{
+		Host:        ch.Host,
+		Times:       ch.Times,
+		NoRefVisits: ch.NoRef,
+		UAs:         make(map[string]bool, len(ch.UAs)),
+	}
+	for _, ua := range ch.UAs {
+		ha.UAs[ua] = true
+	}
+	return ha, nil
+}
+
+// SaveTo streams the builder through an existing encoder as one
+// self-delimiting section: a header, one record per domain (its aggregate
+// keyed by arrival seq, exactly the order-sensitive state the merge at
+// day-close needs), and one record per (host, UA) pair. Like
+// History.SaveTo, the byte output is deterministic only up to map
+// iteration order.
+func (b *IncrementalBuilder) SaveTo(enc *json.Encoder) error {
+	if err := enc.Encode(builderHeader{
+		Version: builderCodecVersion,
+		Visits:  b.visits,
+		Domains: len(b.perDomain),
+		UAPairs: len(b.uaPairs),
+	}); err != nil {
+		return fmt.Errorf("profile: save builder header: %w", err)
+	}
+	for d, a := range b.perDomain {
+		rec := builderDomainRec{Domain: d, IPSeq: a.ipSeq, Paths: a.paths}
+		if a.ip.IsValid() {
+			rec.IP = a.ip.String()
+		}
+		rec.Hosts = make([]codecHost, 0, len(a.hosts))
+		for _, ha := range a.hosts {
+			rec.Hosts = append(rec.Hosts, encodeHostActivity(ha))
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("profile: save builder domain: %w", err)
+		}
+	}
+	for pair := range b.uaPairs {
+		if err := enc.Encode(uaPairRec{Host: pair[0], UA: pair[1]}); err != nil {
+			return fmt.Errorf("profile: save builder ua pair: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadBuilderFrom reads a builder section previously written by SaveTo,
+// leaving the decoder positioned exactly past it. Corrupt sections —
+// negative counts, duplicate domains or hosts, visit totals that do not
+// match the per-host times — are refused with an error, never a panic.
+func LoadBuilderFrom(dec *json.Decoder) (*IncrementalBuilder, error) {
+	var hdr builderHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("profile: load builder header: %w", err)
+	}
+	if hdr.Version != builderCodecVersion {
+		return nil, fmt.Errorf("profile: unsupported builder version %d", hdr.Version)
+	}
+	if hdr.Visits < 0 || hdr.Domains < 0 || hdr.UAPairs < 0 {
+		return nil, fmt.Errorf("profile: corrupt builder header (visits=%d, domains=%d, uaPairs=%d)",
+			hdr.Visits, hdr.Domains, hdr.UAPairs)
+	}
+	b := NewIncrementalBuilder()
+	visits := 0
+	for i := 0; i < hdr.Domains; i++ {
+		var rec builderDomainRec
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("profile: load builder domain %d: %w", i, err)
+		}
+		if _, dup := b.perDomain[rec.Domain]; dup {
+			return nil, fmt.Errorf("profile: duplicate builder domain %q", rec.Domain)
+		}
+		a := &incrementalAgg{hosts: make(map[string]*HostActivity, len(rec.Hosts)), ipSeq: rec.IPSeq}
+		if rec.IP != "" {
+			ip, err := netip.ParseAddr(rec.IP)
+			if err != nil {
+				return nil, fmt.Errorf("profile: builder domain %q: bad IP %q: %w", rec.Domain, rec.IP, err)
+			}
+			a.ip = ip
+		}
+		if len(rec.Paths) > maxPathsPerDomain {
+			return nil, fmt.Errorf("profile: builder domain %q: %d retained paths exceeds the %d cap",
+				rec.Domain, len(rec.Paths), maxPathsPerDomain)
+		}
+		if len(rec.Paths) > 0 {
+			a.paths = rec.Paths
+		}
+		for _, ch := range rec.Hosts {
+			if _, dup := a.hosts[ch.Host]; dup {
+				return nil, fmt.Errorf("profile: builder domain %q: duplicate host %q", rec.Domain, ch.Host)
+			}
+			ha, err := decodeHostActivity(ch)
+			if err != nil {
+				return nil, fmt.Errorf("profile: builder domain %q: %w", rec.Domain, err)
+			}
+			a.hosts[ch.Host] = ha
+			visits += len(ha.Times)
+		}
+		b.perDomain[rec.Domain] = a
+	}
+	if visits != hdr.Visits {
+		return nil, fmt.Errorf("profile: builder visit total %d does not match header %d", visits, hdr.Visits)
+	}
+	b.visits = visits
+	for i := 0; i < hdr.UAPairs; i++ {
+		var rec uaPairRec
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("profile: load builder ua pair %d: %w", i, err)
+		}
+		b.uaPairs[[2]string{rec.Host, rec.UA}] = true
+	}
+	return b, nil
+}
+
+// MaxSeq returns the largest arrival sequence number recorded in the
+// builder's order-sensitive state (first-seen IPs and the path retention
+// cap) — the value a checkpoint decoder validates against the engine's seq
+// watermark, so a corrupt builder section cannot smuggle in state "from the
+// future".
+func (b *IncrementalBuilder) MaxSeq() uint64 {
+	var max uint64
+	for _, a := range b.perDomain {
+		if a.ipSeq > max {
+			max = a.ipSeq
+		}
+		for _, s := range a.paths {
+			if s > max {
+				max = s
+			}
+		}
+	}
+	return max
+}
+
+// Clone returns a deep copy sharing no mutable structure with b, so a
+// checkpoint can snapshot a shard's partial under the engine's brief
+// exclusive freeze and encode it afterwards while the ingest path keeps
+// mutating the original.
+func (b *IncrementalBuilder) Clone() *IncrementalBuilder {
+	out := &IncrementalBuilder{
+		perDomain: make(map[string]*incrementalAgg, len(b.perDomain)),
+		uaPairs:   make(map[[2]string]bool, len(b.uaPairs)),
+		visits:    b.visits,
+	}
+	for d, a := range b.perDomain {
+		ca := &incrementalAgg{
+			hosts: make(map[string]*HostActivity, len(a.hosts)),
+			ip:    a.ip,
+			ipSeq: a.ipSeq,
+		}
+		if a.paths != nil {
+			ca.paths = make(map[string]uint64, len(a.paths))
+			for p, s := range a.paths {
+				ca.paths[p] = s
+			}
+		}
+		for h, ha := range a.hosts {
+			uas := make(map[string]bool, len(ha.UAs))
+			for ua := range ha.UAs {
+				uas[ua] = true
+			}
+			ca.hosts[h] = &HostActivity{
+				Host:        ha.Host,
+				Times:       append(make([]time.Time, 0, len(ha.Times)), ha.Times...),
+				NoRefVisits: ha.NoRefVisits,
+				UAs:         uas,
+			}
+		}
+		out.perDomain[d] = ca
+	}
+	for pair := range b.uaPairs {
+		out.uaPairs[pair] = true
+	}
+	return out
+}
+
+// MergeFrom folds o's state into b. Overlapping domains combine exactly
+// (every order-sensitive decision is seq-keyed), so merging per-shard
+// clones yields the same aggregate any other partitioning would. b adopts
+// parts of o's structure, so o must not be used afterwards; the receiver
+// must be a builder the caller owns outright (a Clone, or a freshly loaded
+// one), because shared hosts merge copy-on-write into b's maps.
+func (b *IncrementalBuilder) MergeFrom(o *IncrementalBuilder) {
+	for d, oa := range o.perDomain {
+		if a, ok := b.perDomain[d]; ok {
+			a.mergeFrom(oa)
+		} else {
+			b.perDomain[d] = oa
+		}
+	}
+	for pair := range o.uaPairs {
+		b.uaPairs[pair] = true
+	}
+	b.visits += o.visits
+}
+
+// Split partitions the builder's domains onto n fresh builders by the
+// package's stable domain hash — the restore half of a domain-keyed
+// checkpoint, which re-partitions however many shards the restoring engine
+// runs (merge results are independent of the partition assignment). The
+// (host, UA) pairs, which only matter unioned at day-close, all land on
+// partition 0. The receiver is consumed.
+func (b *IncrementalBuilder) Split(n int) []*IncrementalBuilder {
+	if n < 1 {
+		n = 1
+	}
+	parts := make([]*IncrementalBuilder, n)
+	for i := range parts {
+		parts[i] = NewIncrementalBuilder()
+	}
+	for d, a := range b.perDomain {
+		p := parts[int(domainPartition(d)%uint32(n))]
+		p.perDomain[d] = a
+		for _, ha := range a.hosts {
+			p.visits += len(ha.Times)
+		}
+	}
+	for pair := range b.uaPairs {
+		parts[0].uaPairs[pair] = true
+	}
+	return parts
+}
+
+// HasDomain reports whether the builder holds visit state for the domain.
+func (b *IncrementalBuilder) HasDomain(d string) bool {
+	_, ok := b.perDomain[d]
+	return ok
+}
+
+// DomainNames returns the builder's distinct domains in unspecified order.
+func (b *IncrementalBuilder) DomainNames() []string {
+	out := make([]string, 0, len(b.perDomain))
+	for d := range b.perDomain {
+		out = append(out, d)
+	}
+	return out
+}
+
+// ---- Snapshot codec ----
+
+type snapshotHeader struct {
+	Version    int       `json:"version"`
+	Day        time.Time `json:"day"`
+	NewDomains int       `json:"newDomains"`
+	AllDomains int       `json:"allDomains"`
+	Domains    int       `json:"domains"`
+	UAPairs    int       `json:"uaPairs"`
+	Rare       int       `json:"rare"`
+}
+
+type snapshotDomainRec struct {
+	Domain string `json:"d"`
+}
+
+type snapshotRareRec struct {
+	Domain string      `json:"d"`
+	IP     string      `json:"ip,omitempty"`
+	Paths  []string    `json:"paths,omitempty"`
+	Hosts  []codecHost `json:"hosts"`
+}
+
+// SaveTo streams the classified snapshot through an existing encoder as one
+// self-delimiting section — the checkpoint shape of a day whose close is in
+// flight: the merge already consumed the per-shard partials, so the merged
+// snapshot itself is the day's persistent form. SaveTo only reads the
+// snapshot, so it is safe to run concurrently with the close's pure
+// analytics stages over the same snapshot.
+func (s *Snapshot) SaveTo(enc *json.Encoder) error {
+	if err := enc.Encode(snapshotHeader{
+		Version:    snapshotCodecVersion,
+		Day:        s.Day,
+		NewDomains: s.NewDomains,
+		AllDomains: s.AllDomains,
+		Domains:    len(s.domains),
+		UAPairs:    len(s.uaPairs),
+		Rare:       len(s.Rare),
+	}); err != nil {
+		return fmt.Errorf("profile: save snapshot header: %w", err)
+	}
+	for _, d := range s.domains {
+		if err := enc.Encode(snapshotDomainRec{Domain: d}); err != nil {
+			return fmt.Errorf("profile: save snapshot domain: %w", err)
+		}
+	}
+	for pair := range s.uaPairs {
+		if err := enc.Encode(uaPairRec{Host: pair[0], UA: pair[1]}); err != nil {
+			return fmt.Errorf("profile: save snapshot ua pair: %w", err)
+		}
+	}
+	for d, da := range s.Rare {
+		rec := snapshotRareRec{Domain: d}
+		if da.IP.IsValid() {
+			rec.IP = da.IP.String()
+		}
+		for p := range da.Paths {
+			rec.Paths = append(rec.Paths, p)
+		}
+		sort.Strings(rec.Paths)
+		rec.Hosts = make([]codecHost, 0, len(da.Hosts))
+		for _, ha := range da.Hosts {
+			rec.Hosts = append(rec.Hosts, encodeHostActivity(ha))
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("profile: save snapshot rare %q: %w", d, err)
+		}
+	}
+	return nil
+}
+
+// LoadSnapshotFrom reads a snapshot section previously written by SaveTo,
+// leaving the decoder positioned exactly past it. The host-rare index is
+// rebuilt and rare per-host timestamps re-sorted, so even a hostile
+// section yields a structurally sound snapshot or a clean error.
+func LoadSnapshotFrom(dec *json.Decoder) (*Snapshot, error) {
+	var hdr snapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("profile: load snapshot header: %w", err)
+	}
+	if hdr.Version != snapshotCodecVersion {
+		return nil, fmt.Errorf("profile: unsupported snapshot version %d", hdr.Version)
+	}
+	if hdr.NewDomains < 0 || hdr.AllDomains < 0 || hdr.Domains < 0 || hdr.UAPairs < 0 || hdr.Rare < 0 {
+		return nil, fmt.Errorf("profile: corrupt snapshot header %+v", hdr)
+	}
+	s := &Snapshot{
+		Day:        hdr.Day,
+		NewDomains: hdr.NewDomains,
+		AllDomains: hdr.AllDomains,
+		Rare:       make(map[string]*DomainActivity),
+		HostRare:   make(map[string][]string),
+		domains:    make([]string, 0, min(hdr.Domains, 1<<16)),
+		uaPairs:    make(map[[2]string]bool, min(hdr.UAPairs, 1<<16)),
+	}
+	for i := 0; i < hdr.Domains; i++ {
+		var rec snapshotDomainRec
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("profile: load snapshot domain %d: %w", i, err)
+		}
+		s.domains = append(s.domains, rec.Domain)
+	}
+	for i := 0; i < hdr.UAPairs; i++ {
+		var rec uaPairRec
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("profile: load snapshot ua pair %d: %w", i, err)
+		}
+		s.uaPairs[[2]string{rec.Host, rec.UA}] = true
+	}
+	for i := 0; i < hdr.Rare; i++ {
+		var rec snapshotRareRec
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("profile: load snapshot rare %d: %w", i, err)
+		}
+		if _, dup := s.Rare[rec.Domain]; dup {
+			return nil, fmt.Errorf("profile: duplicate snapshot rare domain %q", rec.Domain)
+		}
+		da := &DomainActivity{Domain: rec.Domain, Hosts: make(map[string]*HostActivity, len(rec.Hosts))}
+		if rec.IP != "" {
+			ip, err := netip.ParseAddr(rec.IP)
+			if err != nil {
+				return nil, fmt.Errorf("profile: snapshot rare %q: bad IP %q: %w", rec.Domain, rec.IP, err)
+			}
+			da.IP = ip
+		}
+		if len(rec.Paths) > 0 {
+			da.Paths = make(map[string]bool, len(rec.Paths))
+			for _, p := range rec.Paths {
+				da.Paths[p] = true
+			}
+		}
+		for _, ch := range rec.Hosts {
+			if _, dup := da.Hosts[ch.Host]; dup {
+				return nil, fmt.Errorf("profile: snapshot rare %q: duplicate host %q", rec.Domain, ch.Host)
+			}
+			ha, err := decodeHostActivity(ch)
+			if err != nil {
+				return nil, fmt.Errorf("profile: snapshot rare %q: %w", rec.Domain, err)
+			}
+			sort.Slice(ha.Times, func(i, j int) bool { return ha.Times[i].Before(ha.Times[j]) })
+			da.Hosts[ch.Host] = ha
+		}
+		s.Rare[rec.Domain] = da
+	}
+	s.buildHostRare()
+	return s, nil
+}

@@ -1,0 +1,252 @@
+package profile
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/logs"
+)
+
+// codecVisits fabricates a deterministic visit stream with enough shape to
+// exercise every codec field: multiple hosts per domain, shared (host,
+// domain) pairs across partitions, URL paths beyond the retention cap,
+// UA-less and referer-less visits, and destination IPs.
+func codecVisits(n int) []logs.Visit {
+	day := time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(7))
+	visits := make([]logs.Visit, n)
+	for i := range visits {
+		v := logs.Visit{
+			Time:   day.Add(time.Duration(i) * 13 * time.Second),
+			Host:   fmt.Sprintf("host-%d", rng.Intn(9)),
+			Domain: fmt.Sprintf("dom-%d.test", rng.Intn(13)),
+			URL:    fmt.Sprintf("http://x.test/p%d?", rng.Intn(40)),
+			HasRef: rng.Intn(3) > 0,
+		}
+		if rng.Intn(4) > 0 {
+			v.HasUA = true
+			v.UserAgent = fmt.Sprintf("agent/%d", rng.Intn(5))
+		}
+		if rng.Intn(2) == 0 {
+			v.DestIP = netip.AddrFrom4([4]byte{93, 184, byte(rng.Intn(200)), byte(rng.Intn(200))})
+		}
+		visits[i] = v
+	}
+	return visits
+}
+
+func buildFromVisits(visits []logs.Visit) *IncrementalBuilder {
+	b := NewIncrementalBuilder()
+	for i := range visits {
+		b.Add(uint64(i+1), &visits[i])
+	}
+	return b
+}
+
+// mergedSnapshot reduces a builder to the comparable day view.
+func mergedSnapshot(b *IncrementalBuilder, hist *History) *Snapshot {
+	return MergeSnapshot(time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC),
+		[]*IncrementalBuilder{b}, hist, 10)
+}
+
+func snapshotFingerprint(t *testing.T, s *Snapshot) string {
+	t.Helper()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "day=%s new=%d all=%d\n", s.Day.Format("2006-01-02"), s.NewDomains, s.AllDomains)
+	for _, d := range s.RareDomains() {
+		da := s.Rare[d]
+		fmt.Fprintf(&sb, "rare %s ip=%v paths=%d\n", d, da.IP, len(da.Paths))
+		for _, h := range da.HostNames() {
+			ha := da.Hosts[h]
+			uas := make([]string, 0, len(ha.UAs))
+			for ua := range ha.UAs {
+				uas = append(uas, ua)
+			}
+			fmt.Fprintf(&sb, "  host %s visits=%d noref=%v uas=%d first=%s\n",
+				h, len(ha.Times), ha.UsesNoReferer(), len(uas), ha.First().Format(time.RFC3339))
+		}
+	}
+	return sb.String()
+}
+
+// TestBuilderCodecRoundTrip: SaveTo → LoadBuilderFrom must reproduce a
+// builder whose merged snapshot is indistinguishable from the original's,
+// and whose own accounting (visits, domains, max seq) matches.
+func TestBuilderCodecRoundTrip(t *testing.T) {
+	b := buildFromVisits(codecVisits(900))
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	enc := json.NewEncoder(bw)
+	if err := b.SaveTo(enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBuilderFrom(json.NewDecoder(bufio.NewReader(bytes.NewReader(buf.Bytes()))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Visits() != b.Visits() || got.Domains() != b.Domains() || got.MaxSeq() != b.MaxSeq() {
+		t.Fatalf("round-trip accounting: visits %d/%d domains %d/%d maxSeq %d/%d",
+			got.Visits(), b.Visits(), got.Domains(), b.Domains(), got.MaxSeq(), b.MaxSeq())
+	}
+	hist := NewHistory()
+	want := snapshotFingerprint(t, mergedSnapshot(b.Clone(), hist))
+	if fp := snapshotFingerprint(t, mergedSnapshot(got, hist)); fp != want {
+		t.Fatalf("round-tripped builder merges differently\nwant:\n%s\ngot:\n%s", want, fp)
+	}
+}
+
+// TestBuilderCloneIsDeep: mutating the original after Clone must not leak
+// into the clone — the property the checkpoint encode depends on while the
+// ingest path keeps absorbing visits.
+func TestBuilderCloneIsDeep(t *testing.T) {
+	visits := codecVisits(400)
+	b := buildFromVisits(visits[:200])
+	clone := b.Clone()
+	before := snapshotFingerprint(t, mergedSnapshot(clone.Clone(), NewHistory()))
+	for i := 200; i < 400; i++ {
+		b.Add(uint64(i+1), &visits[i])
+	}
+	if after := snapshotFingerprint(t, mergedSnapshot(clone, NewHistory())); after != before {
+		t.Fatalf("clone changed when the original kept absorbing\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+}
+
+// TestBuilderMergeSplitEquivalence: clone-merge (the checkpoint writer) and
+// hash-split (the restore) must preserve the merged day exactly, for any
+// partition count on either side.
+func TestBuilderMergeSplitEquivalence(t *testing.T) {
+	visits := codecVisits(1200)
+	hist := NewHistory()
+	hist.UpdateDomains(time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC), []string{"dom-1.test", "dom-7.test"})
+	want := snapshotFingerprint(t, mergedSnapshot(buildFromVisits(visits), hist))
+
+	for _, shards := range []int{1, 3, 8} {
+		parts := make([]*IncrementalBuilder, shards)
+		for i := range parts {
+			parts[i] = NewIncrementalBuilder()
+		}
+		for i := range visits {
+			v := &visits[i]
+			parts[PairPartition(v.Host, v.Domain, shards)].Add(uint64(i+1), v)
+		}
+		merged := parts[0].Clone()
+		for _, p := range parts[1:] {
+			merged.MergeFrom(p.Clone())
+		}
+		for _, splitN := range []int{1, 2, 5} {
+			split := merged.Clone().Split(splitN)
+			got := snapshotFingerprint(t, MergeSnapshotParallel(
+				time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC), split, hist, 10, 1))
+			if got != want {
+				t.Fatalf("shards=%d split=%d: merged day differs\nwant:\n%s\ngot:\n%s", shards, splitN, got, want)
+			}
+		}
+	}
+}
+
+// TestSnapshotCodecRoundTrip: a classified snapshot must survive SaveTo →
+// LoadSnapshotFrom with its rare activity, domain list and UA pairs intact
+// (fingerprint plus history-commit effect).
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	hist := NewHistory()
+	hist.UpdateDomains(time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC), []string{"dom-2.test"})
+	s := mergedSnapshot(buildFromVisits(codecVisits(800)), hist)
+
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	enc := json.NewEncoder(bw)
+	if err := s.SaveTo(enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshotFrom(json.NewDecoder(bufio.NewReader(bytes.NewReader(buf.Bytes()))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp, want := snapshotFingerprint(t, got), snapshotFingerprint(t, s); fp != want {
+		t.Fatalf("snapshot round-trip differs\nwant:\n%s\ngot:\n%s", want, fp)
+	}
+	if !reflect.DeepEqual(got.HostRare, s.HostRare) {
+		t.Fatalf("HostRare differs: %v vs %v", got.HostRare, s.HostRare)
+	}
+	// Committing both into fresh histories must leave identical domain and
+	// UA state — the restored closing day updates the history exactly.
+	h1, h2 := NewHistory(), NewHistory()
+	s.Commit(h1)
+	got.Commit(h2)
+	if h1.DomainCount() != h2.DomainCount() || h1.UACount() != h2.UACount() {
+		t.Fatalf("commit effect differs: domains %d/%d uas %d/%d",
+			h1.DomainCount(), h2.DomainCount(), h1.UACount(), h2.UACount())
+	}
+}
+
+// TestBuilderCodecRefusals: hostile builder sections must come back as
+// errors, never panics or quietly inconsistent builders.
+func TestBuilderCodecRefusals(t *testing.T) {
+	host := `{"h":"h1","t":["2014-02-03T00:00:00Z"],"uas":[""]}`
+	cases := map[string]string{
+		"badVersion":     `{"version":9,"visits":0,"domains":0,"uaPairs":0}`,
+		"negativeCounts": `{"version":1,"visits":-1,"domains":-2,"uaPairs":-3}`,
+		"duplicateDomain": `{"version":1,"visits":2,"domains":2,"uaPairs":0}
+{"d":"a.test","hosts":[` + host + `]}
+{"d":"a.test","hosts":[` + host + `]}`,
+		"duplicateHost": `{"version":1,"visits":2,"domains":1,"uaPairs":0}
+{"d":"a.test","hosts":[` + host + `,` + host + `]}`,
+		"emptyHost": `{"version":1,"visits":0,"domains":1,"uaPairs":0}
+{"d":"a.test","hosts":[{"h":"h1","t":[],"uas":[""]}]}`,
+		"visitMismatch": `{"version":1,"visits":5,"domains":1,"uaPairs":0}
+{"d":"a.test","hosts":[` + host + `]}`,
+		"badIP": `{"version":1,"visits":1,"domains":1,"uaPairs":0}
+{"d":"a.test","ip":"999.1.1.1","hosts":[` + host + `]}`,
+		"noRefOutOfRange": `{"version":1,"visits":1,"domains":1,"uaPairs":0}
+{"d":"a.test","hosts":[{"h":"h1","t":["2014-02-03T00:00:00Z"],"noRef":4,"uas":[""]}]}`,
+		"tooManyPaths": `{"version":1,"visits":1,"domains":1,"uaPairs":0}
+{"d":"a.test","paths":{"/1":1,"/2":1,"/3":1,"/4":1,"/5":1,"/6":1,"/7":1,"/8":1,"/9":1,"/10":1,"/11":1,"/12":1,"/13":1,"/14":1,"/15":1,"/16":1,"/17":1},"hosts":[` + host + `]}`,
+		"truncated": `{"version":1,"visits":2,"domains":2,"uaPairs":0}
+{"d":"a.test","hosts":[` + host + `]}`,
+	}
+	for name, input := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := LoadBuilderFrom(json.NewDecoder(strings.NewReader(input + "\n"))); err == nil {
+				t.Fatal("LoadBuilderFrom accepted a corrupt section")
+			}
+		})
+	}
+}
+
+// TestSnapshotCodecRefusals mirrors the builder refusal contract for the
+// closing-day snapshot section.
+func TestSnapshotCodecRefusals(t *testing.T) {
+	rare := `{"d":"a.test","hosts":[{"h":"h1","t":["2014-02-03T00:00:00Z"],"uas":[""]}]}`
+	cases := map[string]string{
+		"badVersion":     `{"version":7}`,
+		"negativeCounts": `{"version":1,"newDomains":-1,"allDomains":-1,"domains":-1,"uaPairs":-1,"rare":-1}`,
+		"duplicateRare": `{"version":1,"domains":0,"uaPairs":0,"rare":2}
+` + rare + `
+` + rare,
+		"emptyRareHost": `{"version":1,"domains":0,"uaPairs":0,"rare":1}
+{"d":"a.test","hosts":[{"h":"h1","t":[],"uas":[""]}]}`,
+		"truncated": `{"version":1,"domains":3,"uaPairs":0,"rare":0}
+{"d":"a.test"}`,
+	}
+	for name, input := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := LoadSnapshotFrom(json.NewDecoder(strings.NewReader(input + "\n"))); err == nil {
+				t.Fatal("LoadSnapshotFrom accepted a corrupt section")
+			}
+		})
+	}
+}

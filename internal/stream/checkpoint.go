@@ -8,10 +8,10 @@ import (
 	"hash/maphash"
 	"io"
 	"net/netip"
-	"sort"
 	"time"
 
 	"repro/internal/logs"
+	"repro/internal/normalize"
 	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/report"
@@ -21,10 +21,10 @@ import (
 // A checkpoint makes the daemon restartable mid-day: it captures the
 // long-lived behavioural history (via profile's persist machinery), the
 // pipeline's calibration progress, the completed-day SOC reports, and the
-// open day's buffered records. A restored engine resumes exactly where the
-// checkpoint was taken — the golden equivalence test drives a dataset
-// through a checkpoint/restore cycle split mid-day and still matches batch
-// byte-for-byte.
+// open day's state. A restored engine resumes exactly where the checkpoint
+// was taken — the golden equivalence tests drive a dataset through
+// checkpoint/restore cycles split mid-day (and mid-close) and still match
+// batch byte-for-byte.
 //
 // The format is one line-delimited JSON stream with self-delimiting
 // sections, shared through a single encoder/decoder so multi-million entry
@@ -34,12 +34,35 @@ import (
 //	history      profile.History.SaveTo
 //	calibration  pipeline.CalibrationState
 //	dailies      header.Dailies × checkpointDaily
-//	items        header.Items × checkpointItem, in arrival (seq) order
+//	closing      (v2, iff header.Closing != "") checkpointClosing +
+//	             profile.Snapshot.SaveTo — the merged snapshot of a day
+//	             whose close was in flight; restore re-runs the close
+//	openday      (v2, iff header.Day != "") checkpointOpenDay +
+//	             profile.IncrementalBuilder.SaveTo + markerDomains ×
+//	             checkpointDomain
+//	items        (v1 only) header.Items × checkpointItem, in seq order
 //
-// Shard count is deliberately not part of the state: items are re-hashed on
-// restore, so a checkpoint taken on an 8-core box restores onto 2 cores.
+// Format v2 serializes the open day as the merged incremental-builder
+// partial — domain-keyed aggregation, so checkpoint size and restore time
+// are proportional to the day's distinct (host, domain) state rather than
+// its traffic volume, and no arrival-order raw visit buffer needs to exist
+// anywhere in the engine. v1 checkpoints (raw-item replay) are still
+// accepted on restore; the next checkpoint rewrites them as v2.
+//
+// Shard count is deliberately not part of the state: builder frames are
+// domain-keyed and re-partitioned by hash on restore (v1 items are
+// re-hashed the same way), so a checkpoint taken on an 8-core box restores
+// onto 2 cores.
+//
+// One restorable fidelity loss relative to v1 replay: the open day's live
+// periodicity analyzers (the LiveAutomated early-warning view) restart
+// empty after a restore — they are advisory, derived state that the day's
+// official verdict never depends on.
 
-const checkpointVersion = 1
+const (
+	checkpointVersion   = 2
+	checkpointVersionV1 = 1
+)
 
 type checkpointHeader struct {
 	Version      int                       `json:"version"`
@@ -56,7 +79,11 @@ type checkpointHeader struct {
 	Leases       map[string]string         `json:"leases,omitempty"`
 	Dates        []string                  `json:"dates,omitempty"`
 	Dailies      int                       `json:"dailies"`
-	Items        int                       `json:"items"`
+	// Closing names the day whose close was in flight when the checkpoint
+	// was taken ("" = none); v2 only.
+	Closing string `json:"closing,omitempty"`
+	// Items is the open-day raw record count; v1 only (v2 writes 0).
+	Items int `json:"items"`
 }
 
 type checkpointDaily struct {
@@ -64,20 +91,259 @@ type checkpointDaily struct {
 	Daily report.Daily `json:"daily"`
 }
 
+// checkpointItem is one open-day record of a v1 checkpoint (retained for
+// read compatibility and the format-comparison benchmarks).
 type checkpointItem struct {
 	Seq    uint64      `json:"seq"`
 	Domain string      `json:"d,omitempty"` // marker items (unresolved source)
 	Visit  *logs.Visit `json:"v,omitempty"`
 }
 
-// Checkpoint streams the engine's full state to w. The engine is quiesced
-// for the duration; concurrent ingestion blocks and resumes afterwards. A
-// day-close in flight is waited out first — its day lives in neither the
-// completed reports nor the open-day buffers until it publishes, so a
-// checkpoint taken mid-close would silently drop it. A close that failed
-// and awaits retry makes the engine state unrepresentable in the one-open-
-// day checkpoint format; Checkpoint refuses until a Flush retries it.
+// checkpointClosing is the v2 closing-day section header; the merged
+// snapshot follows as a profile snapshot section.
+type checkpointClosing struct {
+	Date      string               `json:"date"`
+	Day       time.Time            `json:"day"`
+	Records   uint64               `json:"records"`
+	DroppedIP uint64               `json:"droppedIP"`
+	Training  bool                 `json:"training"`
+	Stats     normalize.ProxyStats `json:"stats"`
+}
+
+// checkpointOpenDay is the v2 open-day section header; the merged builder
+// section follows, then MarkerDomains single-domain records (domains seen
+// only through unresolved, lease-less records — they count toward the
+// day's distinct-domain statistic but hold no visit state).
+type checkpointOpenDay struct {
+	MarkerDomains int `json:"markerDomains"`
+	Unresolved    int `json:"unresolved"`
+}
+
+type checkpointDomain struct {
+	D string `json:"d"`
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// headerLocked assembles the checkpoint header from the engine's current
+// state. Caller holds mu exclusively.
+func (e *Engine) headerLocked() checkpointHeader {
+	hdr := checkpointHeader{
+		Version:      checkpointVersion,
+		Seq:          e.seq.Load(),
+		DaysDone:     e.daysDone,
+		TrainingDays: e.cfg.TrainingDays,
+		DayRecords:   e.dayRecords.Load(),
+		DayDroppedIP: e.dayDroppedIP.Load(),
+		TotalRecords: e.totalRecords.Load(),
+		Rejected:     e.rejected.Load(),
+		LateRecords:  e.lateRecords.Load(),
+		Pipeline:     e.pipe.Config(),
+		Dates:        append([]string(nil), e.dates...),
+		Dailies:      0,
+	}
+	if !e.day.IsZero() {
+		hdr.Day = e.day.Format(time.RFC3339)
+	}
+	if len(e.leases) > 0 {
+		hdr.Leases = make(map[string]string, len(e.leases))
+		for ip, host := range e.leases {
+			hdr.Leases[ip.String()] = host
+		}
+	}
+	return hdr
+}
+
+// dailiesLocked captures the completed-day SOC reports in processing
+// order. The Daily values are immutable once published, so the copies stay
+// valid after the lock is released. Caller holds mu.
+func (e *Engine) dailiesLocked() []checkpointDaily {
+	out := make([]checkpointDaily, 0, len(e.dailies))
+	for _, date := range e.dates {
+		if d, ok := e.dailies[date]; ok {
+			out = append(out, checkpointDaily{Date: date, Daily: d})
+		}
+	}
+	return out
+}
+
+// Checkpoint streams the engine's full state to w in format v2. The engine
+// is frozen only while the open day's builder state is cloned — the encode
+// itself runs without the engine lock, so concurrent ingestion resumes
+// after an O(resident state) pause rather than an O(encode + I/O) one.
+//
+// A day-close in flight no longer blocks the checkpoint: the closing day's
+// parked merged snapshot is serialized as its own section and a restore
+// re-runs the close from it, republishing the same reports. Checkpoint
+// waits only for the close's two short non-serializable windows — the
+// partial-snapshot merge and the state-mutating commit tail. A close that
+// failed and awaits retry still makes the engine unrepresentable;
+// Checkpoint refuses until a Flush retries it.
 func (e *Engine) Checkpoint(w io.Writer) error {
+	e.mu.Lock()
+	for {
+		if e.closed {
+			e.mu.Unlock()
+			return ErrClosed
+		}
+		if e.failed != nil {
+			err := fmt.Errorf("stream: checkpoint: day %s close failed (%v); retry with Flush first", e.failed.date, e.failed.err)
+			e.mu.Unlock()
+			return err
+		}
+		c := e.closing
+		if c == nil || c.phase == closeAnalyzing {
+			break
+		}
+		// Merging: the day's state is mid-transformation; wait out the
+		// short window. Committing: the pipeline is mutating history and
+		// calibration; wait for the close to finish and checkpoint the
+		// post-close state instead.
+		wait := c.merged
+		if c.phase == closeCommitting {
+			wait = c.done
+		}
+		e.mu.Unlock()
+		<-wait
+		e.mu.Lock()
+	}
+	closing := e.closing // nil, or a close parked in its analyzing phase
+
+	// The timer starts after the close waits above, so LastCheckpointMillis
+	// measures the checkpoint itself (clone + encode), not a pipeline run
+	// it happened to queue behind.
+	start := time.Now()
+	hdr := e.headerLocked()
+	if closing != nil {
+		hdr.Closing = closing.date
+	}
+	dailies := e.dailiesLocked()
+	hdr.Dailies = len(dailies)
+	cal := e.pipe.ExportCalibration()
+
+	// Clone the open day's per-shard state under the freeze; merging and
+	// encoding happen after the lock is released.
+	var parts []*profile.IncrementalBuilder
+	var alls []map[string]struct{}
+	unresolved := 0
+	if hdr.Day != "" {
+		parts = make([]*profile.IncrementalBuilder, len(e.shards))
+		alls = make([]map[string]struct{}, len(e.shards))
+		unres := make([]int, len(e.shards))
+		e.quiesce(func(i int, s *shard) {
+			parts[i] = s.part.Clone()
+			cp := make(map[string]struct{}, len(s.all))
+			for d := range s.all {
+				cp[d] = struct{}{}
+			}
+			alls[i] = cp
+			unres[i] = s.unresolved
+		})
+		for _, n := range unres {
+			unresolved += n
+		}
+	}
+
+	// Hold the commit gate across the encode: the in-flight close (and any
+	// close that starts meanwhile) blocks at its pre-commit hook instead of
+	// mutating history or calibration mid-encode. Taking the read side here
+	// cannot block — a committing-phase close was waited out above, and no
+	// close can reach its hook while we hold mu.
+	e.commitGate.RLock()
+	e.mu.Unlock()
+	defer e.commitGate.RUnlock()
+
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("stream: checkpoint header: %w", err)
+	}
+	if err := e.hist.SaveTo(enc); err != nil {
+		return fmt.Errorf("stream: checkpoint history: %w", err)
+	}
+	if err := enc.Encode(cal); err != nil {
+		return fmt.Errorf("stream: checkpoint calibration: %w", err)
+	}
+	for _, cd := range dailies {
+		if err := enc.Encode(cd); err != nil {
+			return fmt.Errorf("stream: checkpoint daily %s: %w", cd.Date, err)
+		}
+	}
+	if closing != nil {
+		if err := enc.Encode(checkpointClosing{
+			Date:      closing.date,
+			Day:       closing.day,
+			Records:   closing.records,
+			DroppedIP: closing.droppedIP,
+			Training:  closing.training,
+			Stats:     closing.stats,
+		}); err != nil {
+			return fmt.Errorf("stream: checkpoint closing day: %w", err)
+		}
+		if err := closing.snap.SaveTo(enc); err != nil {
+			return fmt.Errorf("stream: checkpoint closing snapshot: %w", err)
+		}
+	}
+	if hdr.Day != "" {
+		// Merge the per-shard clones into one domain-keyed builder so every
+		// domain appears exactly once regardless of the shard count.
+		merged := parts[0]
+		for _, p := range parts[1:] {
+			merged.MergeFrom(p)
+		}
+		var markers []string
+		for _, set := range alls {
+			for d := range set {
+				if !merged.HasDomain(d) {
+					markers = append(markers, d)
+				}
+			}
+		}
+		if err := enc.Encode(checkpointOpenDay{MarkerDomains: len(markers), Unresolved: unresolved}); err != nil {
+			return fmt.Errorf("stream: checkpoint open day: %w", err)
+		}
+		if err := merged.SaveTo(enc); err != nil {
+			return fmt.Errorf("stream: checkpoint builder: %w", err)
+		}
+		for _, d := range markers {
+			if err := enc.Encode(checkpointDomain{D: d}); err != nil {
+				return fmt.Errorf("stream: checkpoint marker domain: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	e.lastCkptBytes.Store(cw.n)
+	e.lastCkptMicros.Store(time.Since(start).Microseconds())
+	return nil
+}
+
+// CheckpointV1 writes the legacy format-1 checkpoint, whose open-day
+// section is the raw records for replay. The engine no longer buffers raw
+// visits, so the caller must supply the open day's records in ingestion
+// order (openDay length must match the engine's open-day record count; any
+// backpressure rejections must not have split a batch). Retained for the
+// v1→v2 migration tests and the format-comparison benchmarks — production
+// checkpoints are v2 (Checkpoint). Waits out any in-flight close, as the
+// v1 format cannot represent one.
+func (e *Engine) CheckpointV1(w io.Writer, openDay []logs.ProxyRecord) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -90,44 +356,35 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	if e.failed != nil {
 		return fmt.Errorf("stream: checkpoint: day %s close failed (%v); retry with Flush first", e.failed.date, e.failed.err)
 	}
+	if uint64(len(openDay)) != e.dayRecords.Load() {
+		return fmt.Errorf("stream: checkpoint v1: caller supplied %d open-day records, engine ingested %d",
+			len(openDay), e.dayRecords.Load())
+	}
 
-	frags := e.collectDay()
+	// Re-reduce the records exactly as the ingest path did. Seqs are
+	// re-assigned densely from 1 — the builder's order-sensitive state
+	// depends only on relative order, which matches arrival order here, and
+	// every seq stays at or below the header watermark because each record
+	// consumed one live seq.
 	var items []checkpointItem
-	for _, f := range frags {
-		for _, sv := range f.visits {
-			v := sv.v
-			items = append(items, checkpointItem{Seq: sv.seq, Visit: &v})
-		}
-		for _, m := range f.markers {
-			items = append(items, checkpointItem{Seq: m.seq, Domain: m.domain})
+	for i := range openDay {
+		v, folded, outcome := normalize.ReduceProxyRecord(openDay[i], e.leases)
+		seq := uint64(i + 1)
+		switch outcome {
+		case normalize.ProxyDroppedIPLiteral:
+		case normalize.ProxyDroppedUnresolved:
+			items = append(items, checkpointItem{Seq: seq, Domain: folded})
+		default:
+			vv := v
+			items = append(items, checkpointItem{Seq: seq, Visit: &vv})
 		}
 	}
-	sort.Slice(items, func(i, j int) bool { return items[i].Seq < items[j].Seq })
 
-	hdr := checkpointHeader{
-		Version:      checkpointVersion,
-		Seq:          e.seq.Load(),
-		DaysDone:     e.daysDone,
-		TrainingDays: e.cfg.TrainingDays,
-		DayRecords:   e.dayRecords.Load(),
-		DayDroppedIP: e.dayDroppedIP.Load(),
-		TotalRecords: e.totalRecords.Load(),
-		Rejected:     e.rejected.Load(),
-		LateRecords:  e.lateRecords.Load(),
-		Pipeline:     e.pipe.Config(),
-		Dates:        e.dates,
-		Dailies:      len(e.dailies),
-		Items:        len(items),
-	}
-	if !e.day.IsZero() {
-		hdr.Day = e.day.Format(time.RFC3339)
-	}
-	if len(e.leases) > 0 {
-		hdr.Leases = make(map[string]string, len(e.leases))
-		for ip, host := range e.leases {
-			hdr.Leases[ip.String()] = host
-		}
-	}
+	hdr := e.headerLocked()
+	hdr.Version = checkpointVersionV1
+	dailies := e.dailiesLocked()
+	hdr.Dailies = len(dailies)
+	hdr.Items = len(items)
 
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
@@ -140,19 +397,10 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	if err := enc.Encode(e.pipe.ExportCalibration()); err != nil {
 		return fmt.Errorf("stream: checkpoint calibration: %w", err)
 	}
-	written := 0
-	for _, date := range e.dates {
-		d, ok := e.dailies[date]
-		if !ok {
-			continue
+	for _, cd := range dailies {
+		if err := enc.Encode(cd); err != nil {
+			return fmt.Errorf("stream: checkpoint daily %s: %w", cd.Date, err)
 		}
-		if err := enc.Encode(checkpointDaily{Date: date, Daily: d}); err != nil {
-			return fmt.Errorf("stream: checkpoint daily %s: %w", date, err)
-		}
-		written++
-	}
-	if written != hdr.Dailies {
-		return fmt.Errorf("stream: checkpoint dailies drifted: %d != %d", written, hdr.Dailies)
 	}
 	for _, it := range items {
 		if err := enc.Encode(it); err != nil {
@@ -182,10 +430,14 @@ type RestoreDeps struct {
 	Workers int
 }
 
-// Restore rebuilds an engine from a checkpoint written by Checkpoint. The
-// pipeline configuration travels inside the checkpoint; cfg parameterizes
-// only the engine itself, and its TrainingDays is overridden from the
-// checkpoint so the train/process split cannot drift across restarts.
+// Restore rebuilds an engine from a checkpoint written by Checkpoint —
+// format v2, or a legacy v1 file (whose open day is replayed record by
+// record; checkpointing the restored engine emits v2). The pipeline
+// configuration travels inside the checkpoint; cfg parameterizes only the
+// engine itself, and its TrainingDays is overridden from the checkpoint so
+// the train/process split cannot drift across restarts. When the
+// checkpoint carries a closing-day section, the restored engine re-runs
+// that day's close in the background and republishes its report.
 func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 	dec := json.NewDecoder(bufio.NewReader(r))
 	var hdr checkpointHeader
@@ -197,7 +449,7 @@ func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 		}
 		return nil, fmt.Errorf("stream: restore header: %w", err)
 	}
-	if hdr.Version != checkpointVersion {
+	if hdr.Version != checkpointVersion && hdr.Version != checkpointVersionV1 {
 		return nil, fmt.Errorf("stream: unsupported checkpoint version %d", hdr.Version)
 	}
 	if hdr.Dailies < 0 || hdr.Items < 0 {
@@ -241,16 +493,68 @@ func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 		}
 		dailies[cd.Date] = cd.Daily
 	}
-	// Grow toward the declared count instead of trusting it outright: a
-	// corrupt header cannot force a huge allocation before the decode of
-	// item 0 fails.
-	items := make([]checkpointItem, 0, min(hdr.Items, 1<<16))
-	for i := 0; i < hdr.Items; i++ {
-		var ci checkpointItem
-		if err := dec.Decode(&ci); err != nil {
-			return nil, fmt.Errorf("stream: restore item %d: %w", i, err)
+
+	// Version-specific day-state sections.
+	var items []checkpointItem                  // v1
+	var closingMeta *checkpointClosing          // v2
+	var closingSnap *profile.Snapshot           // v2
+	var openBuilder *profile.IncrementalBuilder // v2
+	var openMeta checkpointOpenDay              // v2
+	var markerDomains []string                  // v2
+	if hdr.Version == checkpointVersionV1 {
+		if hdr.Closing != "" {
+			return nil, errors.New("stream: restore: v1 checkpoint cannot carry a closing day")
 		}
-		items = append(items, ci)
+		// Grow toward the declared count instead of trusting it outright: a
+		// corrupt header cannot force a huge allocation before the decode of
+		// item 0 fails.
+		items = make([]checkpointItem, 0, min(hdr.Items, 1<<16))
+		for i := 0; i < hdr.Items; i++ {
+			var ci checkpointItem
+			if err := dec.Decode(&ci); err != nil {
+				return nil, fmt.Errorf("stream: restore item %d: %w", i, err)
+			}
+			items = append(items, ci)
+		}
+	} else {
+		if hdr.Closing != "" {
+			var cm checkpointClosing
+			if err := dec.Decode(&cm); err != nil {
+				return nil, fmt.Errorf("stream: restore closing day: %w", err)
+			}
+			if cm.Date != hdr.Closing {
+				return nil, fmt.Errorf("stream: restore: closing section date %q does not match header %q", cm.Date, hdr.Closing)
+			}
+			closingSnap, err = profile.LoadSnapshotFrom(dec)
+			if err != nil {
+				return nil, fmt.Errorf("stream: restore closing snapshot: %w", err)
+			}
+			closingMeta = &cm
+		}
+		if hdr.Day != "" {
+			if err := dec.Decode(&openMeta); err != nil {
+				return nil, fmt.Errorf("stream: restore open day: %w", err)
+			}
+			if openMeta.MarkerDomains < 0 || openMeta.Unresolved < 0 {
+				return nil, fmt.Errorf("stream: restore: corrupt open-day section (markerDomains=%d, unresolved=%d)",
+					openMeta.MarkerDomains, openMeta.Unresolved)
+			}
+			openBuilder, err = profile.LoadBuilderFrom(dec)
+			if err != nil {
+				return nil, fmt.Errorf("stream: restore builder: %w", err)
+			}
+			if maxSeq := openBuilder.MaxSeq(); maxSeq > hdr.Seq {
+				return nil, fmt.Errorf("stream: restore: builder seq %d beyond checkpoint watermark %d", maxSeq, hdr.Seq)
+			}
+			markerDomains = make([]string, 0, min(openMeta.MarkerDomains, 1<<16))
+			for i := 0; i < openMeta.MarkerDomains; i++ {
+				var cd checkpointDomain
+				if err := dec.Decode(&cd); err != nil {
+					return nil, fmt.Errorf("stream: restore marker domain %d: %w", i, err)
+				}
+				markerDomains = append(markerDomains, cd.D)
+			}
+		}
 	}
 
 	if deps.Workers != 0 {
@@ -276,11 +580,63 @@ func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 	for date, d := range dailies {
 		e.dailies[date] = d
 	}
-	// Replay the open day's buffered records through the shards with the
-	// same sharded batch sends the live path uses: one pass groups the
-	// items per shard in seq order, then one channel operation delivers
-	// each shard its share. Items are re-hashed, so any shard count
-	// reproduces the same per-pair apply order the original engine saw.
+
+	if hdr.Version == checkpointVersionV1 {
+		restoreItemsV1(e, items)
+	} else {
+		if openBuilder != nil {
+			// Re-partition the domain-keyed builder across however many
+			// shards this engine runs — merge results are independent of the
+			// partition assignment, so any stable split reproduces the day.
+			bparts := openBuilder.Split(len(e.shards))
+			e.mu.Lock()
+			e.quiesce(func(i int, s *shard) {
+				s.part = bparts[i]
+				s.all = make(map[string]struct{}, bparts[i].Domains())
+				for _, d := range bparts[i].DomainNames() {
+					s.all[d] = struct{}{}
+				}
+				if i == 0 {
+					s.unresolved = openMeta.Unresolved
+					for _, d := range markerDomains {
+						s.all[d] = struct{}{}
+					}
+				}
+			})
+			e.mu.Unlock()
+		}
+		if closingMeta != nil {
+			// Re-run the interrupted close from its parked snapshot: the
+			// pipeline stages are deterministic, so the restored engine
+			// republishes exactly the reports the original close would have.
+			c := &dayClose{
+				day:       closingMeta.Day,
+				date:      closingMeta.Date,
+				snap:      closingSnap,
+				stats:     closingMeta.Stats,
+				records:   closingMeta.Records,
+				droppedIP: closingMeta.DroppedIP,
+				training:  closingMeta.Training,
+				phase:     closeAnalyzing,
+				merged:    closedChan(),
+				done:      make(chan struct{}),
+			}
+			e.mu.Lock()
+			e.closing = c
+			e.mu.Unlock()
+			go e.runDayClose(c)
+		}
+	}
+	return e, nil
+}
+
+// restoreItemsV1 replays a v1 checkpoint's open-day records through the
+// shards with the same sharded batch sends the live path uses: one pass
+// groups the items per shard in seq order, then one channel operation
+// delivers each shard its share. Items are re-hashed, so any shard count
+// deterministically rebuilds the same builder state the original engine
+// held.
+func restoreItemsV1(e *Engine, items []checkpointItem) {
 	sc := e.getScratch()
 	defer e.putScratch(sc)
 	var h maphash.Hash
@@ -309,5 +665,4 @@ func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 		sc.bufs[si] = nil // owned by the worker now
 	}
 	sc.touched = sc.touched[:0]
-	return e, nil
 }

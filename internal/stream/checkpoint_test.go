@@ -1,0 +1,342 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/logs"
+)
+
+// decodeCheckpointHeader reads the first line of a checkpoint for the
+// format-level assertions the equivalence tests make.
+func decodeCheckpointHeader(t *testing.T, data []byte) checkpointHeader {
+	t.Helper()
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		t.Fatal("checkpoint has no header line")
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+		t.Fatalf("checkpoint header: %v", err)
+	}
+	return hdr
+}
+
+func ingestChunks(t *testing.T, e *Engine, recs []logs.ProxyRecord) {
+	t.Helper()
+	for len(recs) > 0 {
+		n := min(97, len(recs))
+		if err := e.IngestBatch(recs[:n]); err != nil {
+			t.Fatal(err)
+		}
+		recs = recs[n:]
+	}
+}
+
+// TestCheckpointDuringCloseMatchesBatch is the tentpole equivalence case of
+// checkpoint format v2: a checkpoint taken while a day-close is stalled
+// mid-flight (post-merge, its snapshot parked) must complete without
+// waiting for the close, carry the closing day as its own section, and
+// restore — onto a different shard count — into an engine that re-runs the
+// close, republishes the same report, and finishes the dataset
+// byte-identical to batch.
+func TestCheckpointDuringCloseMatchesBatch(t *testing.T) {
+	fx := newEquivFixture(t, 87)
+	want, _ := fx.batchDailies(t)
+	if len(want) == 0 {
+		t.Fatal("batch produced no processed days")
+	}
+	days, err := batch.DiscoverEnterprise(fx.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckptDay := len(days) - 3 // a post-calibration operation day; its close is stalled
+	stallDate := days[ckptDay].Date.Format("2006-01-02")
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	e := New(Config{
+		Shards: 3, QueueDepth: 256, TrainingDays: fx.training,
+		CloseHook: func(date string) {
+			if date == stallDate {
+				entered <- struct{}{}
+				<-release
+			}
+		},
+	}, fx.newPipeline())
+
+	for i, d := range days {
+		recs, leases, err := batch.LoadProxyDay(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.BeginDay(d.Date, leases); err != nil {
+			t.Fatal(err)
+		}
+		if i != ckptDay+1 {
+			ingestChunks(t, e, recs)
+			continue
+		}
+		// The rollover above kicked off the stalled close of ckptDay; wait
+		// until it is parked in its analyzing phase, stream half the next
+		// day in, and checkpoint with the close still in flight.
+		<-entered
+		half := len(recs) / 2
+		ingestChunks(t, e, recs[:half])
+		var buf bytes.Buffer
+		done := make(chan error, 1)
+		go func() { done <- e.Checkpoint(&buf) }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(30 * time.Second):
+			close(release)
+			t.Fatal("Checkpoint blocked on the stalled close")
+		}
+		hdr := decodeCheckpointHeader(t, buf.Bytes())
+		if hdr.Version != checkpointVersion || hdr.Closing != stallDate {
+			t.Fatalf("header version %d closing %q, want v%d closing %s",
+				hdr.Version, hdr.Closing, checkpointVersion, stallDate)
+		}
+		restored, err := Restore(&buf, Config{Shards: 8, QueueDepth: 64}, RestoreDeps{
+			Whois: fx.whois, Reported: fx.oracle.Reported, IOCs: fx.oracle.IOCs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Unpark and discard the original engine; the restored one re-runs
+		// the stalled close itself, concurrently with the resumed ingest.
+		close(release)
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		e = restored
+		ingestChunks(t, e, recs[half:])
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	checked := 0
+	for date, wantJSON := range want {
+		got, ok := e.Report(date)
+		if !ok {
+			t.Errorf("no report for %s", date)
+			continue
+		}
+		if gotJSON := dailyBytes(t, got); !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("day %s: report differs from batch\nbatch:  %s\nstream: %s", date, wantJSON, gotJSON)
+		}
+		checked++
+	}
+	if checked != len(want) {
+		t.Fatalf("compared %d days, want %d", checked, len(want))
+	}
+	// The stalled day's report must exist on the restored engine — it was
+	// republished by the re-run close, not inherited.
+	if _, ok := e.Report(stallDate); !ok {
+		if _, ok := e.DayReport(stallDate); !ok {
+			t.Fatalf("restored engine did not republish the closing day %s", stallDate)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV1CheckpointMigration is the read-compat satellite: restoring a
+// legacy v1 checkpoint (raw-item replay) and immediately checkpointing
+// must emit a valid v2 that restores — onto yet another shard count — into
+// an engine whose remaining dataset run stays byte-identical to batch.
+func TestV1CheckpointMigration(t *testing.T) {
+	fx := newEquivFixture(t, 79)
+	want, _ := fx.batchDailies(t)
+	if len(want) == 0 {
+		t.Fatal("batch produced no processed days")
+	}
+	days, err := batch.DiscoverEnterprise(fx.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := RestoreDeps{Whois: fx.whois, Reported: fx.oracle.Reported, IOCs: fx.oracle.IOCs}
+	e := New(Config{Shards: 3, QueueDepth: 256, TrainingDays: fx.training}, fx.newPipeline())
+	ckptDay := len(days) - 3
+	for i, d := range days {
+		recs, leases, err := batch.LoadProxyDay(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.BeginDay(d.Date, leases); err != nil {
+			t.Fatal(err)
+		}
+		if i != ckptDay {
+			ingestChunks(t, e, recs)
+			continue
+		}
+		half := len(recs) / 2
+		ingestChunks(t, e, recs[:half])
+		var v1 bytes.Buffer
+		if err := e.CheckpointV1(&v1, recs[:half]); err != nil {
+			t.Fatal(err)
+		}
+		if hdr := decodeCheckpointHeader(t, v1.Bytes()); hdr.Version != checkpointVersionV1 {
+			t.Fatalf("CheckpointV1 wrote version %d", hdr.Version)
+		}
+		eV1, err := Restore(bytes.NewReader(v1.Bytes()), Config{Shards: 2, QueueDepth: 64}, deps)
+		if err != nil {
+			t.Fatalf("restore v1: %v", err)
+		}
+		var v2 bytes.Buffer
+		if err := eV1.Checkpoint(&v2); err != nil {
+			t.Fatal(err)
+		}
+		if hdr := decodeCheckpointHeader(t, v2.Bytes()); hdr.Version != checkpointVersion {
+			t.Fatalf("migrated checkpoint has version %d, want %d", hdr.Version, checkpointVersion)
+		}
+		eZ, err := Restore(&v2, Config{Shards: 5, QueueDepth: 64}, deps)
+		if err != nil {
+			t.Fatalf("restore migrated v2: %v", err)
+		}
+		abandonEngine(e)
+		abandonEngine(eV1)
+		e = eZ
+		ingestChunks(t, e, recs[half:])
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for date, wantJSON := range want {
+		got, ok := e.Report(date)
+		if !ok {
+			t.Errorf("no report for %s", date)
+			continue
+		}
+		if gotJSON := dailyBytes(t, got); !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("day %s: migrated report differs from batch", date)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointV2SmallerThanV1 pins the size claim of the format change:
+// on a high-volume day over a bounded working set of (host, domain) pairs,
+// the domain-keyed v2 encoding must be measurably (here: at least 2x)
+// smaller than the raw-record v1 replay encoding, and still restore to the
+// same day statistics.
+func TestCheckpointV2SmallerThanV1(t *testing.T) {
+	const n = 30000
+	recs := benchRecords(n)
+	e := trainOnlyEngine(Config{Shards: 4, QueueDepth: 8192})
+	if err := e.BeginDay(time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i += 512 {
+		if err := e.IngestBatch(recs[i:min(i+512, n)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var v1, v2 bytes.Buffer
+	if err := e.CheckpointV1(&v1, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if 2*v2.Len() > v1.Len() {
+		t.Fatalf("v2 checkpoint (%d bytes) is not measurably smaller than v1 (%d bytes)", v2.Len(), v1.Len())
+	}
+	st := e.Stats()
+	if st.LastCheckpointBytes != int64(v2.Len()) {
+		t.Fatalf("Stats.LastCheckpointBytes = %d, want %d", st.LastCheckpointBytes, v2.Len())
+	}
+	if st.ResidentBuilderDomains == 0 {
+		t.Fatal("Stats.ResidentBuilderDomains = 0 with an open day")
+	}
+
+	restored, err := Restore(&v2, Config{Shards: 2, QueueDepth: 64}, RestoreDeps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	repA, okA := e.DayReport("2014-02-03")
+	repB, okB := restored.DayReport("2014-02-03")
+	if !okA || !okB || repA.Stats != repB.Stats {
+		t.Fatalf("restored day stats differ: %v %+v vs %v %+v", okA, repA.Stats, okB, repB.Stats)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointDoesNotBlockIngest: the engine freeze of a v2 checkpoint is
+// the builder clone, not the encode — an ingest issued while the encode is
+// still draining into a slow writer must complete. The slow writer stalls
+// inside Write, which runs strictly after the engine lock is released.
+func TestCheckpointDoesNotBlockIngest(t *testing.T) {
+	e := trainOnlyEngine(Config{Shards: 2, QueueDepth: 64})
+	defer e.Close()
+	day := testDay()
+	if err := e.BeginDay(day, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := e.IngestProxy(rec(day, "h1", "alpha.test", time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gate := make(chan struct{})
+	first := true
+	w := writerFunc(func(p []byte) (int, error) {
+		if first {
+			first = false
+			<-gate // park the encode mid-write; the engine lock is already free
+		}
+		return len(p), nil
+	})
+	done := make(chan error, 1)
+	go func() { done <- e.Checkpoint(w) }()
+	// An ingest during the parked encode must not block on the checkpoint.
+	ingested := make(chan error, 1)
+	go func() {
+		ingested <- e.IngestProxy(rec(day, "h2", "beta.test", time.Hour))
+	}()
+	select {
+	case err := <-ingested:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		close(gate)
+		t.Fatal("ingest blocked behind a checkpoint encode")
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := e.DayReport("2014-02-03")
+	if !ok || rep.Stats.Records != 101 {
+		t.Fatalf("day report %v %+v, want 101 records", ok, rep.Stats)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

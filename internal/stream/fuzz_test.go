@@ -8,7 +8,7 @@ import (
 	"repro/internal/whois"
 )
 
-// fuzzCheckpointBytes produces a real checkpoint (open day with resolved
+// fuzzCheckpointBytes produces a real v2 checkpoint (open day with resolved
 // visits and lease-less markers, one completed day) for the fuzzer to
 // mutate from.
 func fuzzCheckpointBytes(tb testing.TB) []byte {
@@ -38,18 +38,70 @@ func fuzzCheckpointBytes(tb testing.TB) []byte {
 	return buf.Bytes()
 }
 
+// fuzzCheckpointBytesClosing produces a v2 checkpoint taken while a
+// day-close was stalled in flight, so the corpus covers the closing-day
+// snapshot section too.
+func fuzzCheckpointBytesClosing(tb testing.TB) []byte {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	e := trainOnlyEngine(Config{Shards: 2, QueueDepth: 64,
+		CloseHook: func(string) { entered <- struct{}{}; <-release }})
+	defer e.Close()
+	d1, d2 := testDay(), testDay().AddDate(0, 0, 1)
+	if err := e.BeginDay(d1, nil); err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := e.IngestProxy(rec(d1, "h1", "alpha.test", time.Duration(i)*time.Minute)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := e.BeginDay(d2, nil); err != nil {
+		tb.Fatal(err)
+	}
+	<-entered
+	for i := 0; i < 3; i++ {
+		if err := e.IngestProxy(rec(d2, "h2", "beta.test", time.Duration(i)*time.Minute)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	err := e.Checkpoint(&buf)
+	close(release)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fuzzV2 assembles a hand-crafted v2 checkpoint from an open-day meta line
+// and a builder section, over empty history/calibration/dailies sections.
+func fuzzV2(openMeta, builder string) []byte {
+	return []byte(`{"version":2,"day":"2014-02-03T00:00:00Z","seq":3,"dailies":0,"pipeline":{},"trainingDays":1073741824}` + "\n" +
+		`{"version":1,"days":0,"domains":0,"uas":0}` + "\n" +
+		`{"calDays":0,"trained":false}` + "\n" +
+		openMeta + "\n" + builder + "\n")
+}
+
 // FuzzCheckpointDecode holds the restore path to its refusal contract:
-// corrupt, truncated or adversarial checkpoints must come back as errors —
-// never a panic (the PR 2 regression was a make() panic on a negative
-// header count) and never a huge speculative allocation. Inputs that do
-// decode must yield a working engine, which the target shuts down cleanly.
+// corrupt, truncated or adversarial checkpoints (either format) must come
+// back as errors — never a panic (the PR 2 regression was a make() panic
+// on a negative header count) and never a huge speculative allocation.
+// Inputs that do decode must yield a working engine, which the target
+// shuts down; a close re-run from a decoded closing-day section may
+// legitimately fail its pipeline, so Close errors are tolerated — only
+// panics and hangs are bugs.
 func FuzzCheckpointDecode(f *testing.F) {
 	valid := fuzzCheckpointBytes(f)
 	f.Add(valid)
+	closing := fuzzCheckpointBytesClosing(f)
+	f.Add(closing)
 	// Truncations at awkward places: mid-header, between sections, mid-item.
-	for _, cut := range []int{0, 1, 10, len(valid) / 4, len(valid) / 2, len(valid) - 3} {
-		if cut >= 0 && cut < len(valid) {
-			f.Add(valid[:cut])
+	for _, seed := range [][]byte{valid, closing} {
+		for _, cut := range []int{0, 1, 10, len(seed) / 4, len(seed) / 2, len(seed) - 3} {
+			if cut >= 0 && cut < len(seed) {
+				f.Add(seed[:cut])
+			}
 		}
 	}
 	// Hostile headers: negative counts, absurd counts, wrong version,
@@ -61,8 +113,29 @@ func FuzzCheckpointDecode(f *testing.F) {
 		`{"version":1,"day":"not-a-time"}`,
 		`{"version":1,"leases":{"999.999.0.1":"h"}}`,
 		`{"version":1}`,
+		`{"version":2}`,
+		`{"version":2,"closing":"2014-02-03"}`,
+		`{"version":1,"closing":"2014-02-03"}`,
+		`{"version":2,"day":"2014-02-03T00:00:00Z"}`,
 	} {
 		f.Add([]byte(h + "\n"))
+	}
+	// Hostile v2 sections: negative open-day counts, negative builder
+	// counts, duplicate builder domains, seqs beyond the header watermark.
+	okHost := `{"h":"h1","t":["2014-02-03T00:00:00Z"],"uas":[""]}`
+	okMeta := `{"markerDomains":0,"unresolved":0}`
+	for _, body := range [][2]string{
+		{`{"markerDomains":-1,"unresolved":-2}`, `{"version":1,"visits":0,"domains":0,"uaPairs":0}`},
+		{okMeta, `{"version":1,"visits":-1,"domains":-1,"uaPairs":-1}`},
+		{okMeta, `{"version":1,"visits":2,"domains":2,"uaPairs":0}` + "\n" +
+			`{"d":"a.test","hosts":[` + okHost + `]}` + "\n" +
+			`{"d":"a.test","hosts":[` + okHost + `]}`},
+		{okMeta, `{"version":1,"visits":1,"domains":1,"uaPairs":0}` + "\n" +
+			`{"d":"a.test","ipSeq":999,"ip":"93.184.216.34","hosts":[` + okHost + `]}`},
+		{okMeta, `{"version":1,"visits":1,"domains":1,"uaPairs":0}` + "\n" +
+			`{"d":"a.test","paths":{"/x":888},"hosts":[` + okHost + `]}`},
+	} {
+		f.Add(fuzzV2(body[0], body[1]))
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e, err := Restore(bytes.NewReader(data), Config{Shards: 1, QueueDepth: 8},
@@ -70,8 +143,6 @@ func FuzzCheckpointDecode(f *testing.F) {
 		if err != nil {
 			return // refused cleanly
 		}
-		if err := e.Close(); err != nil {
-			t.Fatalf("restored engine failed to close: %v", err)
-		}
+		_ = e.Close()
 	})
 }

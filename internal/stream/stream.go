@@ -18,11 +18,14 @@
 // stats) go through a control channel that the worker services between
 // batches.
 //
-// Snapshot maintenance is incremental: alongside the raw visit buffer
-// (kept only so checkpoints can replay the open day), each shard folds
-// every visit into a profile.IncrementalBuilder — a partial day snapshot
-// whose order-sensitive state is keyed by arrival sequence number, so the
-// interleaving of concurrent batches cannot perturb it.
+// Snapshot maintenance is incremental: each shard folds every visit into a
+// profile.IncrementalBuilder — a partial day snapshot whose order-sensitive
+// state is keyed by arrival sequence number, so the interleaving of
+// concurrent batches cannot perturb it. The builders are the only resident
+// day state: checkpoints serialize them directly (format v2, domain-keyed
+// frames independent of the shard count), so no arrival-order raw visit
+// buffer exists anywhere — the engine's footprint is proportional to the
+// day's distinct (host, domain) state, not its traffic volume.
 //
 // When the stream crosses a day boundary (or on an explicit Flush), the
 // rollover is swap-and-continue: under the exclusive lock the engine only
@@ -39,7 +42,11 @@
 // analytics. Day-closes are strictly serialized: Flush, Close, Checkpoint,
 // Report-of-the-closing-day and the next rollover all wait on (or refuse
 // during) an in-flight close, so days complete in order and the pipeline
-// is never entered concurrently.
+// is never entered concurrently. Checkpoints, by contrast, are allowed
+// while a close is in flight: the closing day's merged snapshot is
+// serialized as its own checkpoint section and a restore re-runs the close
+// from it, republishing the same reports (only the short merge window and
+// the state-mutating commit tail force a wait).
 //
 // In between rollovers the per-pair Online analyzers give an early-warning
 // signal: LiveAutomated lists the beaconing-looking (host, domain) pairs of
@@ -144,19 +151,6 @@ type item struct {
 	visit    logs.Visit
 }
 
-type seqVisit struct {
-	seq uint64
-	v   logs.Visit
-}
-
-// seqMarker records one unresolved (lease-less) record: it contributes the
-// folded domain to the day's distinct-domain count and nothing else, but is
-// kept addressable so checkpoints can replay the open day exactly.
-type seqMarker struct {
-	seq    uint64
-	domain string
-}
-
 type pairKey struct {
 	host, domain string
 }
@@ -179,9 +173,8 @@ type shard struct {
 	batches chan *[]item
 	ctrl    chan ctrlReq
 
-	visits  []seqVisit
-	all     map[string]struct{} // distinct folded domains seen today
-	markers []seqMarker         // lease-less records today
+	all        map[string]struct{} // distinct folded domains seen today
+	unresolved int                 // lease-less records today (count only; their domains live in all)
 
 	// part is the shard's partial day snapshot, maintained visit by visit
 	// on the apply path so day-close merges ready-made per-shard partials
@@ -247,12 +240,11 @@ func (s *shard) applyBatch(b *[]item) {
 func (s *shard) apply(it *item) {
 	if !it.resolved {
 		s.all[it.domain] = struct{}{}
-		s.markers = append(s.markers, seqMarker{seq: it.seq, domain: it.domain})
+		s.unresolved++
 		return
 	}
 	v := it.visit
 	s.all[v.Domain] = struct{}{}
-	s.visits = append(s.visits, seqVisit{seq: it.seq, v: v})
 	s.part.Add(it.seq, &v)
 
 	// Live periodicity state only for domains absent from the history:
@@ -291,9 +283,8 @@ func (s *shard) do(fn func(*shard)) {
 
 // resetDay clears the shard's day state (worker goroutine only).
 func (s *shard) resetDay() {
-	s.visits = nil
 	s.all = make(map[string]struct{})
-	s.markers = nil
+	s.unresolved = 0
 	s.part = profile.NewIncrementalBuilder()
 	s.pairs = make(map[pairKey]*histogram.Online)
 	s.domains = make(map[string]*domainLive)
@@ -343,18 +334,47 @@ type Engine struct {
 	// ingest stall); lastCloseDur the last background pipeline duration.
 	lastSwap     time.Duration
 	lastCloseDur time.Duration
+	// commitGate orders checkpoint encoding against the state-mutating tail
+	// of a day-close: a checkpoint holds the read side for the duration of
+	// its encode (which runs without mu, so ingestion proceeds), and the
+	// close's pre-commit hook takes the write side before the pipeline
+	// mutates history or calibration state. The pure analytics of a close
+	// therefore overlap checkpoint encoding freely; only the short commit
+	// tail waits.
+	commitGate sync.RWMutex
+	// lastCkptBytes/lastCkptMicros record the most recent successful
+	// checkpoint's encoded size and duration (written without mu).
+	lastCkptBytes  atomic.Int64
+	lastCkptMicros atomic.Int64
 	// closeHook is Config.CloseHook (settable directly by in-package tests
 	// before the engine starts rolling days).
 	closeHook func(date string)
 }
 
+// closePhase tracks where an in-flight day-close is, for the checkpoint
+// protocol. Transitions happen under the engine lock.
+type closePhase int
+
+const (
+	// closeMerging: the per-shard partials are being merged into the day
+	// snapshot. Short (O(domains)); checkpoints wait it out.
+	closeMerging closePhase = iota
+	// closeAnalyzing: the merged snapshot is parked and the pure pipeline
+	// stages run over it. Long; checkpoints proceed concurrently and
+	// serialize the parked snapshot as the checkpoint's closing-day section.
+	closeAnalyzing
+	// closeCommitting: the pipeline is mutating engine-visible state
+	// (calibration, history commit, publish). Short; checkpoints wait for
+	// the close to finish.
+	closeCommitting
+)
+
 // dayClose carries one swapped-out day through its background close. The
-// swap takes only the shards' partial snapshots and domain sets — the
-// arrival-order visit buffers stay behind and are freed immediately, so a
-// closing day no longer holds its full visit buffer while the pipeline
-// runs (the old two-day resident peak). Once the partials are merged the
-// snapshot replaces them; a failed close retains that snapshot so a Flush
-// retry replays the pipeline without re-reducing anything.
+// swap takes only the shards' partial snapshots and domain sets. Once the
+// partials are merged the snapshot replaces them; a failed close retains
+// that snapshot so a Flush retry replays the pipeline without re-reducing
+// anything, and a checkpoint taken mid-close serializes it so a restore
+// re-runs the close and republishes the same reports.
 type dayClose struct {
 	day        time.Time
 	date       string
@@ -366,6 +386,8 @@ type dayClose struct {
 	records    uint64
 	droppedIP  uint64
 	training   bool
+	phase      closePhase    // guarded by the engine lock
+	merged     chan struct{} // closed when the merge window ends
 	done       chan struct{} // closed when the close (or its failure) is final
 	err        error
 }
@@ -581,6 +603,7 @@ func (e *Engine) retryFailedLocked() error {
 		e.failed = nil
 		c.done = make(chan struct{})
 		c.err = nil
+		c.phase = closeAnalyzing // the merged snapshot was retained
 		e.closing = c
 		go e.runDayClose(c)
 		e.mu.Unlock()
@@ -779,27 +802,6 @@ func (e *Engine) quiesce(fn func(i int, s *shard)) {
 	wg.Wait()
 }
 
-// dayFrag is one shard's share of the open day's raw buffers, as a
-// checkpoint peeks at them: the arrival-order visits and lease-less
-// markers exist solely so a checkpoint can replay the open day exactly
-// (the analytics run from the incremental partials instead).
-type dayFrag struct {
-	visits  []seqVisit
-	all     map[string]struct{}
-	markers []seqMarker
-}
-
-// collectDay freezes the open day across all shards without touching it —
-// rollover resets separately once the pipeline has accepted the day, and
-// checkpointing only peeks.
-func (e *Engine) collectDay() []dayFrag {
-	frags := make([]dayFrag, len(e.shards))
-	e.quiesce(func(i int, s *shard) {
-		frags[i] = dayFrag{visits: s.visits, all: s.all, markers: s.markers}
-	})
-	return frags
-}
-
 // beginCloseLocked swaps the open day out of the shards and starts its
 // close on a background goroutine, after waiting out any close already in
 // flight (day-closes are strictly serialized, so days complete in order
@@ -848,6 +850,8 @@ func (e *Engine) beginCloseLocked(expect time.Time) (*dayClose, error) {
 		// so the train/process split is decided here, consistently with the
 		// sequential engine.
 		training: e.daysDone < e.cfg.TrainingDays,
+		phase:    closeMerging,
+		merged:   make(chan struct{}),
 		done:     make(chan struct{}),
 	}
 	// One quiesce swaps every shard's partial snapshot and domain set out
@@ -862,7 +866,7 @@ func (e *Engine) beginCloseLocked(expect time.Time) (*dayClose, error) {
 	e.quiesce(func(i int, s *shard) {
 		c.parts[i] = s.part
 		c.allSets[i] = s.all
-		unresolved[i] = len(s.markers)
+		unresolved[i] = s.unresolved
 		s.resetDay()
 	})
 	for _, n := range unresolved {
@@ -887,11 +891,9 @@ func (e *Engine) beginCloseLocked(expect time.Time) (*dayClose, error) {
 // calibration-starvation case). Runs without the engine lock; the shards
 // are already ingesting the next day.
 func (e *Engine) runDayClose(c *dayClose) {
-	if e.closeHook != nil {
-		e.closeHook(c.date)
-	}
-	start := time.Now()
+	var mergeDur time.Duration
 	if c.snap == nil {
+		start := time.Now()
 		all := make(map[string]struct{})
 		for _, set := range c.allSets {
 			for d := range set {
@@ -915,21 +917,50 @@ func (e *Engine) runDayClose(c *dayClose) {
 		pcfg := e.pipe.Config()
 		c.snap = profile.MergeSnapshotParallel(c.day, c.parts, e.hist, pcfg.UnpopularThreshold, pcfg.Workers)
 		c.parts, c.allSets = nil, nil // the snapshot owns their structure now
+		mergeDur = time.Since(start)
+		// The merge window ends: from here until the commit tail the close's
+		// state is a parked, immutable snapshot — exactly what a concurrent
+		// checkpoint serializes as its closing-day section.
+		e.mu.Lock()
+		c.phase = closeAnalyzing
+		close(c.merged)
+		e.mu.Unlock()
+	}
+	if e.closeHook != nil {
+		e.closeHook(c.date)
+	}
+	start := time.Now()
+
+	// preCommit runs on the close goroutine at the pipeline's last pure
+	// point: it flips the close into its committing phase (new checkpoints
+	// now wait for the whole close) and then waits out any checkpoint still
+	// encoding the pre-close state, so history and calibration cannot
+	// mutate under an in-flight encode.
+	gateHeld := false
+	preCommit := func() {
+		e.mu.Lock()
+		c.phase = closeCommitting
+		e.mu.Unlock()
+		e.commitGate.Lock()
+		gateHeld = true
 	}
 
 	var rep pipeline.EnterpriseDayReport
 	var daily *report.Daily
 	var err error
 	if c.training {
-		rep = e.pipe.TrainSnapshot(c.day, c.snap, c.stats)
+		rep = e.pipe.TrainSnapshotHooked(c.day, c.snap, c.stats, preCommit)
 	} else {
-		rep, err = e.pipe.ProcessSnapshot(c.day, c.snap, c.stats)
+		rep, err = e.pipe.ProcessSnapshotHooked(c.day, c.snap, c.stats, preCommit)
 		if err == nil {
 			d := report.Build(rep)
 			daily = &d
 		}
 	}
-	dur := time.Since(start)
+	if gateHeld {
+		e.commitGate.Unlock()
+	}
+	dur := mergeDur + time.Since(start)
 
 	e.mu.Lock()
 	e.lastCloseDur = dur
@@ -993,11 +1024,16 @@ func (e *Engine) Lagging() bool {
 // ShardStats is one shard's live counters. Queue counts queued batches,
 // not records.
 type ShardStats struct {
-	Queue          int    `json:"queue"`
-	Ingested       uint64 `json:"ingested"`
-	LivePairs      int    `json:"livePairs"`
-	LiveDomains    int    `json:"liveDomains"`
-	AutomatedPairs int    `json:"automatedPairs"`
+	Queue    int    `json:"queue"`
+	Ingested uint64 `json:"ingested"`
+	// BuilderDomains is the shard's resident incremental-builder state —
+	// the open day's distinct domains on this shard, which is what
+	// checkpoints serialize and what bounds the shard's memory (there is no
+	// raw visit buffer).
+	BuilderDomains int `json:"builderDomains"`
+	LivePairs      int `json:"livePairs"`
+	LiveDomains    int `json:"liveDomains"`
+	AutomatedPairs int `json:"automatedPairs"`
 }
 
 // Stats is an engine-wide snapshot.
@@ -1031,6 +1067,14 @@ type Stats struct {
 	// LastDayCloseMillis is the duration of the last completed background
 	// pipeline run.
 	LastDayCloseMillis int64 `json:"lastDayCloseMillis"`
+
+	// Checkpoint observability. ResidentBuilderDomains sums the shards'
+	// builder domains — the open day's total resident state, which replaced
+	// the raw visit buffer as the checkpointed quantity; the Last* fields
+	// describe the most recent successful checkpoint.
+	ResidentBuilderDomains int   `json:"residentBuilderDomains"`
+	LastCheckpointBytes    int64 `json:"lastCheckpointBytes"`
+	LastCheckpointMillis   int64 `json:"lastCheckpointMillis"`
 }
 
 // LivePair is one beaconing-looking (host, domain) pair of the open day.
@@ -1074,6 +1118,8 @@ func (e *Engine) Snapshot(maxLive int) (Stats, []LivePair) {
 		Shards:                  make([]ShardStats, len(e.shards)),
 		LastRolloverPauseMicros: e.lastSwap.Microseconds(),
 		LastDayCloseMillis:      e.lastCloseDur.Milliseconds(),
+		LastCheckpointBytes:     e.lastCkptBytes.Load(),
+		LastCheckpointMillis:    e.lastCkptMicros.Load() / 1000,
 	}
 	if !e.day.IsZero() {
 		st.Day = e.day.Format("2006-01-02")
@@ -1092,10 +1138,11 @@ func (e *Engine) Snapshot(maxLive int) (Stats, []LivePair) {
 	var outMu sync.Mutex
 	e.quiesce(func(i int, s *shard) {
 		ss := ShardStats{
-			Queue:       len(s.batches),
-			Ingested:    s.ingested.Load(),
-			LivePairs:   len(s.pairs),
-			LiveDomains: len(s.domains),
+			Queue:          len(s.batches),
+			Ingested:       s.ingested.Load(),
+			BuilderDomains: s.part.Domains(),
+			LivePairs:      len(s.pairs),
+			LiveDomains:    len(s.domains),
 		}
 		var local []LivePair
 		for k, o := range s.pairs {
@@ -1118,6 +1165,9 @@ func (e *Engine) Snapshot(maxLive int) (Stats, []LivePair) {
 			outMu.Unlock()
 		}
 	})
+	for i := range st.Shards {
+		st.ResidentBuilderDomains += st.Shards[i].BuilderDomains
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Samples != out[j].Samples {
 			return out[i].Samples > out[j].Samples
