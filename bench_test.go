@@ -239,7 +239,7 @@ func BenchmarkFigure8_SOCCommunity(b *testing.B) {
 	b.Log("\n" + tab.String() + "\n" + res.DOT)
 }
 
-// ---- Ablations (DESIGN.md §5) ----
+// ---- Ablations (DESIGN.md §6) ----
 
 func BenchmarkAblation_Detectors(b *testing.B) {
 	b.ResetTimer()

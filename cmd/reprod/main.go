@@ -9,6 +9,7 @@
 //	reprod [-addr :8714] [-shards N] [-workers N] [-seed N] [-full]
 //	       [-replay DIR] [-speed X]
 //	       [-checkpoint FILE] [-checkpoint-interval D] [-max-ingest-bytes N]
+//	       [-alert-config FILE] [-preview-interval D]
 //
 // Because the paper's intelligence externals (VirusTotal, SOC IOC lists,
 // WHOIS) are simulated, the daemon synthesizes them from the dataset seed:
@@ -28,10 +29,26 @@
 //	GET  /report/YYYY-MM-DD the day's SOC report (JSON); 202 + Retry-After
 //	                        while the day's close still runs in the background
 //	GET  /reports           completed days
-//	GET  /stats             engine statistics, live beaconing pairs, and
+//	GET  /stats             engine statistics, live beaconing pairs,
 //	                        day-close state (closing/closeFailed, last
-//	                        rollover pause, last pipeline duration)
+//	                        rollover pause, last pipeline duration), last
+//	                        preview timings, and alert counters
+//	GET  /preview           a fresh mid-day detection preview: the report a
+//	                        rollover right now would publish, computed from
+//	                        a clone without closing the day (409 when no day
+//	                        is open)
+//	GET  /alerts/stats      alert dispatcher counters (published, sent,
+//	                        dropped, per-sink queue depth and last error)
 //	GET  /healthz           liveness
+//
+// # Alerting
+//
+// -alert-config FILE (TOML or JSON; see internal/alert) wires detection
+// output to webhook/syslog/file sinks: day-close reports publish confirmed
+// events, and with -preview-interval set, periodic previews publish
+// provisional events (plus health events when previews fail). Delivery is
+// best-effort by construction — a slow or dead sink drops alerts (counted
+// in /alerts/stats), never stalls ingestion or day-close.
 package main
 
 import (
@@ -44,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/batch"
 	"repro/internal/eval"
 	"repro/internal/gen"
@@ -68,6 +86,8 @@ type daemonOpts struct {
 	checkpoint   string
 	ckptInterval time.Duration
 	maxIngest    int64
+	alertConfig  string
+	previewEvery time.Duration
 }
 
 func main() {
@@ -84,6 +104,8 @@ func main() {
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file: restored on start if present, written on rollover and shutdown")
 	flag.DurationVar(&o.ckptInterval, "checkpoint-interval", 0, "also write the checkpoint periodically (e.g. 15m; 0 = rollover/shutdown only; requires -checkpoint); format v2 checkpoints no longer wait out an in-flight day-close")
 	flag.Int64Var(&o.maxIngest, "max-ingest-bytes", defaultMaxIngestBytes, "largest accepted /ingest body in bytes (oversized requests get 413)")
+	flag.StringVar(&o.alertConfig, "alert-config", "", "alert routing configuration (TOML or JSON): sinks (webhook/syslog/file/stdout) and rules; day-close reports publish confirmed alert events")
+	flag.DurationVar(&o.previewEvery, "preview-interval", 0, "run a mid-day detection preview periodically (e.g. 5m; 0 = off), publishing provisional alert events")
 	flag.Parse()
 
 	if o.ckptInterval > 0 && o.checkpoint == "" {
@@ -152,8 +174,26 @@ func newEngine(o daemonOpts, engCfg stream.Config) (*stream.Engine, error) {
 }
 
 func run(o daemonOpts) error {
+	// The alert dispatcher outlives the engine teardown path: Publish never
+	// blocks, and Close (deferred) flushes what the sinks can still take.
+	var alerts *alert.Dispatcher
+	if o.alertConfig != "" {
+		acfg, err := alert.LoadConfig(o.alertConfig)
+		if err != nil {
+			return fmt.Errorf("alert config %s: %w", o.alertConfig, err)
+		}
+		alerts, err = alert.NewDispatcherFromConfig(acfg)
+		if err != nil {
+			return fmt.Errorf("alert config %s: %w", o.alertConfig, err)
+		}
+		defer alerts.Close()
+		log.Printf("alerting to %d sinks via %s", len(acfg.Sinks), o.alertConfig)
+	}
+
 	// OnReport fires while the engine is frozen for rollover, so the
 	// checkpoint (which re-freezes it) is kicked to a separate goroutine.
+	// Alert publishing, by contrast, is safe inline: Publish is a
+	// non-blocking counter bump + channel send by contract.
 	rolledOver := make(chan struct{}, 1)
 	engCfg := stream.Config{
 		Shards: o.shards, QueueDepth: o.queue, TrainingDays: o.training,
@@ -165,6 +205,11 @@ func run(o daemonOpts) error {
 				log.Printf("day %s processed: %d records, %d rare, %d automated, %d suspicious domains",
 					rep.Day.Format("2006-01-02"), rep.Stats.Records, rep.RareCount,
 					len(rep.Automated), len(daily.Domains))
+				if alerts != nil {
+					for _, ev := range alert.EventsFromDaily(*daily, alert.KindConfirmed, time.Now()) {
+						alerts.Publish(ev)
+					}
+				}
 			}
 			select {
 			case rolledOver <- struct{}{}:
@@ -177,7 +222,7 @@ func run(o daemonOpts) error {
 		return err
 	}
 
-	srv := newServer(e, o.checkpoint, o.maxIngest)
+	srv := newServer(e, o.checkpoint, o.maxIngest, alerts)
 	httpSrv := &http.Server{Addr: o.addr, Handler: srv.mux()}
 
 	errc := make(chan error, 2)
@@ -194,6 +239,9 @@ func run(o daemonOpts) error {
 	}()
 	if o.checkpoint != "" && o.ckptInterval > 0 {
 		go srv.runPeriodicCheckpoints(o.ckptInterval, nil)
+	}
+	if o.previewEvery > 0 {
+		go srv.runPreviewLoop(o.previewEvery, nil)
 	}
 
 	if o.replay != "" {

@@ -13,8 +13,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/logs"
 	"repro/internal/pipeline"
+	"repro/internal/report"
 	"repro/internal/stream"
 	"repro/internal/whois"
 )
@@ -24,7 +26,7 @@ func testServer(t *testing.T, ckpt string) (*server, *stream.Engine) {
 	pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{}, whois.NewRegistry(), nil, nil)
 	e := stream.New(stream.Config{Shards: 2, TrainingDays: 1 << 30}, pipe)
 	t.Cleanup(func() { e.Close() })
-	return newServer(e, ckpt, 0), e
+	return newServer(e, ckpt, 0, nil), e
 }
 
 func doJSON(t *testing.T, h http.Handler, method, path, body string) (*httptest.ResponseRecorder, map[string]any) {
@@ -241,7 +243,7 @@ func TestHTTPIngestBodyTooLarge(t *testing.T) {
 	pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{}, whois.NewRegistry(), nil, nil)
 	e := stream.New(stream.Config{Shards: 1, TrainingDays: 1 << 30}, pipe)
 	t.Cleanup(func() { e.Close() })
-	srv := newServer(e, "", 256) // tiny cap for the test
+	srv := newServer(e, "", 256, nil) // tiny cap for the test
 	m := srv.mux()
 	day := time.Date(2014, 3, 3, 0, 0, 0, 0, time.UTC)
 	doJSON(t, m, "POST", "/day", `{"date":"2014-03-03"}`)
@@ -292,7 +294,7 @@ func TestHTTPFlushConflictKeepsDay(t *testing.T) {
 	pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{CalibrationDays: 1}, whois.NewRegistry(), nil, nil)
 	e := stream.New(stream.Config{Shards: 2}, pipe)
 	t.Cleanup(func() { _ = e.Close() })
-	srv := newServer(e, "", 0)
+	srv := newServer(e, "", 0, nil)
 	m := srv.mux()
 
 	// One visit per (host, domain): nothing periodic, nothing automated.
@@ -367,7 +369,7 @@ func TestHTTPReportDuringDayClose(t *testing.T) {
 		CloseHook: func(string) { started <- struct{}{}; <-release },
 	}, pipe)
 	t.Cleanup(func() { _ = e.Close() })
-	srv := newServer(e, "", 0)
+	srv := newServer(e, "", 0, nil)
 	m := srv.mux()
 
 	day := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
@@ -474,4 +476,194 @@ func TestRunFailsOnCorruptCheckpoint(t *testing.T) {
 			}
 		})
 	}
+}
+
+// capSink collects delivered alert events for the HTTP-layer tests.
+type capSink struct{ ch chan alert.Event }
+
+func (s *capSink) Send(ev alert.Event) error { s.ch <- ev; return nil }
+
+// wedgedSink never returns from Send — the dead-sink case the ingest
+// benchmarks guard against.
+type wedgedSink struct{ block chan struct{} }
+
+func (s *wedgedSink) Send(alert.Event) error { <-s.block; return nil }
+
+func sampleDaily(date string) report.Daily {
+	return report.Daily{
+		Date: date,
+		Domains: []report.Domain{{
+			Domain: "c2.example.org", Reason: "c&c", Score: 0.9,
+			BeaconPeriodSeconds: 300, Hosts: []string{"host-1"},
+		}},
+	}
+}
+
+// TestHTTPPreview: GET /preview computes a fresh provisional report for the
+// open day, 409s with no day open, and 503s on a shut-down daemon.
+func TestHTTPPreview(t *testing.T) {
+	srv, eng := testServer(t, "")
+	m := srv.mux()
+	day := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+
+	rr, _ := doJSON(t, m, "GET", "/preview", "")
+	if rr.Code != http.StatusConflict {
+		t.Fatalf("preview without day = %d, want 409", rr.Code)
+	}
+
+	doJSON(t, m, "POST", "/day", `{"date":"2014-03-01"}`)
+	doJSON(t, m, "POST", "/ingest", proxyTSV(t, testRecords(day, 40)))
+	rr, body := doJSON(t, m, "GET", "/preview", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("preview = %d %v", rr.Code, body)
+	}
+	if body["date"] != "2014-03-01" || body["records"] != float64(40) {
+		t.Fatalf("preview body = %v", body)
+	}
+	if body["calibrating"] != true { // train-only engine: models never fit
+		t.Fatalf("preview of an untrained pipeline must be calibrating: %v", body)
+	}
+	// The preview is visible in /stats without perturbing the day.
+	rr, body = doJSON(t, m, "GET", "/stats", "")
+	if rr.Code != http.StatusOK || body["dayRecords"] != float64(40) {
+		t.Fatalf("stats after preview = %d %v", rr.Code, body)
+	}
+
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rr, _ = doJSON(t, m, "GET", "/preview", "")
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("preview on closed engine = %d, want 503", rr.Code)
+	}
+}
+
+// TestHTTPAlertStats: /alerts/stats reports "alerting off" plainly, and with
+// a dispatcher wired in it (and /stats) carry the delivery counters.
+func TestHTTPAlertStats(t *testing.T) {
+	srv, _ := testServer(t, "")
+	rr, body := doJSON(t, srv.mux(), "GET", "/alerts/stats", "")
+	if rr.Code != http.StatusOK || body["enabled"] != false {
+		t.Fatalf("alerts/stats without dispatcher = %d %v", rr.Code, body)
+	}
+
+	sink := &capSink{ch: make(chan alert.Event, 16)}
+	d, err := alert.NewDispatcher(alert.Config{QueueSize: 16, SuppressMinutes: -1},
+		map[string]alert.Sink{"cap": sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{}, whois.NewRegistry(), nil, nil)
+	e := stream.New(stream.Config{Shards: 1, TrainingDays: 1 << 30}, pipe)
+	t.Cleanup(func() { e.Close() })
+	asrv := newServer(e, "", 0, d)
+	m := asrv.mux()
+
+	asrv.publishDaily(sampleDaily("2014-03-01"), alert.KindConfirmed)
+	ev := <-sink.ch
+	if ev.Kind != alert.KindConfirmed || ev.Domain != "c2.example.org" || ev.Severity != alert.SevCritical {
+		t.Fatalf("delivered event %+v", ev)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Stats().Sent < 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	rr, body = doJSON(t, m, "GET", "/alerts/stats", "")
+	if rr.Code != http.StatusOK || body["enabled"] != true ||
+		body["published"] != float64(1) || body["sent"] != float64(1) {
+		t.Fatalf("alerts/stats = %d %v", rr.Code, body)
+	}
+	sinks, _ := body["sinks"].([]any)
+	if len(sinks) != 1 {
+		t.Fatalf("sinks = %v", body["sinks"])
+	}
+	rr, body = doJSON(t, m, "GET", "/stats", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("stats = %d", rr.Code)
+	}
+	if alerts, _ := body["alerts"].(map[string]any); alerts == nil || alerts["sent"] != float64(1) {
+		t.Fatalf("stats alerts section = %v", body["alerts"])
+	}
+}
+
+// TestPreviewLoopStopsOnEngineClose: the -preview-interval loop must notice
+// engine shutdown through the preview error and exit rather than tick
+// forever — its exit proves the loop was live (only a tick after Close can
+// observe ErrClosed).
+func TestPreviewLoopStopsOnEngineClose(t *testing.T) {
+	srv, eng := testServer(t, "")
+	day := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	if err := eng.BeginDay(day, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestBatch(testRecords(day, 20)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.runPreviewLoop(time.Millisecond, nil)
+	}()
+	time.Sleep(5 * time.Millisecond) // let it preview the open day a few times
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("preview loop did not stop after engine close")
+	}
+}
+
+// benchIngest drives the engine's batch-ingest path with an optional alert
+// dispatcher wired into the server, publishing one (suppression-exempt)
+// report per batch — the shape of a daemon alerting mid-ingest.
+func benchIngest(b *testing.B, alerts *alert.Dispatcher) {
+	pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{}, whois.NewRegistry(), nil, nil)
+	e := stream.New(stream.Config{Shards: 4, TrainingDays: 1 << 30}, pipe)
+	defer e.Close()
+	srv := newServer(e, "", 0, alerts)
+	day := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	if err := e.BeginDay(day, nil); err != nil {
+		b.Fatal(err)
+	}
+	recs := testRecords(day, 512)
+	daily := sampleDaily("2014-03-01")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.IngestBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+		srv.publishDaily(daily, alert.KindProvisional)
+	}
+	b.SetBytes(512)
+}
+
+// BenchmarkIngestNoAlerts is the baseline for BenchmarkIngestBlockedSink:
+// the two must not differ measurably — a permanently wedged sink with a
+// full queue costs the ingest path a counter bump, never a stall.
+func BenchmarkIngestNoAlerts(b *testing.B) {
+	benchIngest(b, nil)
+}
+
+func BenchmarkIngestBlockedSink(b *testing.B) {
+	sink := &wedgedSink{block: make(chan struct{})}
+	d, err := alert.NewDispatcher(
+		alert.Config{QueueSize: 2, SuppressMinutes: -1, CloseTimeoutMillis: 50},
+		map[string]alert.Sink{"dead": sink})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		d.Close()
+		close(sink.block)
+	}()
+	// Wedge the sink and fill its queue so every bench-loop publish is the
+	// worst case: overflow against a dead sink.
+	for i := 0; i < 4; i++ {
+		d.Publish(alert.HealthEvent(alert.SevInfo, time.Now(), "prime"))
+	}
+	benchIngest(b, d)
 }

@@ -13,7 +13,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/logs"
+	"repro/internal/report"
 	"repro/internal/stream"
 )
 
@@ -30,13 +32,27 @@ type server struct {
 	ckptPath  string
 	maxIngest int64
 	ckptMu    sync.Mutex
+	// alerts is the outbound alert dispatcher (nil: alerting off). Publish
+	// never blocks, so handlers and engine callbacks call it freely.
+	alerts *alert.Dispatcher
 }
 
-func newServer(e *stream.Engine, ckptPath string, maxIngest int64) *server {
+func newServer(e *stream.Engine, ckptPath string, maxIngest int64, alerts *alert.Dispatcher) *server {
 	if maxIngest <= 0 {
 		maxIngest = defaultMaxIngestBytes
 	}
-	return &server{eng: e, ckptPath: ckptPath, maxIngest: maxIngest}
+	return &server{eng: e, ckptPath: ckptPath, maxIngest: maxIngest, alerts: alerts}
+}
+
+// publishDaily fans a day's SOC report out as alert events (no-op with
+// alerting off).
+func (s *server) publishDaily(daily report.Daily, kind alert.EventKind) {
+	if s.alerts == nil {
+		return
+	}
+	for _, ev := range alert.EventsFromDaily(daily, kind, time.Now()) {
+		s.alerts.Publish(ev)
+	}
 }
 
 // bodyLimitTripped reports whether a MaxBytesReader has hit its cap: once
@@ -64,6 +80,8 @@ func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
 	m.HandleFunc("GET /healthz", s.handleHealthz)
 	m.HandleFunc("GET /stats", s.handleStats)
+	m.HandleFunc("GET /preview", s.handlePreview)
+	m.HandleFunc("GET /alerts/stats", s.handleAlertStats)
 	m.HandleFunc("GET /reports", s.handleReports)
 	m.HandleFunc("GET /report/{date}", s.handleReport)
 	m.HandleFunc("POST /day", s.handleDay)
@@ -91,10 +109,39 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st, live := s.eng.Snapshot(25)
+	var alerts *alert.Stats
+	if s.alerts != nil {
+		a := s.alerts.Stats()
+		alerts = &a
+	}
 	writeJSON(w, http.StatusOK, struct {
 		stream.Stats
 		LiveAutomated []stream.LivePair `json:"liveAutomated,omitempty"`
-	}{st, live})
+		Alerts        *alert.Stats      `json:"alerts,omitempty"`
+	}{st, live, alerts})
+}
+
+// handlePreview computes a fresh mid-day detection preview: the report a
+// rollover at this instant would publish, without closing anything. The
+// call freezes ingestion only while the shard builders are cloned.
+func (s *server) handlePreview(w http.ResponseWriter, _ *http.Request) {
+	pr, err := s.eng.Preview(0)
+	if err != nil {
+		writeErr(w, engineErrStatus(err), "preview: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pr)
+}
+
+func (s *server) handleAlertStats(w http.ResponseWriter, _ *http.Request) {
+	if s.alerts == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Enabled bool `json:"enabled"`
+		alert.Stats
+	}{true, s.alerts.Stats()})
 }
 
 func (s *server) handleReports(w http.ResponseWriter, _ *http.Request) {
@@ -282,6 +329,43 @@ func (s *server) writeCheckpoint() error {
 // that sees long gaps between rollovers a bounded restart window. Write
 // failures are logged and retried at the next tick; the engine shutting
 // down ends the loop.
+// runPreviewLoop runs a detection preview every interval until stop closes
+// (or the engine shuts down), publishing the provisional findings as alert
+// events. A preview that fails for any reason other than "no day open"
+// raises a health alert — the SOC should know its early-warning feed went
+// dark. The loop drives /stats freshness too (lastPreviewMillis,
+// previewCandidates); GET /preview remains on-demand and independent.
+func (s *server) runPreviewLoop(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			pr, err := s.eng.Preview(0)
+			switch {
+			case err == nil:
+				if len(pr.Report.Domains) > 0 {
+					log.Printf("preview %s: %d records in, %d provisional suspicious domains",
+						pr.Date, pr.Records, len(pr.Report.Domains))
+				}
+				s.publishDaily(pr.Report, alert.KindProvisional)
+			case errors.Is(err, stream.ErrClosed):
+				return
+			case errors.Is(err, stream.ErrNoDay):
+				// Nothing to preview between days; not a failure.
+			default:
+				log.Printf("preview: %v", err)
+				if s.alerts != nil {
+					s.alerts.Publish(alert.HealthEvent(alert.SevWarning, time.Now(),
+						fmt.Sprintf("detection preview failed: %v", err)))
+				}
+			}
+		}
+	}
+}
+
 func (s *server) runPeriodicCheckpoints(interval time.Duration, stop <-chan struct{}) {
 	t := time.NewTicker(interval)
 	defer t.Stop()

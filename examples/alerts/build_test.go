@@ -1,0 +1,8 @@
+package main
+
+import "testing"
+
+// TestBuilds exists so `go test ./...` compiles this example program: the
+// examples are documentation that must not rot, and test compilation is
+// the cheapest guarantee the CI harness already runs.
+func TestBuilds(t *testing.T) {}

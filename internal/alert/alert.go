@@ -1,0 +1,176 @@
+// Package alert is the outbound push channel of the streaming deployment:
+// it turns detections into events and forwards them to operator-configured
+// sinks (webhook, syslog, file) through per-rule routing with severity and
+// score filters. The paper's deliverable is an ordered list of suspicious
+// domains "presented to SOC for further investigation" (§III-E) — this
+// package is the delivery half of that hand-off, so a SOC learns about a
+// confirmed C&C beacon when the day closes (and about a provisional one
+// hours earlier, from the live preview) instead of whenever it next polls.
+//
+// The design constraint that shapes everything here: alerting is strictly
+// best-effort and the detection path is not. A slow, dead or misconfigured
+// sink must never block ingest, day-close, other sinks, or the caller of
+// Publish — see Dispatcher.
+package alert
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/report"
+)
+
+// EventKind distinguishes the three event sources.
+type EventKind string
+
+const (
+	// KindConfirmed is a detection from a committed day-close report.
+	KindConfirmed EventKind = "confirmed"
+	// KindProvisional is a detection from a mid-day preview: same pipeline,
+	// partial day, nothing committed — it may disappear by rollover.
+	KindProvisional EventKind = "provisional"
+	// KindHealth is an engine operational event (preview failure, restart).
+	KindHealth EventKind = "health"
+)
+
+func (k EventKind) valid() bool {
+	switch k {
+	case KindConfirmed, KindProvisional, KindHealth:
+		return true
+	}
+	return false
+}
+
+// Severity orders events for rule filtering.
+type Severity int
+
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevCritical
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevCritical:
+		return "critical"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// ParseSeverity reads a severity name (case-insensitive).
+func ParseSeverity(s string) (Severity, error) {
+	switch strings.ToLower(s) {
+	case "info", "":
+		return SevInfo, nil
+	case "warning", "warn":
+		return SevWarning, nil
+	case "critical", "crit":
+		return SevCritical, nil
+	}
+	return 0, fmt.Errorf("alert: unknown severity %q", s)
+}
+
+// MarshalJSON writes the severity by name, the form config files use.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts either the name ("critical") or the numeric level.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err == nil {
+		v, perr := ParseSeverity(name)
+		if perr != nil {
+			return perr
+		}
+		*s = v
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("alert: severity must be a name or number: %s", b)
+	}
+	if n < int(SevInfo) || n > int(SevCritical) {
+		return fmt.Errorf("alert: severity %d out of range", n)
+	}
+	*s = Severity(n)
+	return nil
+}
+
+// Event is one outbound alert. Detection events carry the per-domain
+// evidence of the daily report entry they came from; health events carry
+// only a message.
+type Event struct {
+	Kind     EventKind `json:"kind"`
+	Time     time.Time `json:"time"`
+	Severity Severity  `json:"severity"`
+	// Date is the operation day the detection belongs to (YYYY-MM-DD).
+	Date   string   `json:"date,omitempty"`
+	Domain string   `json:"domain,omitempty"`
+	Hosts  []string `json:"hosts,omitempty"`
+	// Reason is "c&c" or "similarity" for detection events.
+	Reason string  `json:"reason,omitempty"`
+	Score  float64 `json:"score,omitempty"`
+	// PeriodSeconds is the beacon period for C&C detections.
+	PeriodSeconds float64 `json:"periodSeconds,omitempty"`
+	Message       string  `json:"message,omitempty"`
+}
+
+// suppressKey identifies the event for the dedup window: the same
+// (kind, domain, hosts, message) within the window is one alert.
+func (e Event) suppressKey() string {
+	return string(e.Kind) + "|" + e.Domain + "|" + strings.Join(e.Hosts, ",") + "|" + e.Message
+}
+
+// EventsFromDaily converts a daily report's suspicious-domain list into
+// events of the given kind, in report order (most suspicious first). C&C
+// detections are critical — a beacon is direct evidence of an active
+// channel; similarity expansions are warnings.
+func EventsFromDaily(d report.Daily, kind EventKind, at time.Time) []Event {
+	evs := make([]Event, 0, len(d.Domains))
+	for _, dom := range d.Domains {
+		sev := SevWarning
+		if dom.Reason == "c&c" {
+			sev = SevCritical
+		}
+		evs = append(evs, Event{
+			Kind:          kind,
+			Time:          at,
+			Severity:      sev,
+			Date:          d.Date,
+			Domain:        dom.Domain,
+			Hosts:         dom.Hosts,
+			Reason:        dom.Reason,
+			Score:         dom.Score,
+			PeriodSeconds: dom.BeaconPeriodSeconds,
+			Message:       detectionMessage(kind, dom),
+		})
+	}
+	return evs
+}
+
+func detectionMessage(kind EventKind, dom report.Domain) string {
+	var b strings.Builder
+	if kind == KindProvisional {
+		b.WriteString("provisional ")
+	}
+	b.WriteString(dom.Reason)
+	fmt.Fprintf(&b, " detection %s (score %.2f", dom.Domain, dom.Score)
+	if dom.BeaconPeriodSeconds > 0 {
+		fmt.Fprintf(&b, ", period %.0fs", dom.BeaconPeriodSeconds)
+	}
+	fmt.Fprintf(&b, ", %d host(s))", len(dom.Hosts))
+	return b.String()
+}
+
+// HealthEvent builds an engine-operational event.
+func HealthEvent(sev Severity, at time.Time, msg string) Event {
+	return Event{Kind: KindHealth, Time: at, Severity: sev, Message: msg}
+}

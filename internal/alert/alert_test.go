@@ -1,0 +1,100 @@
+package alert
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/report"
+)
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, sev := range []Severity{SevInfo, SevWarning, SevCritical} {
+		b, err := json.Marshal(sev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Severity
+		if err := json.Unmarshal(b, &back); err != nil || back != sev {
+			t.Fatalf("%v -> %s -> %v (%v)", sev, b, back, err)
+		}
+	}
+	var numeric Severity
+	if err := json.Unmarshal([]byte("2"), &numeric); err != nil || numeric != SevCritical {
+		t.Fatalf("numeric severity: %v, %v", numeric, err)
+	}
+	var bad Severity
+	if err := json.Unmarshal([]byte(`"shrug"`), &bad); err == nil {
+		t.Fatal("unknown severity name accepted")
+	}
+	if err := json.Unmarshal([]byte("17"), &bad); err == nil {
+		t.Fatal("out-of-range severity accepted")
+	}
+}
+
+func TestEventsFromDaily(t *testing.T) {
+	daily := report.Daily{
+		Date:             "2014-02-20",
+		RareDestinations: 40,
+		AutomatedDomains: 2,
+		Domains: []report.Domain{
+			{Domain: "evil.example", Reason: "c&c", Score: 0.91,
+				BeaconPeriodSeconds: 600, Hosts: []string{"h1", "h2"}, Modes: []string{"no-hint"}},
+			{Domain: "friend.example", Reason: "similarity", Score: 0.55,
+				Hosts: []string{"h1"}, Modes: []string{"no-hint"}, Iteration: 1},
+		},
+	}
+	at := time.Date(2014, 2, 21, 0, 5, 0, 0, time.UTC)
+	evs := EventsFromDaily(daily, KindConfirmed, at)
+	if len(evs) != 2 {
+		t.Fatalf("%d events, want 2", len(evs))
+	}
+	cc := evs[0]
+	if cc.Kind != KindConfirmed || cc.Severity != SevCritical || cc.Domain != "evil.example" ||
+		cc.PeriodSeconds != 600 || cc.Date != "2014-02-20" || !cc.Time.Equal(at) {
+		t.Fatalf("c&c event %+v", cc)
+	}
+	if len(cc.Hosts) != 2 || cc.Message == "" {
+		t.Fatalf("c&c event evidence %+v", cc)
+	}
+	sim := evs[1]
+	if sim.Severity != SevWarning || sim.Reason != "similarity" || sim.PeriodSeconds != 0 {
+		t.Fatalf("similarity event %+v", sim)
+	}
+
+	prov := EventsFromDaily(daily, KindProvisional, at)
+	if prov[0].Kind != KindProvisional || prov[0].Message == evs[0].Message {
+		t.Fatalf("provisional message must be marked: %q", prov[0].Message)
+	}
+}
+
+func TestRuleMatches(t *testing.T) {
+	ev := testEvent("c2.evil.example") // confirmed, critical, score 0.9
+	cases := []struct {
+		name string
+		rule Rule
+		want bool
+	}{
+		{"empty matches all", Rule{Sinks: []string{"s"}}, true},
+		{"kind hit", Rule{Kinds: []EventKind{KindConfirmed}, Sinks: []string{"s"}}, true},
+		{"kind miss", Rule{Kinds: []EventKind{KindHealth}, Sinks: []string{"s"}}, false},
+		{"severity floor", Rule{MinSeverity: SevCritical, Sinks: []string{"s"}}, true},
+		{"score floor hit", Rule{MinScore: 0.5, Sinks: []string{"s"}}, true},
+		{"score floor miss", Rule{MinScore: 0.95, Sinks: []string{"s"}}, false},
+		{"glob hit", Rule{DomainPattern: "*.evil.example", Sinks: []string{"s"}}, true},
+		{"glob miss", Rule{DomainPattern: "*.good.example", Sinks: []string{"s"}}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.rule.Matches(ev); got != tc.want {
+			t.Errorf("%s: Matches = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// Health events carry no score: a MinScore rule still forwards them.
+	health := HealthEvent(SevWarning, time.Now(), "preview failed")
+	if !(Rule{MinScore: 0.5, Sinks: []string{"s"}}).Matches(health) {
+		t.Error("MinScore rule filtered a health event")
+	}
+	if (Rule{MinSeverity: SevCritical, Sinks: []string{"s"}}).Matches(health) {
+		t.Error("severity floor ignored for health events")
+	}
+}

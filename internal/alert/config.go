@@ -1,0 +1,326 @@
+package alert
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// SinkConfig declares one named sink.
+type SinkConfig struct {
+	Name string `json:"name"`
+	// Type is "webhook", "syslog", "file" or "stdout".
+	Type string `json:"type"`
+	// URL is the webhook endpoint.
+	URL string `json:"url,omitempty"`
+	// Network ("tcp"/"udp", default udp) and Address (host:port) configure
+	// the syslog transport.
+	Network string `json:"network,omitempty"`
+	Address string `json:"address,omitempty"`
+	// Path is the NDJSON output file.
+	Path string `json:"path,omitempty"`
+}
+
+// Config is the alert subsystem's on-disk configuration (the -alert-config
+// file), accepted as JSON or as the TOML subset parseConfigTOML documents.
+type Config struct {
+	// SuppressMinutes is the dedup window: a second event with the same
+	// (kind, domain, hosts, message) within the window is suppressed.
+	// Default 10; negative disables suppression.
+	SuppressMinutes float64 `json:"suppressMinutes,omitempty"`
+	// QueueSize bounds each sink's queue (default 256).
+	QueueSize int `json:"queueSize,omitempty"`
+	// MaxRetries bounds delivery attempts per event beyond the first
+	// (default 4; negative disables retries).
+	MaxRetries int `json:"maxRetries,omitempty"`
+	// RetryBackoffMillis is the first retry delay; it doubles per attempt,
+	// capped at 5s (default 100).
+	RetryBackoffMillis int `json:"retryBackoffMillis,omitempty"`
+	// CloseTimeoutMillis bounds how long Close waits for queues to drain
+	// (default 2000).
+	CloseTimeoutMillis int `json:"closeTimeoutMillis,omitempty"`
+
+	Sinks []SinkConfig `json:"sinks"`
+	Rules []Rule       `json:"rules,omitempty"`
+}
+
+func (c *Config) setDefaults() {
+	if c.SuppressMinutes == 0 {
+		c.SuppressMinutes = 10
+	}
+	if c.SuppressMinutes < 0 {
+		c.SuppressMinutes = 0
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 4
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoffMillis <= 0 {
+		c.RetryBackoffMillis = 100
+	}
+	if c.CloseTimeoutMillis <= 0 {
+		c.CloseTimeoutMillis = 2000
+	}
+}
+
+// ParseConfig reads a configuration document. format is "json" or "toml";
+// "" sniffs: documents starting with '{' are JSON.
+func ParseConfig(data []byte, format string) (Config, error) {
+	switch format {
+	case "":
+		if trimmed := strings.TrimSpace(string(data)); strings.HasPrefix(trimmed, "{") {
+			format = "json"
+		} else {
+			format = "toml"
+		}
+		return ParseConfig(data, format)
+	case "json":
+		var cfg Config
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cfg); err != nil {
+			return Config{}, fmt.Errorf("alert: parse config: %w", err)
+		}
+		return cfg, nil
+	case "toml":
+		return parseConfigTOML(data)
+	default:
+		return Config{}, fmt.Errorf("alert: unknown config format %q", format)
+	}
+}
+
+// LoadConfig reads and parses the file at path; extension picks the format
+// (.json/.toml), anything else is sniffed.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("alert: read config: %w", err)
+	}
+	format := ""
+	switch {
+	case strings.HasSuffix(path, ".json"):
+		format = "json"
+	case strings.HasSuffix(path, ".toml"):
+		format = "toml"
+	}
+	return ParseConfig(data, format)
+}
+
+// BuildSinks constructs the configured sinks, keyed by name.
+func (c Config) BuildSinks() (map[string]Sink, error) {
+	sinks := make(map[string]Sink, len(c.Sinks))
+	for i, sc := range c.Sinks {
+		if sc.Name == "" {
+			return nil, fmt.Errorf("alert: sink %d has no name", i)
+		}
+		if _, dup := sinks[sc.Name]; dup {
+			return nil, fmt.Errorf("alert: duplicate sink name %q", sc.Name)
+		}
+		var (
+			s   Sink
+			err error
+		)
+		switch sc.Type {
+		case "webhook":
+			if sc.URL == "" {
+				return nil, fmt.Errorf("alert: webhook sink %q has no url", sc.Name)
+			}
+			s = NewWebhookSink(sc.URL)
+		case "syslog":
+			s, err = NewSyslogSink(sc.Network, sc.Address)
+		case "file":
+			if sc.Path == "" {
+				return nil, fmt.Errorf("alert: file sink %q has no path", sc.Name)
+			}
+			s, err = NewFileSink(sc.Path)
+		case "stdout":
+			s = NewWriterSink(os.Stdout)
+		default:
+			return nil, fmt.Errorf("alert: sink %q has unknown type %q", sc.Name, sc.Type)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("alert: sink %q: %w", sc.Name, err)
+		}
+		sinks[sc.Name] = s
+	}
+	return sinks, nil
+}
+
+// NewDispatcherFromConfig builds the sinks and the dispatcher in one step.
+func NewDispatcherFromConfig(cfg Config) (*Dispatcher, error) {
+	sinks, err := cfg.BuildSinks()
+	if err != nil {
+		return nil, err
+	}
+	return NewDispatcher(cfg, sinks)
+}
+
+// parseConfigTOML reads the TOML subset the alert config needs, without an
+// external TOML dependency: `key = value` pairs (strings, numbers, booleans
+// and one-line string arrays), `[[sinks]]` / `[[rules]]` array-of-table
+// headers, `#` comments. Keys are snake_case or camelCase. The parsed tree
+// is re-marshaled as JSON and decoded through the same struct tags as the
+// JSON format, so both formats accept exactly the same fields.
+func parseConfigTOML(data []byte) (Config, error) {
+	root := map[string]any{}
+	current := root
+	for ln, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "[[") {
+			if !strings.HasSuffix(line, "]]") {
+				return Config{}, tomlErr(ln, "unterminated table header %q", line)
+			}
+			name := camelKey(strings.TrimSpace(line[2 : len(line)-2]))
+			switch name {
+			case "sinks", "rules":
+			default:
+				return Config{}, tomlErr(ln, "unknown table %q (want [[sinks]] or [[rules]])", name)
+			}
+			table := map[string]any{}
+			arr, _ := root[name].([]any)
+			root[name] = append(arr, any(table))
+			current = table
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			return Config{}, tomlErr(ln, "plain tables are not supported, use [[sinks]]/[[rules]]")
+		}
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return Config{}, tomlErr(ln, "expected key = value, got %q", line)
+		}
+		key := camelKey(strings.TrimSpace(line[:eq]))
+		if key == "" {
+			return Config{}, tomlErr(ln, "empty key")
+		}
+		val, err := parseTOMLValue(strings.TrimSpace(line[eq+1:]))
+		if err != nil {
+			return Config{}, tomlErr(ln, "%v", err)
+		}
+		if _, dup := current[key]; dup {
+			return Config{}, tomlErr(ln, "duplicate key %q", key)
+		}
+		current[key] = val
+	}
+	// Round-trip through JSON so field names, severity parsing and unknown-
+	// field rejection behave identically across both config formats.
+	blob, err := json.Marshal(root)
+	if err != nil {
+		return Config{}, fmt.Errorf("alert: parse config: %w", err)
+	}
+	return ParseConfig(blob, "json")
+}
+
+func tomlErr(line int, format string, args ...any) error {
+	return fmt.Errorf("alert: config line %d: %s", line+1, fmt.Sprintf(format, args...))
+}
+
+// stripComment removes a trailing # comment, respecting quoted strings.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if !inStr || i == 0 || line[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// camelKey maps snake_case config keys to the camelCase JSON field names.
+func camelKey(k string) string {
+	if !strings.Contains(k, "_") {
+		return k
+	}
+	parts := strings.Split(k, "_")
+	var b strings.Builder
+	b.WriteString(parts[0])
+	for _, p := range parts[1:] {
+		if p == "" {
+			continue
+		}
+		b.WriteString(strings.ToUpper(p[:1]))
+		b.WriteString(p[1:])
+	}
+	return b.String()
+}
+
+func parseTOMLValue(v string) (any, error) {
+	switch {
+	case v == "":
+		return nil, fmt.Errorf("empty value")
+	case v == "true":
+		return true, nil
+	case v == "false":
+		return false, nil
+	case strings.HasPrefix(v, `"`):
+		s, err := strconv.Unquote(v)
+		if err != nil {
+			return nil, fmt.Errorf("bad string %s", v)
+		}
+		return s, nil
+	case strings.HasPrefix(v, "["):
+		if !strings.HasSuffix(v, "]") {
+			return nil, fmt.Errorf("unterminated array %s (arrays must be one line)", v)
+		}
+		inner := strings.TrimSpace(v[1 : len(v)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		var out []any
+		for _, item := range splitTOMLArray(inner) {
+			parsed, err := parseTOMLValue(strings.TrimSpace(item))
+			if err != nil {
+				return nil, err
+			}
+			if _, nested := parsed.([]any); nested {
+				return nil, fmt.Errorf("nested arrays are not supported")
+			}
+			out = append(out, parsed)
+		}
+		return out, nil
+	default:
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %s", v)
+		}
+		return f, nil
+	}
+}
+
+// splitTOMLArray splits a one-line array body on commas outside quotes.
+func splitTOMLArray(s string) []string {
+	var parts []string
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if !inStr || i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case ',':
+			if !inStr {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
+}

@@ -1,0 +1,149 @@
+package alert
+
+import (
+	"reflect"
+	"testing"
+)
+
+const sampleJSON = `{
+  "suppressMinutes": 5,
+  "queueSize": 64,
+  "maxRetries": 3,
+  "retryBackoffMillis": 50,
+  "sinks": [
+    {"name": "soc", "type": "webhook", "url": "http://soc.internal/hook"},
+    {"name": "siem", "type": "syslog", "network": "tcp", "address": "siem:6514"},
+    {"name": "audit", "type": "file", "path": "/var/log/alerts.ndjson"}
+  ],
+  "rules": [
+    {"name": "page", "kinds": ["confirmed"], "minSeverity": "critical", "sinks": ["soc"]},
+    {"name": "all", "minScore": 0.5, "domainPattern": "*.example", "sinks": ["siem", "audit"]}
+  ]
+}`
+
+const sampleTOML = `# alert routing
+suppress_minutes = 5
+queue_size = 64
+max_retries = 3
+retry_backoff_millis = 50
+
+[[sinks]]
+name = "soc"           # the on-call webhook
+type = "webhook"
+url = "http://soc.internal/hook"
+
+[[sinks]]
+name = "siem"
+type = "syslog"
+network = "tcp"
+address = "siem:6514"
+
+[[sinks]]
+name = "audit"
+type = "file"
+path = "/var/log/alerts.ndjson"
+
+[[rules]]
+name = "page"
+kinds = ["confirmed"]
+min_severity = "critical"
+sinks = ["soc"]
+
+[[rules]]
+name = "all"
+min_score = 0.5
+domain_pattern = "*.example"
+sinks = ["siem", "audit"]
+`
+
+// TestConfigFormatsAgree: the TOML subset and the JSON form decode to the
+// same configuration, so operators can use either.
+func TestConfigFormatsAgree(t *testing.T) {
+	fromJSON, err := ParseConfig([]byte(sampleJSON), "")
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	fromTOML, err := ParseConfig([]byte(sampleTOML), "")
+	if err != nil {
+		t.Fatalf("toml: %v", err)
+	}
+	if !reflect.DeepEqual(fromJSON, fromTOML) {
+		t.Fatalf("formats disagree:\njson: %+v\ntoml: %+v", fromJSON, fromTOML)
+	}
+	if len(fromTOML.Sinks) != 3 || len(fromTOML.Rules) != 2 {
+		t.Fatalf("parsed %d sinks / %d rules", len(fromTOML.Sinks), len(fromTOML.Rules))
+	}
+	if fromTOML.Rules[0].MinSeverity != SevCritical {
+		t.Fatalf("min_severity = %v", fromTOML.Rules[0].MinSeverity)
+	}
+	if fromTOML.Rules[1].MinScore != 0.5 || fromTOML.Rules[1].DomainPattern != "*.example" {
+		t.Fatalf("rule 2 = %+v", fromTOML.Rules[1])
+	}
+}
+
+func TestConfigRejectsGarbage(t *testing.T) {
+	for name, doc := range map[string]string{
+		"unknown json field": `{"sinks": [], "wat": 1}`,
+		"unknown toml table": "[[webhooks]]\nname = \"x\"",
+		"plain toml table":   "[sinks]\nname = \"x\"",
+		"toml no equals":     "sinks\n",
+		"toml bad value":     "queue_size = ??\n",
+		"toml dup key":       "queue_size = 1\nqueue_size = 2\n",
+		"toml nested array":  `kinds = [["confirmed"]]` + "\n",
+		"toml open header":   "[[sinks\n",
+		"toml open string":   `name = "x` + "\n",
+		"bad severity":       `{"sinks": [], "rules": [{"minSeverity": "shrug", "sinks": ["x"]}]}`,
+	} {
+		if _, err := ParseConfig([]byte(doc), ""); err == nil {
+			t.Errorf("%s: accepted %q", name, doc)
+		}
+	}
+}
+
+func TestBuildSinksValidates(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"nameless sink": {Sinks: []SinkConfig{{Type: "stdout"}}},
+		"dup sink":      {Sinks: []SinkConfig{{Name: "a", Type: "stdout"}, {Name: "a", Type: "stdout"}}},
+		"unknown type":  {Sinks: []SinkConfig{{Name: "a", Type: "carrier-pigeon"}}},
+		"urlless hook":  {Sinks: []SinkConfig{{Name: "a", Type: "webhook"}}},
+		"pathless file": {Sinks: []SinkConfig{{Name: "a", Type: "file"}}},
+		"bad syslog":    {Sinks: []SinkConfig{{Name: "a", Type: "syslog", Network: "ipx"}}},
+	} {
+		if _, err := cfg.BuildSinks(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	sinks, err := Config{Sinks: []SinkConfig{
+		{Name: "hook", Type: "webhook", URL: "http://x/h"},
+		{Name: "out", Type: "stdout"},
+	}}.BuildSinks()
+	if err != nil || len(sinks) != 2 {
+		t.Fatalf("valid sinks rejected: %v", err)
+	}
+}
+
+// FuzzAlertConfig holds ParseConfig to its refusal contract: arbitrary
+// bytes in either format must come back as a config or an error — never a
+// panic.
+func FuzzAlertConfig(f *testing.F) {
+	f.Add([]byte(sampleJSON))
+	f.Add([]byte(sampleTOML))
+	f.Add([]byte(`queue_size = 1e309` + "\n"))
+	f.Add([]byte(`name = "\x"` + "\n"))
+	f.Add([]byte("[[rules]]\nsinks = [\"a\", 3, true]\n"))
+	f.Add([]byte(`{"rules": [{"minSeverity": 99, "sinks": ["x"]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, format := range []string{"", "json", "toml"} {
+			cfg, err := ParseConfig(data, format)
+			if err != nil {
+				continue
+			}
+			// A config that parses must validate without panicking too.
+			for _, r := range cfg.Rules {
+				_ = r.validate()
+				_ = r.Matches(testEvent("probe.example"))
+			}
+			cfg.setDefaults()
+		}
+	})
+}

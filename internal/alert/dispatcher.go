@@ -1,0 +1,307 @@
+package alert
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Dispatcher fans events out to sinks through the rule table. Its contract
+// is the backpressure argument of the subsystem: Publish never blocks and
+// never returns an error. Each sink owns a bounded queue and a single
+// delivery goroutine; when a queue is full the event is dropped for that
+// sink and counted — a dead webhook can cost you alerts (visibly, in
+// Stats), never ingest throughput or a day-close. Delivery failures retry
+// with exponential backoff; a sink holding a connection reconnects by
+// re-dialing inside Send (see Sink).
+type Dispatcher struct {
+	rules   []Rule
+	runners []*sinkRunner
+	byName  map[string]*sinkRunner
+
+	window       time.Duration
+	maxRetries   int
+	retryBackoff time.Duration
+	closeTimeout time.Duration
+
+	// now is the clock for the suppression window (a test seam).
+	now func() time.Time
+
+	supMu sync.Mutex
+	seen  map[string]time.Time
+
+	stateMu sync.RWMutex
+	closed  bool
+
+	published  atomic.Int64
+	matched    atomic.Int64
+	suppressed atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// sinkRunner is one sink's bounded queue plus its delivery goroutine.
+type sinkRunner struct {
+	name string
+	sink Sink
+	ch   chan Event
+	stop chan struct{}
+	done chan struct{}
+
+	sent    atomic.Int64
+	dropped atomic.Int64
+	retries atomic.Int64
+
+	errMu   sync.Mutex
+	lastErr string
+}
+
+func (r *sinkRunner) setErr(err error) {
+	r.errMu.Lock()
+	r.lastErr = err.Error()
+	r.errMu.Unlock()
+}
+
+func (r *sinkRunner) lastError() string {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.lastErr
+}
+
+// NewDispatcher builds a dispatcher over named sinks. An empty rule table
+// routes every event to every sink; rules referencing unknown sinks are
+// configuration errors.
+func NewDispatcher(cfg Config, sinks map[string]Sink) (*Dispatcher, error) {
+	cfg.setDefaults()
+	if len(sinks) == 0 {
+		return nil, fmt.Errorf("alert: no sinks configured")
+	}
+	d := &Dispatcher{
+		rules:        cfg.Rules,
+		byName:       make(map[string]*sinkRunner, len(sinks)),
+		window:       time.Duration(cfg.SuppressMinutes * float64(time.Minute)),
+		maxRetries:   cfg.MaxRetries,
+		retryBackoff: time.Duration(cfg.RetryBackoffMillis) * time.Millisecond,
+		closeTimeout: time.Duration(cfg.CloseTimeoutMillis) * time.Millisecond,
+		now:          time.Now,
+		seen:         make(map[string]time.Time),
+	}
+	names := make([]string, 0, len(sinks))
+	for name := range sinks {
+		names = append(names, name)
+	}
+	sort.Strings(names) // stable runner/stats order
+	for _, name := range names {
+		r := &sinkRunner{
+			name: name,
+			sink: sinks[name],
+			ch:   make(chan Event, cfg.QueueSize),
+			stop: make(chan struct{}),
+			done: make(chan struct{}),
+		}
+		d.byName[name] = r
+		d.runners = append(d.runners, r)
+	}
+	for i, rule := range cfg.Rules {
+		if err := rule.validate(); err != nil {
+			return nil, err
+		}
+		for _, sn := range rule.Sinks {
+			if _, ok := d.byName[sn]; !ok {
+				return nil, fmt.Errorf("alert: rule %d (%q) routes to unknown sink %q", i, rule.Name, sn)
+			}
+		}
+	}
+	for _, r := range d.runners {
+		d.wg.Add(1)
+		go d.runSink(r)
+	}
+	return d, nil
+}
+
+// Publish routes one event. It never blocks: matching, suppression and
+// enqueueing are a few map operations and a non-blocking channel send per
+// sink. Safe for concurrent use.
+func (d *Dispatcher) Publish(ev Event) {
+	d.published.Add(1)
+
+	var targets map[string]bool
+	if len(d.rules) == 0 {
+		targets = make(map[string]bool, len(d.runners))
+		for _, r := range d.runners {
+			targets[r.name] = true
+		}
+	} else {
+		for _, rule := range d.rules {
+			if !rule.Matches(ev) {
+				continue
+			}
+			if targets == nil {
+				targets = make(map[string]bool, len(rule.Sinks))
+			}
+			for _, sn := range rule.Sinks {
+				targets[sn] = true
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	d.matched.Add(1)
+
+	if d.window > 0 {
+		key := ev.suppressKey()
+		now := d.now()
+		d.supMu.Lock()
+		if last, ok := d.seen[key]; ok && now.Sub(last) < d.window {
+			d.supMu.Unlock()
+			d.suppressed.Add(1)
+			return
+		}
+		d.seen[key] = now
+		if len(d.seen) > 8192 {
+			for k, t := range d.seen {
+				if now.Sub(t) >= d.window {
+					delete(d.seen, k)
+				}
+			}
+		}
+		d.supMu.Unlock()
+	}
+
+	d.stateMu.RLock()
+	defer d.stateMu.RUnlock()
+	if d.closed {
+		return
+	}
+	for name := range targets {
+		r := d.byName[name]
+		select {
+		case r.ch <- ev:
+		default:
+			r.dropped.Add(1) // queue full: drop for this sink, visibly
+		}
+	}
+}
+
+// runSink drains one sink's queue, retrying failed deliveries with
+// exponential backoff. A persistent failure past the retry budget drops
+// the event and moves on, so one poisoned event cannot wedge the queue.
+func (d *Dispatcher) runSink(r *sinkRunner) {
+	defer d.wg.Done()
+	defer close(r.done)
+	for ev := range r.ch {
+		d.deliver(r, ev)
+	}
+}
+
+func (d *Dispatcher) deliver(r *sinkRunner, ev Event) {
+	delay := d.retryBackoff
+	for attempt := 0; ; attempt++ {
+		err := r.sink.Send(ev)
+		if err == nil {
+			r.sent.Add(1)
+			return
+		}
+		r.setErr(err)
+		if attempt >= d.maxRetries {
+			r.dropped.Add(1)
+			return
+		}
+		r.retries.Add(1)
+		select {
+		case <-r.stop: // shutting down: don't sit out the backoff
+			r.dropped.Add(1)
+			return
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > 5*time.Second {
+			delay = 5 * time.Second
+		}
+	}
+}
+
+// Close stops accepting events, waits briefly for the queues to drain, and
+// closes closable sinks. A sink blocked forever inside Send would otherwise
+// hold Close hostage, so the wait is bounded by the configured close
+// timeout; an abandoned runner's sink is still closed (which unblocks sinks
+// stuck on their own connection). Close is idempotent.
+func (d *Dispatcher) Close() error {
+	d.stateMu.Lock()
+	if d.closed {
+		d.stateMu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.stateMu.Unlock()
+
+	for _, r := range d.runners {
+		close(r.stop)
+		close(r.ch)
+	}
+	drained := make(chan struct{})
+	go func() { d.wg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(d.closeTimeout):
+	}
+
+	var first error
+	for _, r := range d.runners {
+		if c, ok := r.sink.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// SinkStats is one sink's delivery counters.
+type SinkStats struct {
+	Name       string `json:"name"`
+	Sent       int64  `json:"sent"`
+	Dropped    int64  `json:"dropped"`
+	Retries    int64  `json:"retries"`
+	QueueDepth int    `json:"queueDepth"`
+	QueueCap   int    `json:"queueCap"`
+	LastError  string `json:"lastError,omitempty"`
+}
+
+// Stats is a point-in-time snapshot of the dispatcher's counters.
+type Stats struct {
+	Published  int64       `json:"published"`
+	Matched    int64       `json:"matched"`
+	Suppressed int64       `json:"suppressed"`
+	Sent       int64       `json:"sent"`
+	Dropped    int64       `json:"dropped"`
+	Sinks      []SinkStats `json:"sinks"`
+}
+
+// Stats snapshots the counters; Sent and Dropped aggregate over sinks
+// (Dropped counts both queue overflows and deliveries abandoned after the
+// retry budget).
+func (d *Dispatcher) Stats() Stats {
+	st := Stats{Sinks: make([]SinkStats, 0, len(d.runners))}
+	st.Published = d.published.Load()
+	st.Matched = d.matched.Load()
+	st.Suppressed = d.suppressed.Load()
+	for _, r := range d.runners {
+		s := SinkStats{
+			Name:       r.name,
+			Sent:       r.sent.Load(),
+			Dropped:    r.dropped.Load(),
+			Retries:    r.retries.Load(),
+			QueueDepth: len(r.ch),
+			QueueCap:   cap(r.ch),
+			LastError:  r.lastError(),
+		}
+		st.Sent += s.Sent
+		st.Dropped += s.Dropped
+		st.Sinks = append(st.Sinks, s)
+	}
+	return st
+}

@@ -1,0 +1,269 @@
+package alert
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// chanSink captures delivered events.
+type chanSink struct{ ch chan Event }
+
+func newChanSink() *chanSink          { return &chanSink{ch: make(chan Event, 1024)} }
+func (s *chanSink) Send(ev Event) error { s.ch <- ev; return nil }
+
+// blockedSink blocks every Send until released — the pathological sink the
+// dispatcher must survive.
+type blockedSink struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newBlockedSink() *blockedSink {
+	return &blockedSink{entered: make(chan struct{}, 1024), release: make(chan struct{})}
+}
+
+func (s *blockedSink) Send(Event) error {
+	s.entered <- struct{}{}
+	<-s.release
+	return nil
+}
+
+// failSink errors every call.
+type failSink struct{ calls chan struct{} }
+
+func (s *failSink) Send(Event) error {
+	if s.calls != nil {
+		s.calls <- struct{}{}
+	}
+	return errors.New("sink down")
+}
+
+func testEvent(domain string) Event {
+	return Event{
+		Kind: KindConfirmed, Severity: SevCritical, Domain: domain,
+		Hosts: []string{"h1"}, Reason: "c&c", Score: 0.9,
+		Time: time.Date(2014, 2, 20, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestBlockedSinkDropsExactly: with one event wedged in Send and the queue
+// full, every further publish overflows and is counted — exactly, nothing
+// silent — and Publish itself never blocks.
+func TestBlockedSinkDropsExactly(t *testing.T) {
+	sink := newBlockedSink()
+	d, err := NewDispatcher(Config{QueueSize: 2, SuppressMinutes: -1, CloseTimeoutMillis: 50},
+		map[string]Sink{"wedged": sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d.Publish(testEvent("a.example"))
+	<-sink.entered // first event is now wedged inside Send
+	d.Publish(testEvent("b.example"))
+	d.Publish(testEvent("c.example")) // queue now full
+
+	const overflow = 5
+	start := time.Now()
+	for i := 0; i < overflow; i++ {
+		d.Publish(testEvent("d.example"))
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("Publish against a wedged sink took %v", took)
+	}
+
+	st := d.Stats()
+	if st.Dropped != overflow {
+		t.Fatalf("dropped = %d, want exactly %d", st.Dropped, overflow)
+	}
+	if len(st.Sinks) != 1 || st.Sinks[0].QueueDepth != 2 || st.Sinks[0].QueueCap != 2 {
+		t.Fatalf("sink stats %+v, want full queue 2/2", st.Sinks)
+	}
+	if st.Published != 3+overflow || st.Matched != 3+overflow {
+		t.Fatalf("published/matched = %d/%d", st.Published, st.Matched)
+	}
+
+	// Releasing the sink drains the queue: the three accepted events land.
+	close(sink.release)
+	waitFor(t, "queued events to drain", func() bool { return d.Stats().Sent == 3 })
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockedSinkCloseBounded: Close must not be held hostage by a Send
+// that never returns.
+func TestBlockedSinkCloseBounded(t *testing.T) {
+	sink := newBlockedSink()
+	d, err := NewDispatcher(Config{QueueSize: 2, SuppressMinutes: -1, CloseTimeoutMillis: 50},
+		map[string]Sink{"wedged": sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Publish(testEvent("a.example"))
+	<-sink.entered
+	start := time.Now()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("Close took %v against a wedged sink", took)
+	}
+	d.Publish(testEvent("late.example")) // after Close: counted, not delivered, no panic
+	close(sink.release)
+}
+
+// TestFailingSinkRetriesThenDrops: a sink erroring every call consumes the
+// retry budget with backoff, then the event is dropped — visibly.
+func TestFailingSinkRetriesThenDrops(t *testing.T) {
+	d, err := NewDispatcher(
+		Config{QueueSize: 4, SuppressMinutes: -1, MaxRetries: 2, RetryBackoffMillis: 1},
+		map[string]Sink{"down": &failSink{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.Publish(testEvent("a.example"))
+	waitFor(t, "delivery to be abandoned", func() bool { return d.Stats().Dropped == 1 })
+	st := d.Stats()
+	if st.Sent != 0 || st.Sinks[0].Retries != 2 {
+		t.Fatalf("stats %+v, want 0 sent and exactly 2 retries", st)
+	}
+	if st.Sinks[0].LastError == "" {
+		t.Fatal("sink failure left no visible last error")
+	}
+}
+
+// TestOneDeadSinkDoesNotStallOthers: a wedged sink must not delay delivery
+// through a healthy one.
+func TestOneDeadSinkDoesNotStallOthers(t *testing.T) {
+	dead := newBlockedSink()
+	live := newChanSink()
+	d, err := NewDispatcher(Config{QueueSize: 16, SuppressMinutes: -1, CloseTimeoutMillis: 50},
+		map[string]Sink{"dead": dead, "live": live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		d.Publish(testEvent("a.example"))
+	}
+	waitFor(t, "healthy sink deliveries", func() bool { return len(live.ch) == 10 })
+	close(dead.release)
+	d.Close()
+}
+
+// TestSuppressionWindow: a repeat of the same (kind, domain, hosts) inside
+// the window is one alert; past the window it fires again.
+func TestSuppressionWindow(t *testing.T) {
+	sink := newChanSink()
+	d, err := NewDispatcher(Config{QueueSize: 16, SuppressMinutes: 10},
+		map[string]Sink{"soc": sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	clock := time.Date(2014, 2, 20, 12, 0, 0, 0, time.UTC)
+	d.now = func() time.Time { return clock }
+
+	d.Publish(testEvent("a.example"))
+	d.Publish(testEvent("a.example")) // duplicate, same instant
+	clock = clock.Add(9 * time.Minute)
+	d.Publish(testEvent("a.example")) // still inside the window
+	d.Publish(testEvent("b.example")) // different domain: not a duplicate
+	clock = clock.Add(2 * time.Minute)
+	d.Publish(testEvent("a.example")) // 11m after first: window expired
+
+	waitFor(t, "deliveries", func() bool { return d.Stats().Sent == 3 })
+	st := d.Stats()
+	if st.Suppressed != 2 {
+		t.Fatalf("suppressed = %d, want 2", st.Suppressed)
+	}
+}
+
+// TestRuleRouting: events go only to the sinks of matching rules, and an
+// event matching no rule goes nowhere.
+func TestRuleRouting(t *testing.T) {
+	critical := newChanSink()
+	audit := newChanSink()
+	d, err := NewDispatcher(Config{
+		QueueSize: 16, SuppressMinutes: -1,
+		Rules: []Rule{
+			{Name: "page", MinSeverity: SevCritical, Sinks: []string{"critical"}},
+			{Name: "log-confirmed", Kinds: []EventKind{KindConfirmed}, Sinks: []string{"audit"}},
+		},
+	}, map[string]Sink{"critical": critical, "audit": audit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	d.Publish(testEvent("a.example")) // confirmed+critical: both rules
+	prov := testEvent("b.example")
+	prov.Kind = KindProvisional
+	prov.Severity = SevWarning
+	d.Publish(prov) // matches neither rule
+	health := HealthEvent(SevCritical, time.Now(), "preview failed")
+	d.Publish(health) // critical: page rule only
+
+	waitFor(t, "rule-routed deliveries", func() bool { return d.Stats().Sent == 3 })
+	st := d.Stats()
+	if st.Published != 3 || st.Matched != 2 {
+		t.Fatalf("published/matched = %d/%d, want 3/2", st.Published, st.Matched)
+	}
+	if len(critical.ch) != 2 || len(audit.ch) != 1 {
+		t.Fatalf("critical got %d, audit got %d; want 2/1", len(critical.ch), len(audit.ch))
+	}
+}
+
+// TestDispatcherRejectsBadWiring: unknown sinks and sinkless rules are
+// construction-time errors, not silent dead routes.
+func TestDispatcherRejectsBadWiring(t *testing.T) {
+	sinks := map[string]Sink{"soc": newChanSink()}
+	if _, err := NewDispatcher(Config{Rules: []Rule{{Sinks: []string{"nope"}}}}, sinks); err == nil {
+		t.Error("rule to unknown sink accepted")
+	}
+	if _, err := NewDispatcher(Config{Rules: []Rule{{Name: "r"}}}, sinks); err == nil {
+		t.Error("sinkless rule accepted")
+	}
+	if _, err := NewDispatcher(Config{Rules: []Rule{{Sinks: []string{"soc"}, DomainPattern: "[bad"}}}, sinks); err == nil {
+		t.Error("malformed domain pattern accepted")
+	}
+	if _, err := NewDispatcher(Config{}, nil); err == nil {
+		t.Error("sinkless dispatcher accepted")
+	}
+}
+
+// BenchmarkPublishBlockedSink guards the backpressure contract: publishing
+// against a permanently wedged sink with a full queue is a counter bump,
+// not a stall.
+func BenchmarkPublishBlockedSink(b *testing.B) {
+	sink := newBlockedSink()
+	d, err := NewDispatcher(Config{QueueSize: 2, SuppressMinutes: -1, CloseTimeoutMillis: 50},
+		map[string]Sink{"wedged": sink})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := testEvent("bench.example")
+	d.Publish(ev)
+	<-sink.entered
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Publish(ev)
+	}
+	b.StopTimer()
+	close(sink.release)
+	d.Close()
+}

@@ -1,0 +1,76 @@
+package alert
+
+import (
+	"fmt"
+	"path"
+)
+
+// Rule routes matching events to named sinks. Zero-valued fields match
+// everything, so `{sinks: ["soc"]}` forwards every event and each filter
+// only narrows: an event must pass all of them.
+type Rule struct {
+	// Name labels the rule in errors and stats.
+	Name string `json:"name,omitempty"`
+	// Kinds restricts the event kinds (empty: all kinds).
+	Kinds []EventKind `json:"kinds,omitempty"`
+	// MinSeverity drops events below the level (zero: info, i.e. all).
+	MinSeverity Severity `json:"minSeverity,omitempty"`
+	// MinScore drops detection events scoring below the threshold. Health
+	// events carry no score and pass (filter them with Kinds).
+	MinScore float64 `json:"minScore,omitempty"`
+	// DomainPattern is a path.Match glob over the event domain (empty: all;
+	// events without a domain only match the empty pattern).
+	DomainPattern string `json:"domainPattern,omitempty"`
+	// Sinks names the sinks matching events are queued to.
+	Sinks []string `json:"sinks"`
+}
+
+// validate rejects rules that could never fire or reference nothing.
+func (r Rule) validate() error {
+	if len(r.Sinks) == 0 {
+		return fmt.Errorf("alert: rule %q routes to no sinks", r.Name)
+	}
+	for _, k := range r.Kinds {
+		if !k.valid() {
+			return fmt.Errorf("alert: rule %q: unknown event kind %q", r.Name, k)
+		}
+	}
+	if r.MinSeverity < SevInfo || r.MinSeverity > SevCritical {
+		return fmt.Errorf("alert: rule %q: severity %d out of range", r.Name, int(r.MinSeverity))
+	}
+	if r.DomainPattern != "" {
+		if _, err := path.Match(r.DomainPattern, "probe.example"); err != nil {
+			return fmt.Errorf("alert: rule %q: bad domain pattern %q: %w", r.Name, r.DomainPattern, err)
+		}
+	}
+	return nil
+}
+
+// Matches reports whether the event passes every filter of the rule.
+func (r Rule) Matches(ev Event) bool {
+	if len(r.Kinds) > 0 {
+		ok := false
+		for _, k := range r.Kinds {
+			if k == ev.Kind {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if ev.Severity < r.MinSeverity {
+		return false
+	}
+	if r.MinScore > 0 && ev.Kind != KindHealth && ev.Score < r.MinScore {
+		return false
+	}
+	if r.DomainPattern != "" {
+		ok, err := path.Match(r.DomainPattern, ev.Domain)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,225 @@
+package alert
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// Sink delivers one event to an external receiver. Send is called from the
+// sink's own dispatcher goroutine, never concurrently with itself; an error
+// return means the event was not delivered and the dispatcher may retry the
+// same event. Sinks that hold a connection should drop it on error and
+// re-establish it on the next Send, so a retry doubles as a reconnect.
+// A sink that also implements io.Closer is closed by Dispatcher.Close.
+type Sink interface {
+	Send(Event) error
+}
+
+// ---- file / stdout ----
+
+// FileSink appends events as NDJSON (one JSON object per line) to a writer
+// or file — the same shape the daily reports use, greppable and tailable.
+type FileSink struct {
+	mu sync.Mutex
+	w  io.Writer
+	c  io.Closer // nil for caller-owned writers
+}
+
+// NewFileSink opens (appending, creating) the NDJSON file at path.
+func NewFileSink(path string) (*FileSink, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("alert: file sink: %w", err)
+	}
+	return &FileSink{w: f, c: f}, nil
+}
+
+// NewWriterSink wraps a caller-owned writer (e.g. os.Stdout) as an NDJSON
+// sink; the writer is not closed by Close.
+func NewWriterSink(w io.Writer) *FileSink {
+	return &FileSink{w: w}
+}
+
+// Send appends one NDJSON line.
+func (s *FileSink) Send(ev Event) error {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("alert: encode event: %w", err)
+	}
+	b = append(b, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.w.Write(b); err != nil {
+		return fmt.Errorf("alert: file sink write: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file, if this sink owns one.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c == nil {
+		return nil
+	}
+	err := s.c.Close()
+	s.c = nil
+	return err
+}
+
+// ---- webhook ----
+
+// WebhookSink POSTs each event as a JSON document. Any 2xx response is a
+// delivery; anything else (including transport errors) is retryable.
+type WebhookSink struct {
+	URL    string
+	Client *http.Client
+}
+
+// NewWebhookSink builds a webhook sink with a bounded request timeout, so a
+// hung endpoint turns into a retryable error instead of a stuck goroutine.
+func NewWebhookSink(url string) *WebhookSink {
+	return &WebhookSink{URL: url, Client: &http.Client{Timeout: 10 * time.Second}}
+}
+
+// Send POSTs the event.
+func (s *WebhookSink) Send(ev Event) error {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("alert: encode event: %w", err)
+	}
+	client := s.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(s.URL, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return fmt.Errorf("alert: webhook: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("alert: webhook: %s returned %s", s.URL, resp.Status)
+	}
+	return nil
+}
+
+// ---- syslog ----
+
+// SyslogSink writes RFC 5424 messages over TCP (with RFC 6587
+// octet-counting framing) or UDP (one message per datagram). The
+// connection is dialed lazily on first Send and dropped on any write
+// error, so the dispatcher's retry loop is also the reconnect loop.
+type SyslogSink struct {
+	// Network is "tcp" or "udp"; Address is host:port.
+	Network, Address string
+	// App is the RFC 5424 APP-NAME field (default "reprod").
+	App string
+	// DialTimeout bounds connection attempts (default 5s).
+	DialTimeout time.Duration
+
+	mu       sync.Mutex
+	conn     net.Conn
+	hostname string
+}
+
+// NewSyslogSink builds a syslog sink for the given transport and address.
+func NewSyslogSink(network, address string) (*SyslogSink, error) {
+	switch network {
+	case "tcp", "udp":
+	case "":
+		network = "udp"
+	default:
+		return nil, fmt.Errorf("alert: syslog: unsupported network %q", network)
+	}
+	if address == "" {
+		return nil, fmt.Errorf("alert: syslog: empty address")
+	}
+	return &SyslogSink{Network: network, Address: address}, nil
+}
+
+// priority maps the event severity onto syslog facility 14 (log alert)
+// with the standard severity codes.
+func (s *SyslogSink) priority(ev Event) int {
+	sev := 6 // informational
+	switch ev.Severity {
+	case SevWarning:
+		sev = 4
+	case SevCritical:
+		sev = 2
+	}
+	return 14*8 + sev
+}
+
+// format renders one RFC 5424 message; the structured-data field is NILVALUE
+// and the message body is the event's JSON document.
+func (s *SyslogSink) format(ev Event) ([]byte, error) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return nil, fmt.Errorf("alert: encode event: %w", err)
+	}
+	app := s.App
+	if app == "" {
+		app = "reprod"
+	}
+	if s.hostname == "" {
+		if hn, err := os.Hostname(); err == nil && hn != "" {
+			s.hostname = hn
+		} else {
+			s.hostname = "-"
+		}
+	}
+	ts := ev.Time.UTC().Format("2006-01-02T15:04:05.000Z")
+	msg := fmt.Sprintf("<%d>1 %s %s %s - - - %s", s.priority(ev), ts, s.hostname, app, b)
+	if s.Network == "tcp" {
+		// RFC 6587 octet counting: "MSG-LEN SP SYSLOG-MSG".
+		msg = fmt.Sprintf("%d %s", len(msg), msg)
+	}
+	return []byte(msg), nil
+}
+
+// Send frames and writes one message, dialing if necessary.
+func (s *SyslogSink) Send(ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	payload, err := s.format(ev)
+	if err != nil {
+		return err
+	}
+	if s.conn == nil {
+		timeout := s.DialTimeout
+		if timeout == 0 {
+			timeout = 5 * time.Second
+		}
+		conn, err := net.DialTimeout(s.Network, s.Address, timeout)
+		if err != nil {
+			return fmt.Errorf("alert: syslog dial %s/%s: %w", s.Network, s.Address, err)
+		}
+		s.conn = conn
+	}
+	if _, err := s.conn.Write(payload); err != nil {
+		s.conn.Close()
+		s.conn = nil // reconnect on the next attempt
+		return fmt.Errorf("alert: syslog write: %w", err)
+	}
+	return nil
+}
+
+// Close drops the connection, if any.
+func (s *SyslogSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return nil
+	}
+	err := s.conn.Close()
+	s.conn = nil
+	return err
+}

@@ -1,0 +1,261 @@
+package alert
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWebhookFlakyBackoffReconnect: the dispatcher's retry loop rides out a
+// webhook that fails its first calls, and the event lands exactly once.
+func TestWebhookFlakyBackoffReconnect(t *testing.T) {
+	var calls atomic.Int64
+	var got atomic.Pointer[Event]
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			http.Error(w, "still booting", http.StatusInternalServerError)
+			return
+		}
+		var ev Event
+		if err := json.NewDecoder(r.Body).Decode(&ev); err != nil {
+			t.Errorf("webhook body: %v", err)
+		}
+		got.Store(&ev)
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer srv.Close()
+
+	d, err := NewDispatcher(
+		Config{QueueSize: 4, SuppressMinutes: -1, MaxRetries: 6, RetryBackoffMillis: 1},
+		map[string]Sink{"hook": NewWebhookSink(srv.URL)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	d.Publish(testEvent("flaky.example"))
+	waitFor(t, "flaky webhook delivery", func() bool { return d.Stats().Sent == 1 })
+	st := d.Stats()
+	if st.Dropped != 0 || st.Sinks[0].Retries != 3 {
+		t.Fatalf("stats %+v, want 0 dropped and exactly 3 retries", st)
+	}
+	if st.Sinks[0].LastError == "" {
+		t.Fatal("transient failures left no last error breadcrumb")
+	}
+	ev := got.Load()
+	if ev == nil || ev.Domain != "flaky.example" || ev.Kind != KindConfirmed {
+		t.Fatalf("delivered event %+v", ev)
+	}
+}
+
+func TestWebhookRejectsNon2xx(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusForbidden)
+	}))
+	defer srv.Close()
+	if err := NewWebhookSink(srv.URL).Send(testEvent("a.example")); err == nil {
+		t.Fatal("403 response accepted as delivery")
+	}
+}
+
+func TestFileSinkNDJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "alerts.ndjson")
+	s, err := NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []string{"a.example", "b.example"} {
+		if err := s.Send(testEvent(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d NDJSON lines, want 2", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("line 2 is not JSON: %v", err)
+	}
+	if ev.Domain != "b.example" || ev.Severity != SevCritical {
+		t.Fatalf("decoded %+v", ev)
+	}
+}
+
+func ioReadFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// checkSyslogMessage asserts the RFC 5424 shape and returns the embedded
+// JSON event.
+func checkSyslogMessage(t *testing.T, msg string) Event {
+	t.Helper()
+	if !strings.HasPrefix(msg, "<116>1 ") { // facility 14, severity 4 (warning)
+		t.Fatalf("message %q lacks the <pri>1 header", msg)
+	}
+	fields := strings.SplitN(msg, " ", 8)
+	if len(fields) != 8 {
+		t.Fatalf("message %q has %d header fields, want 7 + body", msg, len(fields))
+	}
+	if _, err := time.Parse("2006-01-02T15:04:05.000Z", fields[1]); err != nil {
+		t.Fatalf("timestamp %q: %v", fields[1], err)
+	}
+	if fields[3] != "reprod" {
+		t.Fatalf("app-name %q, want reprod", fields[3])
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(fields[7]), &ev); err != nil {
+		t.Fatalf("syslog body is not the event JSON: %v (%q)", err, fields[7])
+	}
+	return ev
+}
+
+func warningEvent(domain string) Event {
+	ev := testEvent(domain)
+	ev.Severity = SevWarning
+	ev.Reason = "similarity"
+	return ev
+}
+
+func TestSyslogTCPFramingAndReconnect(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	frames := make(chan string, 16)
+	conns := make(chan net.Conn, 16)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns <- conn
+			go func(c net.Conn) {
+				r := bufio.NewReader(c)
+				for {
+					head, err := r.ReadString(' ')
+					if err != nil {
+						return
+					}
+					n, err := strconv.Atoi(strings.TrimSpace(head))
+					if err != nil {
+						return
+					}
+					buf := make([]byte, n)
+					if _, err := ioReadFull(r, buf); err != nil {
+						return
+					}
+					frames <- string(buf)
+				}
+			}(conn)
+		}
+	}()
+
+	s, err := NewSyslogSink("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Send(warningEvent("first.example")); err != nil {
+		t.Fatal(err)
+	}
+	var msg string
+	select {
+	case msg = <-frames:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no frame received")
+	}
+	if ev := checkSyslogMessage(t, msg); ev.Domain != "first.example" {
+		t.Fatalf("frame carried %+v", ev)
+	}
+
+	// Kill the server side of the connection; the sink must notice on some
+	// subsequent write, drop its connection, and re-dial — at which point a
+	// retried Send lands on a fresh accepted connection.
+	(<-conns).Close()
+	sawError := false
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := s.Send(warningEvent("second.example")); err != nil {
+			sawError = true // connection loss surfaced; next Send re-dials
+		} else if sawError {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawError {
+		t.Fatal("write to a server-closed connection never errored")
+	}
+	waitFor(t, "frame on the reconnected session", func() bool {
+		for {
+			select {
+			case msg := <-frames:
+				if checkSyslogMessage(t, msg).Domain == "second.example" {
+					return true
+				}
+			default:
+				return false
+			}
+		}
+	})
+}
+
+func TestSyslogUDP(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	s, err := NewSyslogSink("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Send(warningEvent("udp.example")); err != nil {
+		t.Fatal(err)
+	}
+	pc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64<<10)
+	n, _, err := pc.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev := checkSyslogMessage(t, string(buf[:n])); ev.Domain != "udp.example" {
+		t.Fatalf("datagram carried %+v", ev)
+	}
+}
+
+func TestSyslogRejectsBadTransport(t *testing.T) {
+	if _, err := NewSyslogSink("unix", "/tmp/x"); err == nil {
+		t.Error("unix transport accepted")
+	}
+	if _, err := NewSyslogSink("tcp", ""); err == nil {
+		t.Error("empty address accepted")
+	}
+}

@@ -9,7 +9,7 @@ import (
 )
 
 // AblationDetectorResult is one detector's accuracy on the labeled
-// periodicity corpus (ablation A1, DESIGN.md §5).
+// periodicity corpus (ablation A1, DESIGN.md §6).
 type AblationDetectorResult struct {
 	Name string
 	// Accuracy over the whole corpus.

@@ -117,7 +117,7 @@ type DistanceMetricPoint struct {
 
 // AblationDistanceMetric reproduces the paper's side remark that the L1
 // distance gives "very similar" results to the Jeffrey divergence
-// (DESIGN.md §5 item 2).
+// (DESIGN.md §6 item 2).
 func AblationDistanceMetric(seed int64, perClass int) ([]DistanceMetricPoint, *Table) {
 	rng := rand.New(rand.NewSource(seed))
 	type sample struct {
@@ -180,7 +180,7 @@ func AblationDistanceMetric(seed int64, perClass int) ([]DistanceMetricPoint, *T
 }
 
 // RareReductionResult quantifies the rare-destination restriction
-// (DESIGN.md §5 item 3): how many domains the periodicity test would have
+// (DESIGN.md §6 item 3): how many domains the periodicity test would have
 // to process without the rare filter, and with it.
 type RareReductionResult struct {
 	AllDomains    int

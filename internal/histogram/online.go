@@ -1,6 +1,9 @@
 package histogram
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Online is an incremental variant of the detector for streaming
 // deployments: connections are observed one at a time (e.g. from a live
@@ -98,4 +101,76 @@ func (o *Online) Reset() {
 	o.hist = Histogram{}
 	o.nConns = 0
 	o.outOfOrd = 0
+}
+
+// OnlineState is the serializable snapshot of an Online analyzer, used by the
+// streaming engine's checkpoint to carry live periodicity state across a
+// restart. The Config is not part of the state: it is an engine-level
+// parameter and re-supplied on restore.
+type OnlineState struct {
+	Last       time.Time `json:"last"`
+	Bins       []Bin     `json:"bins,omitempty"`
+	Total      int       `json:"total"`
+	Conns      int       `json:"conns"`
+	OutOfOrder int       `json:"ooo,omitempty"`
+}
+
+// State snapshots the analyzer. The returned state owns its bin slice, so it
+// stays valid while the analyzer keeps observing.
+func (o *Online) State() OnlineState {
+	st := OnlineState{
+		Last:       o.last,
+		Total:      o.hist.Total,
+		Conns:      o.nConns,
+		OutOfOrder: o.outOfOrd,
+	}
+	if len(o.hist.Bins) > 0 {
+		st.Bins = make([]Bin, len(o.hist.Bins))
+		copy(st.Bins, o.hist.Bins)
+	}
+	return st
+}
+
+// OnlineFromState reconstructs an analyzer from a checkpointed state,
+// refusing states that violate the construction invariants (each observed
+// connection past the first contributes exactly one interval to exactly one
+// bin). The state's bins are copied, not adopted.
+func OnlineFromState(cfg Config, st OnlineState) (*Online, error) {
+	if st.Conns < 0 || st.Total < 0 || st.OutOfOrder < 0 {
+		return nil, fmt.Errorf("histogram: negative counts in state (conns=%d total=%d ooo=%d)",
+			st.Conns, st.Total, st.OutOfOrder)
+	}
+	want := st.Conns - 1
+	if want < 0 {
+		want = 0
+	}
+	if st.Total != want {
+		return nil, fmt.Errorf("histogram: state total %d inconsistent with %d connections", st.Total, st.Conns)
+	}
+	if st.OutOfOrder > st.Total {
+		return nil, fmt.Errorf("histogram: %d out-of-order exceeds %d intervals", st.OutOfOrder, st.Total)
+	}
+	sum := 0
+	for _, b := range st.Bins {
+		if b.Count <= 0 {
+			return nil, fmt.Errorf("histogram: non-positive bin count %d", b.Count)
+		}
+		if b.Hub < 0 {
+			return nil, fmt.Errorf("histogram: negative bin hub %g", b.Hub)
+		}
+		sum += b.Count
+	}
+	if sum != st.Total {
+		return nil, fmt.Errorf("histogram: bin counts sum %d != total %d", sum, st.Total)
+	}
+	if st.Conns > 0 && st.Last.IsZero() {
+		return nil, fmt.Errorf("histogram: %d connections but zero last-seen time", st.Conns)
+	}
+	o := &Online{cfg: cfg, last: st.Last, nConns: st.Conns, outOfOrd: st.OutOfOrder}
+	o.hist.Total = st.Total
+	if len(st.Bins) > 0 {
+		o.hist.Bins = make([]Bin, len(st.Bins))
+		copy(o.hist.Bins, st.Bins)
+	}
+	return o, nil
 }

@@ -76,6 +76,92 @@ func TestOnlineOutOfOrder(t *testing.T) {
 	}
 }
 
+func TestOnlineStateRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	base := time.Date(2014, 2, 13, 9, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		o := NewOnline(cfg)
+		n := rng.Intn(30) // includes the empty analyzer
+		tm := base
+		for i := 0; i < n; i++ {
+			tm = tm.Add(time.Duration(10+rng.Intn(1200)) * time.Second)
+			o.Observe(tm)
+		}
+		st := o.State()
+		r, err := OnlineFromState(cfg, st)
+		if err != nil {
+			t.Fatalf("trial %d: restore: %v", trial, err)
+		}
+		// Divergence sums bin frequencies in map order, so it is only
+		// reproducible up to float summation order.
+		sameVerdict := func(a, b Verdict) bool {
+			return a.Automated == b.Automated && a.Period == b.Period &&
+				a.Samples == b.Samples && abs(a.Divergence-b.Divergence) < 1e-9
+		}
+		if got, want := r.Verdict(), o.Verdict(); !sameVerdict(got, want) {
+			t.Fatalf("trial %d: verdict %+v after restore, want %+v", trial, got, want)
+		}
+		if r.Connections() != o.Connections() || r.OutOfOrder() != o.OutOfOrder() {
+			t.Fatalf("trial %d: counters diverged", trial)
+		}
+		// Both must evolve identically from here.
+		next := tm.Add(601 * time.Second)
+		o.Observe(next)
+		r.Observe(next)
+		if got, want := r.Verdict(), o.Verdict(); !sameVerdict(got, want) {
+			t.Fatalf("trial %d: verdict %+v after post-restore observe, want %+v", trial, got, want)
+		}
+	}
+}
+
+func TestOnlineStateIsolation(t *testing.T) {
+	cfg := DefaultConfig()
+	o := NewOnline(cfg)
+	base := time.Date(2014, 2, 13, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 6; i++ {
+		o.Observe(base.Add(time.Duration(i) * 10 * time.Minute))
+	}
+	st := o.State()
+	// Mutating the analyzer after State must not leak into the snapshot.
+	o.Observe(base.Add(1 * time.Hour))
+	if st.Total != 5 || st.Conns != 6 {
+		t.Errorf("snapshot mutated by later Observe: %+v", st)
+	}
+	r, err := OnlineFromState(cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// And mutating the restored analyzer must not touch the state's bins.
+	r.Observe(base.Add(2 * time.Hour))
+	sum := 0
+	for _, b := range st.Bins {
+		sum += b.Count
+	}
+	if sum != st.Total {
+		t.Errorf("state bins mutated by restored analyzer: sum %d total %d", sum, st.Total)
+	}
+}
+
+func TestOnlineFromStateRejectsInvalid(t *testing.T) {
+	cfg := DefaultConfig()
+	last := time.Date(2014, 2, 13, 9, 0, 0, 0, time.UTC)
+	for name, st := range map[string]OnlineState{
+		"negative conns":   {Conns: -1},
+		"negative total":   {Total: -1},
+		"total mismatch":   {Last: last, Conns: 3, Total: 5, Bins: []Bin{{Hub: 1, Count: 5}}},
+		"bin sum mismatch": {Last: last, Conns: 3, Total: 2, Bins: []Bin{{Hub: 1, Count: 1}}},
+		"zero bin count":   {Last: last, Conns: 2, Total: 1, Bins: []Bin{{Hub: 1, Count: 0}, {Hub: 2, Count: 1}}},
+		"negative hub":     {Last: last, Conns: 2, Total: 1, Bins: []Bin{{Hub: -3, Count: 1}}},
+		"ooo overflow":     {Last: last, Conns: 2, Total: 1, OutOfOrder: 2, Bins: []Bin{{Hub: 1, Count: 1}}},
+		"zero last":        {Conns: 2, Total: 1, Bins: []Bin{{Hub: 1, Count: 1}}},
+	} {
+		if _, err := OnlineFromState(cfg, st); err == nil {
+			t.Errorf("%s: accepted invalid state %+v", name, st)
+		}
+	}
+}
+
 func TestOnlineReset(t *testing.T) {
 	cfg := DefaultConfig()
 	o := NewOnline(cfg)

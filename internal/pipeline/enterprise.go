@@ -242,10 +242,10 @@ func (p *Enterprise) stageSnapshot(day time.Time, visits []logs.Visit) *profile.
 }
 
 // stageDetect runs the periodicity test over every rare domain and fills
-// the C&C features of the automated ones, both fanned over the pool.
-func (p *Enterprise) stageDetect(snap *profile.Snapshot) []*ccdetect.AutomatedDomain {
-	ads := p.detector.FindAutomatedParallel(snap, p.cfg.Workers)
-	p.detector.FillFeaturesParallel(ads, snap.Day, p.cfg.Workers)
+// the C&C features of the automated ones, both fanned over the given pool.
+func (p *Enterprise) stageDetect(snap *profile.Snapshot, workers int) []*ccdetect.AutomatedDomain {
+	ads := p.detector.FindAutomatedParallel(snap, workers)
+	p.detector.FillFeaturesParallel(ads, snap.Day, workers)
 	return ads
 }
 
@@ -266,11 +266,11 @@ func (p *Enterprise) stageScore(automated []*ccdetect.AutomatedDomain) []*ccdete
 // (seeded by the detected C&C domains) and SOC-hints (seeded by the IOC
 // domains present in today's rare traffic). Either result is nil when its
 // seed set is empty.
-func (p *Enterprise) stagePropagate(snap *profile.Snapshot, cc []*ccdetect.AutomatedDomain) (noHint, socHints *core.Result) {
+func (p *Enterprise) stagePropagate(snap *profile.Snapshot, cc []*ccdetect.AutomatedDomain, workers int) (noHint, socHints *core.Result) {
 	bpCfg := core.Config{
 		ScoreThreshold: p.simThreshold,
 		MaxIterations:  p.cfg.MaxIterations,
-		Workers:        p.cfg.Workers,
+		Workers:        workers,
 	}
 
 	if len(cc) > 0 {
@@ -328,7 +328,7 @@ func (p *Enterprise) ProcessSnapshot(day time.Time, snap *profile.Snapshot, stat
 // history commit otherwise).
 func (p *Enterprise) ProcessSnapshotHooked(day time.Time, snap *profile.Snapshot, stats normalize.ProxyStats, preCommit func()) (EnterpriseDayReport, error) {
 	rep := stageAssemble(day, stats, snap)
-	rep.Automated = p.stageDetect(snap)
+	rep.Automated = p.stageDetect(snap, p.cfg.Workers)
 
 	if !p.trained {
 		if preCommit != nil {
@@ -353,13 +353,39 @@ func (p *Enterprise) ProcessSnapshotHooked(day time.Time, snap *profile.Snapshot
 	}
 
 	rep.CC = p.stageScore(rep.Automated)
-	rep.NoHint, rep.SOCHints = p.stagePropagate(snap, rep.CC)
+	rep.NoHint, rep.SOCHints = p.stagePropagate(snap, rep.CC, p.cfg.Workers)
 
 	if preCommit != nil {
 		preCommit()
 	}
 	snap.Commit(p.hist)
 	return rep, nil
+}
+
+// PreviewSnapshot runs the pure day-close stages over a provisional mid-day
+// snapshot — detect, score, propagate, assemble — and nothing else: no
+// calibration bookkeeping, no history commit, no model mutation. It exists
+// for the streaming engine's live preview, which clones the open day's
+// partial builders and wants the same verdicts a rollover at this instant
+// would publish, without perturbing the real rollover. Before the models are
+// trained the report carries the automated domains only, with Calibrating
+// set, mirroring what a real close of the day would report.
+//
+// The caller must guarantee the pipeline is not mid-commit (the engine holds
+// its commit gate read-locked across the call); concurrent PreviewSnapshot
+// calls and concurrent pure stages of an in-flight close are safe because
+// every stage only reads pipeline state. workers bounds the stage fan-out
+// independently of the pipeline's own Workers setting; 0 uses GOMAXPROCS.
+func (p *Enterprise) PreviewSnapshot(day time.Time, snap *profile.Snapshot, stats normalize.ProxyStats, workers int) EnterpriseDayReport {
+	rep := stageAssemble(day, stats, snap)
+	rep.Automated = p.stageDetect(snap, workers)
+	if !p.trained {
+		rep.Calibrating = true
+		return rep
+	}
+	rep.CC = p.stageScore(rep.Automated)
+	rep.NoHint, rep.SOCHints = p.stagePropagate(snap, rep.CC, workers)
+	return rep
 }
 
 // collectExamples harvests labeled training data from a calibration day:

@@ -55,7 +55,7 @@ func TestStageSnapshotIsolated(t *testing.T) {
 func TestStageDetectIsolated(t *testing.T) {
 	p, day, visits := stageFixture()
 	snap := p.stageSnapshot(day, visits)
-	ads := p.stageDetect(snap)
+	ads := p.stageDetect(snap, p.cfg.Workers)
 	if len(ads) != 1 || ads[0].Domain != "beacon.example" {
 		t.Fatalf("automated = %+v, want exactly beacon.example", ads)
 	}
@@ -85,13 +85,41 @@ func TestStageAssembleIsolated(t *testing.T) {
 	}
 }
 
+// TestPreviewSnapshotPure: the preview composition must behave like the
+// pure stages it is built from — same detections as a real close of the same
+// snapshot, and zero pipeline mutation (no history commit, no calibration
+// day consumed) no matter how often it runs.
+func TestPreviewSnapshotPure(t *testing.T) {
+	p, day, visits := stageFixture()
+	stats := normalize.ProxyStats{Records: len(visits), Kept: len(visits)}
+	for trial := 0; trial < 3; trial++ {
+		snap := p.stageSnapshot(day, visits)
+		rep := p.PreviewSnapshot(day, snap, stats, 1+trial)
+		if !rep.Calibrating {
+			t.Fatal("untrained preview must report Calibrating")
+		}
+		if len(rep.Automated) != 1 || rep.Automated[0].Domain != "beacon.example" {
+			t.Fatalf("trial %d: preview automated = %+v", trial, rep.Automated)
+		}
+		if rep.CC != nil || rep.NoHint != nil || rep.SOCHints != nil {
+			t.Fatal("untrained preview must not score or propagate")
+		}
+		if p.History().DomainCount() != 0 {
+			t.Fatal("PreviewSnapshot mutated the history")
+		}
+		if st := p.ExportCalibration(); st.CalDays != 0 || len(st.CCExamples) != 0 {
+			t.Fatalf("PreviewSnapshot consumed calibration state: %+v", st)
+		}
+	}
+}
+
 // TestStagePropagateUntrained: stageScore/stagePropagate are only entered
 // once the models exist; with no C&C seeds and no IOC hook the propagate
 // stage is a pair of nils, not a panic.
 func TestStagePropagateUntrainedSeedless(t *testing.T) {
 	p, day, visits := stageFixture()
 	snap := p.stageSnapshot(day, visits)
-	noHint, soc := p.stagePropagate(snap, nil)
+	noHint, soc := p.stagePropagate(snap, nil, p.cfg.Workers)
 	if noHint != nil || soc != nil {
 		t.Fatalf("seedless propagate = %v/%v, want nil/nil", noHint, soc)
 	}

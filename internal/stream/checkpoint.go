@@ -8,8 +8,10 @@ import (
 	"hash/maphash"
 	"io"
 	"net/netip"
+	"sort"
 	"time"
 
+	"repro/internal/histogram"
 	"repro/internal/logs"
 	"repro/internal/normalize"
 	"repro/internal/pipeline"
@@ -39,7 +41,7 @@ import (
 //	             whose close was in flight; restore re-runs the close
 //	openday      (v2, iff header.Day != "") checkpointOpenDay +
 //	             profile.IncrementalBuilder.SaveTo + markerDomains ×
-//	             checkpointDomain
+//	             checkpointDomain + livePairs × checkpointLivePair
 //	items        (v1 only) header.Items × checkpointItem, in seq order
 //
 // Format v2 serializes the open day as the merged incremental-builder
@@ -54,10 +56,14 @@ import (
 // re-hashed the same way), so a checkpoint taken on an 8-core box restores
 // onto 2 cores.
 //
-// One restorable fidelity loss relative to v1 replay: the open day's live
-// periodicity analyzers (the LiveAutomated early-warning view) restart
-// empty after a restore — they are advisory, derived state that the day's
-// official verdict never depends on.
+// The open day's live periodicity analyzers (the LiveAutomated
+// early-warning view) are carried as an optional livePairs section: each
+// not-yet-historical (host, domain) pair's dynamic histogram is serialized
+// and revalidated on restore, so the advisory view survives a restart
+// instead of rebuilding from zero. Checkpoints written before the section
+// existed decode with a zero pair count and simply restart the view empty —
+// it is advisory, derived state that the day's official verdict never
+// depends on.
 
 const (
 	checkpointVersion   = 2
@@ -117,10 +123,24 @@ type checkpointClosing struct {
 type checkpointOpenDay struct {
 	MarkerDomains int `json:"markerDomains"`
 	Unresolved    int `json:"unresolved"`
+	// LivePairs counts the serialized live periodicity analyzers that
+	// follow the marker domains. Checkpoints written before the section
+	// existed carry no field and decode as 0 — the restored engine then
+	// starts the advisory LiveAutomated view empty, as those versions did.
+	LivePairs int `json:"livePairs,omitempty"`
 }
 
 type checkpointDomain struct {
 	D string `json:"d"`
+}
+
+// checkpointLivePair is one open-day live periodicity analyzer: the (host,
+// domain) pair plus its dynamic-histogram state. The histogram Config is
+// not serialized — it is an engine parameter of the restoring host.
+type checkpointLivePair struct {
+	Host   string                `json:"h"`
+	Domain string                `json:"d"`
+	State  histogram.OnlineState `json:"s"`
 }
 
 type countingWriter struct {
@@ -240,10 +260,12 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	// encoding happen after the lock is released.
 	var parts []*profile.IncrementalBuilder
 	var alls []map[string]struct{}
+	var livePairs []checkpointLivePair
 	unresolved := 0
 	if hdr.Day != "" {
 		parts = make([]*profile.IncrementalBuilder, len(e.shards))
 		alls = make([]map[string]struct{}, len(e.shards))
+		pairsByShard := make([][]checkpointLivePair, len(e.shards))
 		unres := make([]int, len(e.shards))
 		e.quiesce(func(i int, s *shard) {
 			parts[i] = s.part.Clone()
@@ -253,10 +275,30 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 			}
 			alls[i] = cp
 			unres[i] = s.unresolved
+			if len(s.pairs) > 0 {
+				lp := make([]checkpointLivePair, 0, len(s.pairs))
+				for k, o := range s.pairs {
+					// State deep-copies the bins, so the records stay valid
+					// after the freeze lifts and the analyzers keep observing.
+					lp = append(lp, checkpointLivePair{Host: k.host, Domain: k.domain, State: o.State()})
+				}
+				pairsByShard[i] = lp
+			}
 		})
 		for _, n := range unres {
 			unresolved += n
 		}
+		for _, lp := range pairsByShard {
+			livePairs = append(livePairs, lp...)
+		}
+		// Shard maps iterate in random order; sort so identical engine state
+		// writes identical checkpoint bytes regardless of the shard count.
+		sort.Slice(livePairs, func(i, j int) bool {
+			if livePairs[i].Domain != livePairs[j].Domain {
+				return livePairs[i].Domain < livePairs[j].Domain
+			}
+			return livePairs[i].Host < livePairs[j].Host
+		})
 	}
 
 	// Hold the commit gate across the encode: the in-flight close (and any
@@ -315,7 +357,9 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 				}
 			}
 		}
-		if err := enc.Encode(checkpointOpenDay{MarkerDomains: len(markers), Unresolved: unresolved}); err != nil {
+		if err := enc.Encode(checkpointOpenDay{
+			MarkerDomains: len(markers), Unresolved: unresolved, LivePairs: len(livePairs),
+		}); err != nil {
 			return fmt.Errorf("stream: checkpoint open day: %w", err)
 		}
 		if err := merged.SaveTo(enc); err != nil {
@@ -324,6 +368,11 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		for _, d := range markers {
 			if err := enc.Encode(checkpointDomain{D: d}); err != nil {
 				return fmt.Errorf("stream: checkpoint marker domain: %w", err)
+			}
+		}
+		for _, lp := range livePairs {
+			if err := enc.Encode(lp); err != nil {
+				return fmt.Errorf("stream: checkpoint live pair: %w", err)
 			}
 		}
 	}
@@ -439,6 +488,10 @@ type RestoreDeps struct {
 // checkpoint carries a closing-day section, the restored engine re-runs
 // that day's close in the background and republishes its report.
 func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
+	// Resolve the config defaults up front (idempotent; New applies the same
+	// ones): decoding validates live-pair analyzers against the histogram
+	// configuration the restored engine will actually run them under.
+	cfg.setDefaults()
 	dec := json.NewDecoder(bufio.NewReader(r))
 	var hdr checkpointHeader
 	if err := dec.Decode(&hdr); err != nil {
@@ -501,6 +554,8 @@ func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 	var openBuilder *profile.IncrementalBuilder // v2
 	var openMeta checkpointOpenDay              // v2
 	var markerDomains []string                  // v2
+	var livePairs []checkpointLivePair          // v2
+	var liveOnline []*histogram.Online          // parallel to livePairs
 	if hdr.Version == checkpointVersionV1 {
 		if hdr.Closing != "" {
 			return nil, errors.New("stream: restore: v1 checkpoint cannot carry a closing day")
@@ -535,9 +590,9 @@ func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 			if err := dec.Decode(&openMeta); err != nil {
 				return nil, fmt.Errorf("stream: restore open day: %w", err)
 			}
-			if openMeta.MarkerDomains < 0 || openMeta.Unresolved < 0 {
-				return nil, fmt.Errorf("stream: restore: corrupt open-day section (markerDomains=%d, unresolved=%d)",
-					openMeta.MarkerDomains, openMeta.Unresolved)
+			if openMeta.MarkerDomains < 0 || openMeta.Unresolved < 0 || openMeta.LivePairs < 0 {
+				return nil, fmt.Errorf("stream: restore: corrupt open-day section (markerDomains=%d, unresolved=%d, livePairs=%d)",
+					openMeta.MarkerDomains, openMeta.Unresolved, openMeta.LivePairs)
 			}
 			openBuilder, err = profile.LoadBuilderFrom(dec)
 			if err != nil {
@@ -553,6 +608,26 @@ func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 					return nil, fmt.Errorf("stream: restore marker domain %d: %w", i, err)
 				}
 				markerDomains = append(markerDomains, cd.D)
+			}
+			livePairs = make([]checkpointLivePair, 0, min(openMeta.LivePairs, 1<<16))
+			liveOnline = make([]*histogram.Online, 0, min(openMeta.LivePairs, 1<<16))
+			seenPairs := make(map[pairKey]struct{}, min(openMeta.LivePairs, 1<<16))
+			for i := 0; i < openMeta.LivePairs; i++ {
+				var lp checkpointLivePair
+				if err := dec.Decode(&lp); err != nil {
+					return nil, fmt.Errorf("stream: restore live pair %d: %w", i, err)
+				}
+				key := pairKey{lp.Host, lp.Domain}
+				if _, dup := seenPairs[key]; dup {
+					return nil, fmt.Errorf("stream: restore: duplicate live pair (%s, %s)", lp.Host, lp.Domain)
+				}
+				seenPairs[key] = struct{}{}
+				o, err := histogram.OnlineFromState(cfg.Histogram, lp.State)
+				if err != nil {
+					return nil, fmt.Errorf("stream: restore live pair (%s, %s): %w", lp.Host, lp.Domain, err)
+				}
+				livePairs = append(livePairs, lp)
+				liveOnline = append(liveOnline, o)
 			}
 		}
 	}
@@ -589,6 +664,30 @@ func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 			// shards this engine runs — merge results are independent of the
 			// partition assignment, so any stable split reproduces the day.
 			bparts := openBuilder.Split(len(e.shards))
+			// Route the live analyzers with the same (host, domain) hash the
+			// ingest path uses, so a pair's future observations land on the
+			// shard holding its restored state. The per-domain accumulators
+			// are rebuilt exactly from the pairs: every visit that touched a
+			// shard's domain entry also fed that shard's pair analyzer once.
+			pairsByShard := make([]map[pairKey]*histogram.Online, len(e.shards))
+			domsByShard := make([]map[string]*domainLive, len(e.shards))
+			var h maphash.Hash
+			h.SetSeed(e.seed)
+			for idx, lp := range livePairs {
+				si := e.shardIndex(&h, lp.Host, lp.Domain)
+				if pairsByShard[si] == nil {
+					pairsByShard[si] = make(map[pairKey]*histogram.Online)
+					domsByShard[si] = make(map[string]*domainLive)
+				}
+				pairsByShard[si][pairKey{lp.Host, lp.Domain}] = liveOnline[idx]
+				dl, ok := domsByShard[si][lp.Domain]
+				if !ok {
+					dl = &domainLive{hosts: make(map[string]struct{})}
+					domsByShard[si][lp.Domain] = dl
+				}
+				dl.hosts[lp.Host] = struct{}{}
+				dl.visits += lp.State.Conns
+			}
 			e.mu.Lock()
 			e.quiesce(func(i int, s *shard) {
 				s.part = bparts[i]
@@ -601,6 +700,10 @@ func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 					for _, d := range markerDomains {
 						s.all[d] = struct{}{}
 					}
+				}
+				if pairsByShard[i] != nil {
+					s.pairs = pairsByShard[i]
+					s.domains = domsByShard[i]
 				}
 			})
 			e.mu.Unlock()

@@ -340,3 +340,99 @@ func TestCheckpointDoesNotBlockIngest(t *testing.T) {
 type writerFunc func(p []byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestCheckpointRestoresLivePairs: the advisory LiveAutomated view survives
+// a checkpoint/restore cycle — the live analyzers are serialized with their
+// dynamic histograms, revalidated, re-routed onto a different shard count,
+// and keep evolving from exactly where they stopped.
+func TestCheckpointRestoresLivePairs(t *testing.T) {
+	day := testDay()
+	beacon := func(host, domain string, period time.Duration, n int) []logs.ProxyRecord {
+		recs := make([]logs.ProxyRecord, 0, n)
+		for i := 0; i < n; i++ {
+			recs = append(recs, rec(day, host, domain, time.Duration(i)*period))
+		}
+		return recs
+	}
+
+	e := trainOnlyEngine(Config{Shards: 3, QueueDepth: 64})
+	defer e.Close()
+	if err := e.BeginDay(day, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Three beaconing pairs (distinct hosts and periods) plus one-shot
+	// visits that never reach a verdict.
+	first := append(beacon("h1", "c2a.test", time.Minute, 8),
+		append(beacon("h2", "c2b.test", 90*time.Second, 8),
+			beacon("h3", "c2a.test", 2*time.Minute, 8)...)...)
+	first = append(first, rec(day, "h4", "once.test", time.Hour))
+	if err := e.IngestBatch(first); err != nil {
+		t.Fatal(err)
+	}
+
+	want := e.LiveAutomated(0)
+	if len(want) != 3 {
+		t.Fatalf("before checkpoint: %d automated pairs, want 3: %+v", len(want), want)
+	}
+	var buf bytes.Buffer
+	if err := e.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Restore(bytes.NewReader(buf.Bytes()), Config{Shards: 5, QueueDepth: 64}, RestoreDeps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+
+	samePairs := func(t *testing.T, got, want []LivePair) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("got %d pairs, want %d\ngot:  %+v\nwant: %+v", len(got), len(want), got, want)
+		}
+		for i := range want {
+			g, w := got[i], want[i]
+			// Divergence sums bin frequencies in map order inside
+			// JeffreyDivergence, so it is only reproducible to float
+			// summation order; everything else must be exact.
+			if g.Host != w.Host || g.Domain != w.Domain || g.Period != w.Period || g.Samples != w.Samples {
+				t.Fatalf("pair %d: got %+v, want %+v", i, g, w)
+			}
+			if d := g.Divergence - w.Divergence; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("pair %d: divergence %g, want %g", i, g.Divergence, w.Divergence)
+			}
+		}
+	}
+	samePairs(t, e2.LiveAutomated(0), want)
+
+	// The restored analyzers resume mid-stream: feeding both engines the
+	// same continuation must keep their advisory views identical.
+	more := append(beacon("h1", "c2a.test", time.Minute, 5),
+		beacon("h5", "c2c.test", 30*time.Second, 6)...)
+	for i := range more {
+		more[i].Time = more[i].Time.Add(8 * time.Hour)
+	}
+	for _, eng := range []*Engine{e, e2} {
+		if err := eng.IngestBatch(more); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want2 := e.LiveAutomated(0)
+	if len(want2) != 4 {
+		t.Fatalf("after continuation: %d automated pairs, want 4: %+v", len(want2), want2)
+	}
+	samePairs(t, e2.LiveAutomated(0), want2)
+
+	// A v2 checkpoint from before the livePairs section existed (no field
+	// in the open-day meta) restores cleanly with an empty advisory view.
+	old := fuzzV2(`{"markerDomains":0,"unresolved":0}`,
+		`{"version":1,"visits":0,"domains":0,"uaPairs":0}`)
+	e3, err := Restore(bytes.NewReader(old), Config{Shards: 2, QueueDepth: 8}, RestoreDeps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e3.Close()
+	if pairs := e3.LiveAutomated(0); len(pairs) != 0 {
+		t.Fatalf("pre-livePairs checkpoint restored %d pairs", len(pairs))
+	}
+}

@@ -137,6 +137,30 @@ func FuzzCheckpointDecode(f *testing.F) {
 	} {
 		f.Add(fuzzV2(body[0], body[1]))
 	}
+	// Hostile livePairs sections: negative count, truncated records, a
+	// duplicate pair, and analyzer states violating the histogram invariants
+	// (total/conns mismatch, bin sums, negative counts).
+	emptyBuilder := `{"version":1,"visits":0,"domains":0,"uaPairs":0}`
+	okPair := `{"h":"h1","d":"a.test","s":{"last":"2014-02-03T01:00:00Z","bins":[{"hub":60,"count":2}],"total":2,"conns":3}}`
+	for _, lp := range []struct {
+		count string
+		pairs []string
+	}{
+		{"-1", nil},
+		{"2147483647", nil},
+		{"2", []string{okPair}}, // one record short
+		{"2", []string{okPair, okPair}},
+		{"1", []string{`{"h":"h1","d":"a.test","s":{"total":5,"conns":1}}`}},
+		{"1", []string{`{"h":"h1","d":"a.test","s":{"last":"2014-02-03T01:00:00Z","bins":[{"hub":60,"count":1}],"total":2,"conns":3}}`}},
+		{"1", []string{`{"h":"h1","d":"a.test","s":{"conns":-3,"total":-4}}`}},
+		{"1", []string{`{"h":"h1","d":"a.test","s":{"bins":[{"hub":-1,"count":0}]}}`}},
+	} {
+		body := emptyBuilder
+		for _, p := range lp.pairs {
+			body += "\n" + p
+		}
+		f.Add(fuzzV2(`{"markerDomains":0,"unresolved":0,"livePairs":`+lp.count+`}`, body))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e, err := Restore(bytes.NewReader(data), Config{Shards: 1, QueueDepth: 8},
 			RestoreDeps{Whois: whois.NewRegistry()})

@@ -346,6 +346,11 @@ type Engine struct {
 	// checkpoint's encoded size and duration (written without mu).
 	lastCkptBytes  atomic.Int64
 	lastCkptMicros atomic.Int64
+	// lastPreviewMicros/lastPreviewCandidates record the most recent
+	// completed Preview's duration and suspicious-domain count (written
+	// without mu).
+	lastPreviewMicros     atomic.Int64
+	lastPreviewCandidates atomic.Int64
 	// closeHook is Config.CloseHook (settable directly by in-package tests
 	// before the engine starts rolling days).
 	closeHook func(date string)
@@ -1075,6 +1080,11 @@ type Stats struct {
 	ResidentBuilderDomains int   `json:"residentBuilderDomains"`
 	LastCheckpointBytes    int64 `json:"lastCheckpointBytes"`
 	LastCheckpointMillis   int64 `json:"lastCheckpointMillis"`
+
+	// Preview observability: the duration of the last completed live
+	// preview and the number of suspicious domains it surfaced.
+	LastPreviewMillis int64 `json:"lastPreviewMillis"`
+	PreviewCandidates int64 `json:"previewCandidates"`
 }
 
 // LivePair is one beaconing-looking (host, domain) pair of the open day.
@@ -1120,6 +1130,8 @@ func (e *Engine) Snapshot(maxLive int) (Stats, []LivePair) {
 		LastDayCloseMillis:      e.lastCloseDur.Milliseconds(),
 		LastCheckpointBytes:     e.lastCkptBytes.Load(),
 		LastCheckpointMillis:    e.lastCkptMicros.Load() / 1000,
+		LastPreviewMillis:       e.lastPreviewMicros.Load() / 1000,
+		PreviewCandidates:       e.lastPreviewCandidates.Load(),
 	}
 	if !e.day.IsZero() {
 		st.Day = e.day.Format("2006-01-02")

@@ -56,6 +56,7 @@ import (
 	"net/netip"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/baseline"
 	"repro/internal/batch"
 	"repro/internal/ccdetect"
@@ -499,4 +500,68 @@ func RestoreStreamEngine(r io.Reader, cfg StreamConfig, deps StreamRestoreDeps) 
 // engine, reproducing the batch reports (at live speed if opts.Speed > 0).
 func ReplayEnterpriseDir(e *StreamEngine, dir string, opts StreamReplayOptions) error {
 	return stream.ReplayDir(e, dir, opts)
+}
+
+// ---- Detection preview and outbound alerting (internal/alert) ----
+
+type (
+	// StreamPreviewReport is a provisional mid-day detection report from
+	// StreamEngine.Preview: the report a rollover right now would publish,
+	// computed from a frozen clone without closing the day.
+	StreamPreviewReport = stream.PreviewReport
+	// AlertEvent is one outbound alert (a detection or a health event).
+	AlertEvent = alert.Event
+	// AlertEventKind distinguishes confirmed/provisional/health events.
+	AlertEventKind = alert.EventKind
+	// AlertSeverity orders events for rule filtering.
+	AlertSeverity = alert.Severity
+	// AlertRule routes matching events to named sinks.
+	AlertRule = alert.Rule
+	// AlertSink delivers one event to an external receiver.
+	AlertSink = alert.Sink
+	// AlertSinkConfig declares one named sink in an alert config file.
+	AlertSinkConfig = alert.SinkConfig
+	// AlertConfig is the alert subsystem's configuration (-alert-config).
+	AlertConfig = alert.Config
+	// AlertDispatcher fans events out to sinks; Publish never blocks.
+	AlertDispatcher = alert.Dispatcher
+	// AlertStats snapshots the dispatcher's delivery counters.
+	AlertStats = alert.Stats
+)
+
+// Alert event kinds and severities.
+const (
+	AlertConfirmed   = alert.KindConfirmed
+	AlertProvisional = alert.KindProvisional
+	AlertHealth      = alert.KindHealth
+	AlertSevInfo     = alert.SevInfo
+	AlertSevWarning  = alert.SevWarning
+	AlertSevCritical = alert.SevCritical
+)
+
+// NewAlertDispatcher builds a dispatcher over named sinks; an empty rule
+// table routes every event to every sink.
+func NewAlertDispatcher(cfg AlertConfig, sinks map[string]AlertSink) (*AlertDispatcher, error) {
+	return alert.NewDispatcher(cfg, sinks)
+}
+
+// NewAlertDispatcherFromConfig builds the configured sinks and the
+// dispatcher in one step.
+func NewAlertDispatcherFromConfig(cfg AlertConfig) (*AlertDispatcher, error) {
+	return alert.NewDispatcherFromConfig(cfg)
+}
+
+// ParseAlertConfig reads an alert configuration document ("json", "toml",
+// or "" to sniff).
+func ParseAlertConfig(data []byte, format string) (AlertConfig, error) {
+	return alert.ParseConfig(data, format)
+}
+
+// LoadAlertConfig reads and parses the alert config file at path.
+func LoadAlertConfig(path string) (AlertConfig, error) { return alert.LoadConfig(path) }
+
+// AlertEventsFromDaily converts a daily report's suspicious-domain list
+// into alert events of the given kind, in report order.
+func AlertEventsFromDaily(d DailyReport, kind AlertEventKind, at time.Time) []AlertEvent {
+	return alert.EventsFromDaily(d, kind, at)
 }
