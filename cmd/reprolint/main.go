@@ -1,0 +1,76 @@
+// Command reprolint runs the repo's invariant lint suite (internal/lint)
+// over Go packages and exits nonzero on any finding. It is the static half
+// of the determinism/never-block contracts the equivalence tests check at
+// runtime, and a required CI step.
+//
+// Usage:
+//
+//	go run ./cmd/reprolint ./...          # lint the whole module
+//	go run ./cmd/reprolint ./internal/... # or a subset
+//	go run ./cmd/reprolint -list          # describe the analyzers
+//
+// Suppress a false positive in place with
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the flagged line, the line above, or in the function's doc comment for
+// a whole-function exemption. The reason is mandatory.
+//
+// (A `go vet -vettool` mode would need x/tools' unitchecker; the module is
+// deliberately dependency-free, so standalone invocation is the interface.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reprolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "reprolint:", err)
+		return 2
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, lint.Analyzers())
+		if err != nil {
+			fmt.Fprintln(stderr, "reprolint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "reprolint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

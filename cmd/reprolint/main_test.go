@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListDescribesEveryAnalyzer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"maporder", "puredet", "locksafety", "neverblock"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"repro/internal/report"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on a clean package\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected findings on clean package: %s", out.String())
+	}
+}
+
+// TestSeededViolationsFailTheGate points the driver at the maporder fixture
+// package — a deliberately violating determinism-marked package — and
+// requires a nonzero exit with positioned findings on stdout. This is the
+// end-to-end proof the CI gate actually trips.
+func TestSeededViolationsFailTheGate(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"repro/internal/lint/testdata/src/maporder"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d on a violating package, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "maporder: append to") {
+		t.Errorf("findings missing the seeded maporder violation:\n%s", out.String())
+	}
+}
+
+func TestBadPatternExitsTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"repro/no/such/package"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d on a bad pattern, want 2 (stderr: %s)", code, errOut.String())
+	}
+}

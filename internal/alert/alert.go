@@ -10,7 +10,11 @@
 // The design constraint that shapes everything here: alerting is strictly
 // best-effort and the detection path is not. A slow, dead or misconfigured
 // sink must never block ingest, day-close, other sinks, or the caller of
-// Publish — see Dispatcher.
+// Publish — see Dispatcher. reprolint's neverblock analyzer enforces the
+// structural half of that contract via the marker below: every channel
+// send in this package must be a select with a default.
+//
+//lint:neverblock
 package alert
 
 import (

@@ -9,7 +9,7 @@ import (
 // chanSink captures delivered events.
 type chanSink struct{ ch chan Event }
 
-func newChanSink() *chanSink          { return &chanSink{ch: make(chan Event, 1024)} }
+func newChanSink() *chanSink            { return &chanSink{ch: make(chan Event, 1024)} }
 func (s *chanSink) Send(ev Event) error { s.ch <- ev; return nil }
 
 // blockedSink blocks every Send until released — the pathological sink the

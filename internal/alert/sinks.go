@@ -186,6 +186,8 @@ func (s *SyslogSink) format(ev Event) ([]byte, error) {
 }
 
 // Send frames and writes one message, dialing if necessary.
+//
+//lint:ignore locksafety s.mu exists to serialize exactly this connection I/O; Send runs only on the sink's delivery goroutine, never under engine or dispatcher locks
 func (s *SyslogSink) Send(ev Event) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,29 @@
+package lint
+
+import "testing"
+
+func TestMapOrderFixture(t *testing.T) {
+	runFixture(t, "maporder", MapOrder)
+}
+
+func TestPureDetFixture(t *testing.T) {
+	runFixture(t, "puredet", PureDet)
+}
+
+func TestLockSafetyFixture(t *testing.T) {
+	runFixture(t, "locksafety", LockSafety)
+}
+
+func TestNeverBlockFixture(t *testing.T) {
+	runFixture(t, "neverblock", NeverBlock)
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	runFixture(t, "ignorepath", NeverBlock)
+}
+
+// TestUnmarkedPackageIsSilent runs the full suite over a package with no
+// markers and no pure annotations: the marker-gated rules must not fire.
+func TestUnmarkedPackageIsSilent(t *testing.T) {
+	runFixture(t, "unmarked", Analyzers()...)
+}

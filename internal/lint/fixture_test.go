@@ -1,0 +1,208 @@
+package lint
+
+// The analysistest-equivalent harness: each analyzer gets fixture packages
+// under testdata/src/<name>/ whose source lines carry
+//
+//	// want "regexp" ["regexp" ...]
+//
+// annotations. runFixture loads and type-checks the fixture against real
+// stdlib export data, runs the analyzers, and requires an exact match:
+// every annotated line produces exactly its expected diagnostics (in
+// order), and no unannotated line produces any.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stdExports caches import path -> gc export data file across tests; the
+// stdlib doesn't change under us mid-run.
+var stdExports = struct {
+	sync.Mutex
+	m map[string]string
+}{m: map[string]string{}}
+
+// exportDataFor resolves export data files for the given import paths (and
+// their deps), shelling out to go list only for paths not yet cached.
+func exportDataFor(t *testing.T, paths []string) map[string]string {
+	t.Helper()
+	stdExports.Lock()
+	defer stdExports.Unlock()
+	var missing []string
+	for _, p := range paths {
+		if _, ok := stdExports.m[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}, missing...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("go list -export %v: %v\n%s", missing, err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("go list decode: %v", err)
+			}
+			if p.Export != "" {
+				stdExports.m[p.ImportPath] = p.Export
+			}
+		}
+	}
+	res := map[string]string{}
+	for k, v := range stdExports.m {
+		res[k] = v
+	}
+	return res
+}
+
+// loadFixture parses and type-checks testdata/src/<name> as one package.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("fixture %s: parse: %v", name, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			importSet[path] = true
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s: no Go files", name)
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	exports := exportDataFor(t, imports)
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check("fixture/"+name, fset, files, info)
+	if err != nil {
+		t.Fatalf("fixture %s: typecheck: %v", name, err)
+	}
+	return &Package{PkgPath: "fixture/" + name, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}
+}
+
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is the wants of one source line.
+type expectation struct {
+	file string
+	line int
+	res  []*regexp.Regexp
+}
+
+// collectWants extracts // want annotations, keyed by position.
+func collectWants(t *testing.T, pkg *Package) map[string]*expectation {
+	t.Helper()
+	wants := map[string]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				exp := &expectation{file: pos.Filename, line: pos.Line}
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, arg[1], err)
+					}
+					exp.res = append(exp.res, re)
+				}
+				wants[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = exp
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture runs analyzers over fixture <name> and checks diagnostics
+// against the // want annotations exactly.
+func runFixture(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	wants := collectWants(t, pkg)
+
+	got := map[string][]Diagnostic{}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		got[key] = append(got[key], d)
+	}
+	for key, exp := range wants {
+		ds := got[key]
+		if len(ds) != len(exp.res) {
+			t.Errorf("%s: want %d diagnostics, got %d: %v", key, len(exp.res), len(ds), ds)
+			continue
+		}
+		for i, re := range exp.res {
+			if !re.MatchString(ds[i].Message) {
+				t.Errorf("%s: diagnostic %q does not match want %q", key, ds[i].Message, re)
+			}
+		}
+		delete(got, key)
+	}
+	var leftover []string
+	for _, ds := range got {
+		for _, d := range ds {
+			leftover = append(leftover, d.String())
+		}
+	}
+	sort.Strings(leftover)
+	for _, s := range leftover {
+		t.Errorf("unexpected diagnostic: %s", s)
+	}
+}

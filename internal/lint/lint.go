@@ -1,0 +1,319 @@
+// Package lint is the repo's invariant lint suite: a set of custom static
+// analyzers that encode the reproduction's load-bearing concurrency and
+// determinism contracts — the properties the equivalence tests verify at
+// runtime — so a violation fails CI at compile time instead of shipping and
+// waiting for a lucky schedule to expose it.
+//
+// The analyzers:
+//
+//   - maporder: in determinism-critical packages (marked with a
+//     //lint:deterministic file comment), a map-range loop must not leak its
+//     iteration order into an output — an appended slice that is never
+//     sorted, a string builder, an encoder, or a channel. This is the static
+//     half of the golden invariant that streaming reports (and, since PR 7,
+//     checkpoint bytes) are byte-identical for any shard/worker count.
+//
+//   - puredet: functions annotated //lint:pure — the day-close detect,
+//     score, propagate and assemble stages — and everything reachable from
+//     them inside the same package must not consult ambient process state:
+//     no time.Now, no math/rand, no os.Getenv, no file or network I/O, no
+//     writes to stdout. Purity is what lets previews, re-run closes and
+//     checkpoint restores replay a day bit-identically.
+//
+//   - locksafety: no blocking operation — a channel send or receive outside
+//     a select with default, a blocking select, time.Sleep, file or network
+//     I/O, an alert-sink delivery — while a sync.Mutex or the write side of
+//     a sync.RWMutex is held. The engine's rollover stall is bounded by the
+//     shard buffer swap only because nothing under its locks can wait on the
+//     outside world. Also flags sync primitives passed or copied by value.
+//
+//   - neverblock: in packages marked //lint:neverblock (internal/alert),
+//     every channel send must sit in a select with a default case — the
+//     "Publish never blocks ingest" contract: a wedged sink costs alerts,
+//     visibly, never throughput.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic, // want fixture tests) so the suite can migrate to the real
+// multichecker mechanically if the module ever takes on x/tools; it is
+// hand-rolled here because the repo is deliberately dependency-free and the
+// build environment is offline. cmd/reprolint is the driver.
+//
+// False positives are suppressed in place with
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the flagged line, the line above it, or (for whole-function exemptions,
+// e.g. a mutex whose entire point is serializing file I/O) in the function's
+// doc comment. The reason is mandatory: an unexplained suppression is itself
+// a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. The shape matches
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:ignore
+	// directives.
+	Name string
+	// Doc is the one-paragraph description `reprolint -list` prints.
+	Doc string
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Report records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, positioned for editors (file:line:col).
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapOrder, PureDet, LockSafety, NeverBlock}
+}
+
+// ignoreSpan is one //lint:ignore directive: the analyzers it silences and
+// the line range it covers.
+type ignoreSpan struct {
+	file      string
+	fromLine  int
+	toLine    int
+	analyzers map[string]bool
+	reason    string
+}
+
+const ignorePrefix = "//lint:ignore "
+
+// parseIgnores extracts the //lint:ignore directives of a file. A directive
+// in a function's doc comment covers the whole function; anywhere else it
+// covers its own line and the next (the staticcheck convention: annotate the
+// statement below). Malformed directives — no analyzer list, or no reason —
+// are reported as findings themselves so a suppression can never be silent
+// about why.
+func parseIgnores(fset *token.FileSet, f *ast.File, report func(pos token.Pos, msg string)) []ignoreSpan {
+	// Function extents, so doc-comment directives can cover whole bodies.
+	type extent struct{ doc, from, to int }
+	var funcs []extent
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		funcs = append(funcs, extent{
+			doc:  fset.Position(fd.Doc.Pos()).Line,
+			from: fset.Position(fd.Pos()).Line,
+			to:   fset.Position(fd.End()).Line,
+		})
+	}
+
+	var spans []ignoreSpan
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			names, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			if names == "" || reason == "" {
+				report(c.Pos(), "malformed //lint:ignore directive: need \"//lint:ignore <analyzer>[,<analyzer>] <reason>\"")
+				continue
+			}
+			set := make(map[string]bool)
+			known := make(map[string]bool)
+			for _, a := range Analyzers() {
+				known[a.Name] = true
+			}
+			bad := false
+			for _, n := range strings.Split(names, ",") {
+				if !known[n] {
+					report(c.Pos(), fmt.Sprintf("//lint:ignore names unknown analyzer %q", n))
+					bad = true
+					break
+				}
+				set[n] = true
+			}
+			if bad {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			span := ignoreSpan{
+				file:      fset.Position(c.Pos()).Filename,
+				fromLine:  line,
+				toLine:    line + 1,
+				analyzers: set,
+				reason:    reason,
+			}
+			// Widen to the function body when the directive sits in a doc
+			// comment.
+			for _, fe := range funcs {
+				if line >= fe.doc && line < fe.from {
+					span.toLine = fe.to
+					break
+				}
+			}
+			spans = append(spans, span)
+		}
+	}
+	return spans
+}
+
+// filterIgnored drops diagnostics covered by an ignore directive and sorts
+// the survivors by position. Malformed directives surface as diagnostics of
+// the pseudo-analyzer "lint".
+func filterIgnored(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	var spans []ignoreSpan
+	var bad []Diagnostic
+	for _, f := range files {
+		spans = append(spans, parseIgnores(fset, f, func(pos token.Pos, msg string) {
+			bad = append(bad, Diagnostic{Analyzer: "lint", Pos: fset.Position(pos), Message: msg})
+		})...)
+	}
+	out := bad
+	seen := map[Diagnostic]bool{} // nested constructs can report one site twice
+	for _, d := range diags {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		suppressed := false
+		for _, s := range spans {
+			if s.file == d.Pos.Filename && d.Pos.Line >= s.fromLine && d.Pos.Line <= s.toLine && s.analyzers[d.Analyzer] {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		if out[i].Pos.Column != out[j].Pos.Column {
+			return out[i].Pos.Column < out[j].Pos.Column
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// Run applies the analyzers to one loaded package, returning the surviving
+// diagnostics in position order.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	return filterIgnored(pkg.Fset, pkg.Files, diags), nil
+}
+
+// hasFileMarker reports whether any file of the package carries the given
+// marker comment (e.g. "//lint:deterministic") — the opt-in mechanism for
+// package-scoped analyzers.
+func hasFileMarker(files []*ast.File, marker string) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// exprString renders an expression as the canonical key the analyzers use to
+// match "the same variable" across statements (x, s.field, a.b.c). Index and
+// call expressions are not canonicalized — conservative, which errs toward
+// reporting.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	}
+	return ""
+}
+
+// calleeObj resolves a call's callee to its types.Object (function or
+// method), or nil.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// calleePkgFunc returns the (package path, name) of a called package-level
+// function, or ("", "") when the call is not one (method call, local
+// closure, builtin, conversion).
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (string, string) {
+	obj := calleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}

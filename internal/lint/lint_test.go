@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc parses one file of source for directive-handling tests that
+// don't need type information.
+func parseSrc(t *testing.T, src string) (*token.FileSet, []Diagnostic, []ignoreSpan) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var bad []Diagnostic
+	spans := parseIgnores(fset, f, func(pos token.Pos, msg string) {
+		bad = append(bad, Diagnostic{Analyzer: "lint", Pos: fset.Position(pos), Message: msg})
+	})
+	return fset, bad, spans
+}
+
+func TestIgnoreDirectiveWithoutReasonIsMalformed(t *testing.T) {
+	_, bad, spans := parseSrc(t, `package p
+
+func f(ch chan int) {
+	//lint:ignore neverblock
+	ch <- 1
+}
+`)
+	if len(spans) != 0 {
+		t.Fatalf("malformed directive produced a suppression span: %+v", spans)
+	}
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "malformed //lint:ignore") {
+		t.Fatalf("want one malformed-directive diagnostic, got %v", bad)
+	}
+}
+
+func TestIgnoreDirectiveUnknownAnalyzer(t *testing.T) {
+	_, bad, spans := parseSrc(t, `package p
+
+func f(ch chan int) {
+	//lint:ignore nosuchcheck because reasons
+	ch <- 1
+}
+`)
+	if len(spans) != 0 {
+		t.Fatalf("unknown-analyzer directive produced a suppression span: %+v", spans)
+	}
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, `unknown analyzer "nosuchcheck"`) {
+		t.Fatalf("want one unknown-analyzer diagnostic, got %v", bad)
+	}
+}
+
+func TestIgnoreDirectiveMultipleAnalyzers(t *testing.T) {
+	_, bad, spans := parseSrc(t, `package p
+
+func f(ch chan int) {
+	//lint:ignore neverblock,locksafety both rules misfire here
+	ch <- 1
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", bad)
+	}
+	if len(spans) != 1 || !spans[0].analyzers["neverblock"] || !spans[0].analyzers["locksafety"] {
+		t.Fatalf("want one span covering both analyzers, got %+v", spans)
+	}
+	if spans[0].toLine != spans[0].fromLine+1 {
+		t.Fatalf("statement-level directive should cover its line and the next, got %+v", spans[0])
+	}
+}
+
+func TestDocCommentIgnoreCoversWholeFunction(t *testing.T) {
+	_, _, spans := parseSrc(t, `package p
+
+// f is exempt end to end.
+//
+//lint:ignore locksafety serializing file I/O is this mutex's purpose
+func f(ch chan int) {
+	ch <- 1
+	ch <- 1
+	ch <- 1
+}
+`)
+	if len(spans) != 1 {
+		t.Fatalf("want one span, got %+v", spans)
+	}
+	// The function body ends on line 10; the span must reach it.
+	if spans[0].toLine < 10 {
+		t.Fatalf("doc-comment directive should cover the whole function, got %+v", spans[0])
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Analyzer: "maporder",
+		Pos:      token.Position{Filename: "a/b.go", Line: 3, Column: 7},
+		Message:  "boom",
+	}
+	if got, want := d.String(), "a/b.go:3:7: maporder: boom"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestAnalyzersRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("incomplete analyzer %+v", a)
+		}
+		if names[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"maporder", "puredet", "locksafety", "neverblock"} {
+		if !names[want] {
+			t.Fatalf("missing analyzer %q", want)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags map-range loops whose iteration order can reach an output
+// in determinism-critical packages (those carrying a //lint:deterministic
+// file marker). "Reach an output" means, inside the loop body:
+//
+//   - appending to a slice that is never handed to sort (directly or by
+//     being appended into a sorted slice) anywhere in the enclosing
+//     function;
+//   - writing through a printer or encoder (fmt.Fprint*/Print*, or a method
+//     named Encode, WriteString, WriteByte, WriteRune);
+//   - sending on a channel.
+//
+// Order-insensitive uses — map writes, counters, min/max folds — are not
+// flagged: aggregation over a map is fine, emission from one is not.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "in //lint:deterministic packages, map-range iteration order must not reach " +
+		"an output slice, string build, encoder, or channel without an intervening sort",
+	Run: runMapOrder,
+}
+
+const deterministicMarker = "//lint:deterministic"
+
+func runMapOrder(pass *Pass) error {
+	if !hasFileMarker(pass.Files, deterministicMarker) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sorted := sortedRoots(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapType(pass.TypesInfo.TypeOf(rng.X)) {
+					return true
+				}
+				checkMapLoop(pass, rng, sorted)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// sortedRoots collects the canonical keys (exprString) of every slice the
+// enclosing function hands to a sort call, then propagates through
+// `y = append(y, x...)`: if y is sorted after the copy, x's order never
+// shows, so x counts as sorted too. Iterated to fixpoint so collect-append-
+// merge-sort chains (shard snapshot merging) clear in one pass.
+func sortedRoots(pass *Pass, body *ast.BlockStmt) map[string]bool {
+	roots := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name := calleePkgFunc(pass.TypesInfo, call)
+		isSort := pkg == "sort" && (name == "Slice" || name == "SliceStable" || name == "Strings" ||
+			name == "Ints" || name == "Float64s" || name == "Sort" || name == "Stable")
+		isSort = isSort || (pkg == "slices" && (name == "Sort" || name == "SortFunc" || name == "SortStableFunc"))
+		if isSort && len(call.Args) > 0 {
+			if key := exprString(call.Args[0]); key != "" {
+				roots[key] = true
+			}
+		}
+		return true
+	})
+	// Propagate sortedness backwards through spread-appends.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass.TypesInfo, call) || !call.Ellipsis.IsValid() || len(call.Args) != 2 {
+				return true
+			}
+			dst := exprString(as.Lhs[0])
+			src := exprString(call.Args[1])
+			if dst != "" && src != "" && roots[dst] && !roots[src] {
+				roots[src] = true
+				changed = true
+			}
+			return true
+		})
+	}
+	return roots
+}
+
+// checkMapLoop reports order-leaking statements inside one map-range body.
+func checkMapLoop(pass *Pass, rng *ast.RangeStmt, sorted map[string]bool) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Arrow, "channel send inside map-range loop leaks map iteration order; collect and sort first")
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.TypesInfo, call) || i >= len(n.Lhs) {
+					continue
+				}
+				dst := exprString(n.Lhs[i])
+				if dst == "" || !sorted[dst] {
+					pass.Reportf(call.Pos(), "append to %q inside map-range loop leaks map iteration order; sort it before use or collect into a map",
+						appendTargetName(n.Lhs[i]))
+				}
+			}
+		case *ast.CallExpr:
+			if leaky, what := isOrderedEmission(pass.TypesInfo, n); leaky {
+				pass.Reportf(n.Pos(), "%s inside map-range loop leaks map iteration order; iterate sorted keys instead", what)
+			}
+		}
+		return true
+	})
+}
+
+func appendTargetName(e ast.Expr) string {
+	if s := exprString(e); s != "" {
+		return s
+	}
+	return "slice"
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isOrderedEmission reports whether call writes ordered output: fmt printing
+// or a method conventionally used to emit bytes in order (Encode,
+// WriteString, WriteByte, WriteRune).
+func isOrderedEmission(info *types.Info, call *ast.CallExpr) (bool, string) {
+	if pkg, name := calleePkgFunc(info, call); pkg == "fmt" &&
+		(name == "Fprint" || name == "Fprintf" || name == "Fprintln" ||
+			name == "Print" || name == "Printf" || name == "Println") {
+		return true, "fmt." + name
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false, ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Type().(*types.Signature).Recv() == nil {
+		return false, ""
+	}
+	switch fn.Name() {
+	case "Encode", "WriteString", "WriteByte", "WriteRune":
+		return true, "call to " + fn.Name()
+	}
+	return false, ""
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

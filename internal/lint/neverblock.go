@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NeverBlock enforces the alert layer's contract that publishing can never
+// stall the ingest path: in packages carrying a //lint:neverblock file
+// marker, every channel send must be the communication of a select that has
+// a default case, so a full queue drops (and counts) instead of blocking.
+var NeverBlock = &Analyzer{
+	Name: "neverblock",
+	Doc: "in //lint:neverblock packages every channel send must be a select case with a " +
+		"default (the Publish-never-blocks contract)",
+	Run: runNeverBlock,
+}
+
+const neverblockMarker = "//lint:neverblock"
+
+func runNeverBlock(pass *Pass) error {
+	if !hasFileMarker(pass.Files, neverblockMarker) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Sends adjudicated by a select-with-default are the sanctioned form.
+		sanctioned := map[*ast.SendStmt]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok || !selectHasDefault(sel) {
+				return true
+			}
+			for _, clause := range sel.Body.List {
+				if send, isSend := clause.(*ast.CommClause).Comm.(*ast.SendStmt); isSend {
+					sanctioned[send] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok || sanctioned[send] {
+				return true
+			}
+			pass.Reportf(send.Arrow, "bare channel send in a never-block package; use select { case ch <- v: default: } and count the drop")
+			return true
+		})
+	}
+	return nil
+}

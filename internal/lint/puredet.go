@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PureDet enforces replay purity: a function whose doc comment carries
+// //lint:pure, and everything it reaches through same-package calls, must
+// not consult ambient process state. The forbidden set is the sources of
+// schedule- and environment-dependence that would break bit-identical
+// replay of a day close: clocks, random numbers, the environment, the
+// filesystem, the network, and process stdout.
+//
+// runtime.GOMAXPROCS is deliberately allowed — the pipeline is worker-count
+// independent by construction, and that is exactly what the equivalence
+// tests verify.
+var PureDet = &Analyzer{
+	Name: "puredet",
+	Doc: "functions marked //lint:pure (and their same-package call graph) must not call " +
+		"time.Now, math/rand, os.Getenv, or do ambient I/O",
+	Run: runPureDet,
+}
+
+const pureMarker = "//lint:pure"
+
+// impureCalls maps package path -> function names forbidden in pure code.
+// An empty name set means the whole package is off-limits.
+var impureCalls = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+	"os": {"Getenv": true, "LookupEnv": true, "Environ": true, "Open": true, "OpenFile": true,
+		"Create": true, "ReadFile": true, "WriteFile": true, "ReadDir": true, "Stat": true,
+		"Remove": true, "RemoveAll": true, "Rename": true, "Getwd": true, "Hostname": true},
+	"fmt":           {"Print": true, "Printf": true, "Println": true},
+	"math/rand":     nil,
+	"math/rand/v2":  nil,
+	"crypto/rand":   nil,
+	"net":           nil,
+	"net/http":      nil,
+	"os/exec":       nil,
+	"io/ioutil":     nil,
+	"path/filepath": {"Walk": true, "WalkDir": true, "Glob": true},
+}
+
+func runPureDet(pass *Pass) error {
+	// Collect declared functions and the //lint:pure roots.
+	type declared struct {
+		decl *ast.FuncDecl
+		obj  *types.Func
+	}
+	var funcs []declared
+	byObj := map[*types.Func]*ast.FuncDecl{}
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			funcs = append(funcs, declared{fd, obj})
+			byObj[obj] = fd
+			if hasDocMarker(fd, pureMarker) {
+				roots = append(roots, obj)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Same-package call graph: obj -> called same-package objs.
+	callees := map[*types.Func][]*types.Func{}
+	for _, d := range funcs {
+		seen := map[*types.Func]bool{}
+		ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeObj(pass.TypesInfo, call).(*types.Func)
+			if !ok || fn.Pkg() != pass.Pkg || seen[fn] {
+				return true
+			}
+			if _, declaredHere := byObj[fn]; declaredHere {
+				seen[fn] = true
+				callees[d.obj] = append(callees[d.obj], fn)
+			}
+			return true
+		})
+	}
+
+	// Reachability from the pure roots, remembering a witness path for the
+	// diagnostic ("reachable from pure X via Y").
+	via := map[*types.Func]*types.Func{} // func -> pure root it serves
+	var queue []*types.Func
+	for _, r := range roots {
+		if via[r] == nil {
+			via[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range callees[cur] {
+			if via[next] == nil {
+				via[next] = via[cur]
+				queue = append(queue, next)
+			}
+		}
+	}
+
+	// Scan every reachable body for forbidden calls. Deterministic order:
+	// walk declarations in file order, not map order.
+	for _, d := range funcs {
+		root := via[d.obj]
+		if root == nil {
+			continue
+		}
+		ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name := calleePkgFunc(pass.TypesInfo, call)
+			if pkg == "" {
+				return true
+			}
+			names, banned := impureCalls[pkg]
+			if !banned || (names != nil && !names[name]) {
+				return true
+			}
+			where := d.obj.Name()
+			if root != d.obj {
+				where = d.obj.Name() + " (reachable from //lint:pure " + root.Name() + ")"
+			}
+			pass.Reportf(call.Pos(), "call to %s.%s in pure function %s: pure stages must not touch ambient process state", pkg, name, where)
+			return true
+		})
+	}
+	return nil
+}
+
+// hasDocMarker reports whether a function's doc comment contains marker as
+// its own directive line.
+func hasDocMarker(fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}

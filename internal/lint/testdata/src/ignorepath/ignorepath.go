@@ -1,0 +1,31 @@
+// Fixture for //lint:ignore handling: same-line, line-above, and
+// whole-function (doc comment) suppression, against the neverblock rule.
+//
+//lint:neverblock
+package ignorepath
+
+func suppressedSameLine(ch chan int, v int) {
+	ch <- v //lint:ignore neverblock fixture: startup-only send before sinks attach
+}
+
+func suppressedLineAbove(ch chan int, v int) {
+	//lint:ignore neverblock fixture: documented blocking send
+	ch <- v
+}
+
+// suppressedWholeFunc shows a doc-comment directive covering the body.
+//
+//lint:ignore neverblock fixture: whole function exempt
+func suppressedWholeFunc(ch chan int, v int) {
+	ch <- v
+	ch <- v
+}
+
+func notSuppressed(ch chan int, v int) {
+	ch <- v // want "bare channel send in a never-block package"
+}
+
+func wrongAnalyzerListed(ch chan int, v int) {
+	//lint:ignore maporder fixture: suppresses a different analyzer
+	ch <- v // want "bare channel send in a never-block package"
+}

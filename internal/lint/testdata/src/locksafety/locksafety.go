@@ -1,0 +1,121 @@
+// Fixture for the locksafety analyzer: no blocking operations while an
+// exclusive sync lock is held, and no mutex copies.
+package locksafety
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func (g *guarded) sendUnderLock() {
+	g.mu.Lock()
+	g.ch <- 1 // want "channel send while holding g.mu"
+	g.mu.Unlock()
+}
+
+func (g *guarded) recvUnderLock() {
+	g.mu.Lock()
+	<-g.ch // want "channel receive while holding g.mu"
+	g.mu.Unlock()
+}
+
+func (g *guarded) sleepUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding g.mu"
+}
+
+func (g *guarded) fileUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, _ = os.ReadFile("x") // want "file I.O os.ReadFile while holding g.mu"
+}
+
+func (g *guarded) unlockThenWait() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	<-g.ch
+}
+
+func (g *guarded) interiorWait() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	<-g.ch
+	g.mu.Lock()
+	g.n--
+	g.mu.Unlock()
+}
+
+func (g *guarded) selectDefaultOK() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case g.ch <- 1:
+	default:
+	}
+}
+
+func (g *guarded) selectNoDefault() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want "select without default while holding g.mu"
+	case g.ch <- 1:
+	case <-g.ch:
+	}
+}
+
+func (g *guarded) goroutineNotUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() { g.ch <- 1 }()
+}
+
+type webhookSink struct{}
+
+func (webhookSink) Send(v int) {}
+
+func (g *guarded) deliverUnderLock(s webhookSink) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s.Send(1) // want "sink delivery webhookSink.Send while holding g.mu"
+}
+
+type rguarded struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func (r *rguarded) readerWaitOK() {
+	r.mu.RLock()
+	<-r.ch
+	r.mu.RUnlock()
+}
+
+func (r *rguarded) writerWait() {
+	r.mu.Lock()
+	<-r.ch // want "channel receive while holding r.mu"
+	r.mu.Unlock()
+}
+
+func copyParam(mu sync.Mutex) { // want "parameter passes sync.Mutex by value"
+	_ = mu
+}
+
+func pointerParamOK(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+func copyAssign(g *guarded) {
+	mu2 := g.mu // want "assignment copies sync.Mutex by value"
+	_ = mu2
+}

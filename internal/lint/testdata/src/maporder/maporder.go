@@ -1,0 +1,90 @@
+// Fixture for the maporder analyzer: the package is marked deterministic,
+// so map-range iteration order must not reach an output.
+//
+//lint:deterministic
+package maporder
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func leakAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to .out. inside map-range loop leaks map iteration order"
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mergeIntoSorted(m map[string]int) []string {
+	var local []string
+	for k := range m {
+		local = append(local, k)
+	}
+	var out []string
+	out = append(out, local...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func leakEncode(m map[string]int, w io.Writer) {
+	enc := json.NewEncoder(w)
+	for k := range m {
+		enc.Encode(k) // want "call to Encode inside map-range loop leaks map iteration order"
+	}
+}
+
+func leakPrint(m map[string]int, w io.Writer) {
+	for k := range m {
+		fmt.Fprintf(w, "%s\n", k) // want "fmt.Fprintf inside map-range loop leaks map iteration order"
+	}
+}
+
+func leakBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "call to WriteString inside map-range loop leaks map iteration order"
+	}
+	return b.String()
+}
+
+func leakSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside map-range loop leaks map iteration order"
+	}
+}
+
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func fold(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func sliceRangeIsFine(xs []string, w io.Writer) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}

@@ -1,0 +1,28 @@
+// Fixture for the neverblock analyzer: in a marked package every channel
+// send must be a select case with a default.
+//
+//lint:neverblock
+package neverblock
+
+func publish(ch chan int, v int) bool {
+	select {
+	case ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+func bare(ch chan int, v int) {
+	ch <- v // want "bare channel send in a never-block package"
+}
+
+func selectWithoutDefault(ch chan int, v int) {
+	select {
+	case ch <- v: // want "bare channel send in a never-block package"
+	}
+}
+
+func receiveIsFine(ch chan int) int {
+	return <-ch
+}

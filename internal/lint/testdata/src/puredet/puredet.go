@@ -1,0 +1,61 @@
+// Fixture for the puredet analyzer: //lint:pure roots and their
+// same-package call graph must not touch ambient process state.
+package puredet
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Detect is a pure stage root.
+//
+//lint:pure
+func Detect(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += helper(x)
+	}
+	return s
+}
+
+func helper(x int) int {
+	if x > 10 {
+		return clock(x)
+	}
+	return x
+}
+
+func clock(x int) int {
+	return x + int(time.Now().Unix()) // want "call to time.Now in pure function clock"
+}
+
+// Score is another pure root with a direct violation.
+//
+//lint:pure
+func Score(x int) int {
+	return x + rand.Int() // want "call to math/rand.Int in pure function Score"
+}
+
+// Env reads the environment from a pure root.
+//
+//lint:pure
+func Env() string {
+	return os.Getenv("HOME") // want "call to os.Getenv in pure function Env"
+}
+
+// Assemble is a clean pure root: sorting and arithmetic only.
+//
+//lint:pure
+func Assemble(xs []int) []int {
+	out := make([]int, len(xs))
+	copy(out, xs)
+	sort.Ints(out)
+	return out
+}
+
+// Impure is not a root and not reachable from one; ambient state is fine.
+func Impure() string {
+	return os.Getenv("HOME")
+}

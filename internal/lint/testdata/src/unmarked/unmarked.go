@@ -1,0 +1,16 @@
+// Fixture proving the marker-gated analyzers stay silent in packages
+// without //lint:deterministic or //lint:neverblock: order leaks and bare
+// sends here are deliberate and produce no diagnostics.
+package unmarked
+
+func leakAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func bareSend(ch chan int, v int) {
+	ch <- v
+}

@@ -237,12 +237,16 @@ func (p *Enterprise) Process(day time.Time, recs []logs.ProxyRecord, leases map[
 // stageSnapshot builds the day's reduced view: per-domain activity
 // aggregation and rare-destination selection against the history,
 // partitioned over the worker pool with a deterministic ordered merge.
+//
+//lint:pure
 func (p *Enterprise) stageSnapshot(day time.Time, visits []logs.Visit) *profile.Snapshot {
 	return profile.NewSnapshotParallel(day, visits, p.hist, p.cfg.UnpopularThreshold, p.cfg.Workers)
 }
 
 // stageDetect runs the periodicity test over every rare domain and fills
 // the C&C features of the automated ones, both fanned over the given pool.
+//
+//lint:pure
 func (p *Enterprise) stageDetect(snap *profile.Snapshot, workers int) []*ccdetect.AutomatedDomain {
 	ads := p.detector.FindAutomatedParallel(snap, workers)
 	p.detector.FillFeaturesParallel(ads, snap.Day, workers)
@@ -251,6 +255,8 @@ func (p *Enterprise) stageDetect(snap *profile.Snapshot, workers int) []*ccdetec
 
 // stageScore labels the automated domains scoring at or above Tc as
 // potential C&C, ordered by descending score. It requires a trained model.
+//
+//lint:pure
 func (p *Enterprise) stageScore(automated []*ccdetect.AutomatedDomain) []*ccdetect.AutomatedDomain {
 	var cc []*ccdetect.AutomatedDomain
 	for _, ad := range automated {
@@ -266,6 +272,8 @@ func (p *Enterprise) stageScore(automated []*ccdetect.AutomatedDomain) []*ccdete
 // (seeded by the detected C&C domains) and SOC-hints (seeded by the IOC
 // domains present in today's rare traffic). Either result is nil when its
 // seed set is empty.
+//
+//lint:pure
 func (p *Enterprise) stagePropagate(snap *profile.Snapshot, cc []*ccdetect.AutomatedDomain, workers int) (noHint, socHints *core.Result) {
 	bpCfg := core.Config{
 		ScoreThreshold: p.simThreshold,
@@ -297,6 +305,8 @@ func (p *Enterprise) stagePropagate(snap *profile.Snapshot, cc []*ccdetect.Autom
 }
 
 // stageAssemble builds the day report skeleton from the snapshot.
+//
+//lint:pure
 func stageAssemble(day time.Time, stats normalize.ProxyStats, snap *profile.Snapshot) EnterpriseDayReport {
 	return EnterpriseDayReport{
 		Day: day, Stats: stats,
@@ -376,6 +386,8 @@ func (p *Enterprise) ProcessSnapshotHooked(day time.Time, snap *profile.Snapshot
 // calls and concurrent pure stages of an in-flight close are safe because
 // every stage only reads pipeline state. workers bounds the stage fan-out
 // independently of the pipeline's own Workers setting; 0 uses GOMAXPROCS.
+//
+//lint:pure
 func (p *Enterprise) PreviewSnapshot(day time.Time, snap *profile.Snapshot, stats normalize.ProxyStats, workers int) EnterpriseDayReport {
 	rep := stageAssemble(day, stats, snap)
 	rep.Automated = p.stageDetect(snap, workers)

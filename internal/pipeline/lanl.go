@@ -4,6 +4,11 @@
 // pipeline owns the behavioural history, performs the daily
 // normalize → profile → detect → update cycle, and exposes per-day reports
 // that the experiment drivers turn into the paper's tables and figures.
+//
+// Reports must not depend on execution schedule, worker count, or map
+// iteration order; reprolint's maporder analyzer enforces the marker below.
+//
+//lint:deterministic
 package pipeline
 
 import (

@@ -66,6 +66,7 @@ func encodeHostActivity(ha *HostActivity) codecHost {
 	for ua := range ha.UAs {
 		ch.UAs = append(ch.UAs, ua)
 	}
+	sort.Strings(ch.UAs)
 	return ch
 }
 
@@ -92,8 +93,8 @@ func decodeHostActivity(ch codecHost) (*HostActivity, error) {
 // self-delimiting section: a header, one record per domain (its aggregate
 // keyed by arrival seq, exactly the order-sensitive state the merge at
 // day-close needs), and one record per (host, UA) pair. Like
-// History.SaveTo, the byte output is deterministic only up to map
-// iteration order.
+// History.SaveTo, records are emitted in sorted key order, so the byte
+// output is deterministic for a given logical builder state.
 func (b *IncrementalBuilder) SaveTo(enc *json.Encoder) error {
 	if err := enc.Encode(builderHeader{
 		Version: builderCodecVersion,
@@ -103,25 +104,54 @@ func (b *IncrementalBuilder) SaveTo(enc *json.Encoder) error {
 	}); err != nil {
 		return fmt.Errorf("profile: save builder header: %w", err)
 	}
-	for d, a := range b.perDomain {
+	domains := make([]string, 0, len(b.perDomain))
+	for d := range b.perDomain {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+	for _, d := range domains {
+		a := b.perDomain[d]
 		rec := builderDomainRec{Domain: d, IPSeq: a.ipSeq, Paths: a.paths}
 		if a.ip.IsValid() {
 			rec.IP = a.ip.String()
 		}
-		rec.Hosts = make([]codecHost, 0, len(a.hosts))
-		for _, ha := range a.hosts {
-			rec.Hosts = append(rec.Hosts, encodeHostActivity(ha))
-		}
+		rec.Hosts = encodeHostMap(a.hosts)
 		if err := enc.Encode(rec); err != nil {
 			return fmt.Errorf("profile: save builder domain: %w", err)
 		}
 	}
-	for pair := range b.uaPairs {
+	for _, pair := range sortedUAPairs(b.uaPairs) {
 		if err := enc.Encode(uaPairRec{Host: pair[0], UA: pair[1]}); err != nil {
 			return fmt.Errorf("profile: save builder ua pair: %w", err)
 		}
 	}
 	return nil
+}
+
+// encodeHostMap renders a host-activity map as codec records in host order,
+// so the encoded bytes do not depend on map iteration.
+func encodeHostMap(hosts map[string]*HostActivity) []codecHost {
+	out := make([]codecHost, 0, len(hosts))
+	for _, ha := range hosts {
+		out = append(out, encodeHostActivity(ha))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}
+
+// sortedUAPairs returns the (host, UA) pair set in lexicographic order.
+func sortedUAPairs(set map[[2]string]bool) [][2]string {
+	pairs := make([][2]string, 0, len(set))
+	for pair := range set {
+		pairs = append(pairs, pair)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	return pairs
 }
 
 // LoadBuilderFrom reads a builder section previously written by SaveTo,
@@ -308,6 +338,8 @@ func (b *IncrementalBuilder) HasDomain(d string) bool {
 }
 
 // DomainNames returns the builder's distinct domains in unspecified order.
+//
+//lint:ignore maporder the contract is explicitly an unordered set; callers that emit must sort
 func (b *IncrementalBuilder) DomainNames() []string {
 	out := make([]string, 0, len(b.perDomain))
 	for d := range b.perDomain {
@@ -344,7 +376,9 @@ type snapshotRareRec struct {
 // flight: the merge already consumed the per-shard partials, so the merged
 // snapshot itself is the day's persistent form. SaveTo only reads the
 // snapshot, so it is safe to run concurrently with the close's pure
-// analytics stages over the same snapshot.
+// analytics stages over the same snapshot. Records are emitted in sorted
+// key order, so the byte output is deterministic for a given logical
+// snapshot regardless of how many shards or merge workers built it.
 func (s *Snapshot) SaveTo(enc *json.Encoder) error {
 	if err := enc.Encode(snapshotHeader{
 		Version:    snapshotCodecVersion,
@@ -357,17 +391,27 @@ func (s *Snapshot) SaveTo(enc *json.Encoder) error {
 	}); err != nil {
 		return fmt.Errorf("profile: save snapshot header: %w", err)
 	}
-	for _, d := range s.domains {
+	// s.domains arrives in merge-completion order, which varies with the
+	// worker count; encode a sorted copy.
+	domains := append([]string(nil), s.domains...)
+	sort.Strings(domains)
+	for _, d := range domains {
 		if err := enc.Encode(snapshotDomainRec{Domain: d}); err != nil {
 			return fmt.Errorf("profile: save snapshot domain: %w", err)
 		}
 	}
-	for pair := range s.uaPairs {
+	for _, pair := range sortedUAPairs(s.uaPairs) {
 		if err := enc.Encode(uaPairRec{Host: pair[0], UA: pair[1]}); err != nil {
 			return fmt.Errorf("profile: save snapshot ua pair: %w", err)
 		}
 	}
-	for d, da := range s.Rare {
+	rare := make([]string, 0, len(s.Rare))
+	for d := range s.Rare {
+		rare = append(rare, d)
+	}
+	sort.Strings(rare)
+	for _, d := range rare {
+		da := s.Rare[d]
 		rec := snapshotRareRec{Domain: d}
 		if da.IP.IsValid() {
 			rec.IP = da.IP.String()
@@ -376,10 +420,7 @@ func (s *Snapshot) SaveTo(enc *json.Encoder) error {
 			rec.Paths = append(rec.Paths, p)
 		}
 		sort.Strings(rec.Paths)
-		rec.Hosts = make([]codecHost, 0, len(da.Hosts))
-		for _, ha := range da.Hosts {
-			rec.Hosts = append(rec.Hosts, encodeHostActivity(ha))
-		}
+		rec.Hosts = encodeHostMap(da.Hosts)
 		if err := enc.Encode(rec); err != nil {
 			return fmt.Errorf("profile: save snapshot rare %q: %w", d, err)
 		}

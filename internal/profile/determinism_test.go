@@ -1,0 +1,148 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// These tests back the byte-determinism half of the invariant catalog
+// (DESIGN.md §5): every persisted form in this package — history, builder,
+// snapshot — must serialize to identical bytes for identical logical state,
+// independent of map iteration order, insertion order, or merge worker
+// count. The static half is reprolint's maporder analyzer; these tests are
+// the runtime witness (Go randomizes map iteration per range, so a single
+// unsorted emission fails them with high probability).
+
+func encodeBuilder(t *testing.T, b *IncrementalBuilder) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := b.SaveTo(json.NewEncoder(&buf)); err != nil {
+		t.Fatalf("builder SaveTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func encodeSnapshot(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.SaveTo(json.NewEncoder(&buf)); err != nil {
+		t.Fatalf("snapshot SaveTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestBuilderSaveBytesDeterministic(t *testing.T) {
+	visits := codecVisits(400)
+	whole := buildFromVisits(visits)
+
+	// The same sharded day reassembled in opposite merge orders: identical
+	// logical state (builder merge is domain-keyed and seq-commutative),
+	// different map insertion history.
+	shard := func(n int) []*IncrementalBuilder {
+		parts := make([]*IncrementalBuilder, n)
+		for i := range parts {
+			parts[i] = NewIncrementalBuilder()
+		}
+		for i := range visits {
+			v := &visits[i]
+			parts[PairPartition(v.Host, v.Domain, n)].Add(uint64(i+1), v)
+		}
+		return parts
+	}
+	fwd := NewIncrementalBuilder()
+	for _, p := range shard(4) {
+		fwd.MergeFrom(p)
+	}
+	rev := NewIncrementalBuilder()
+	parts := shard(4)
+	for i := len(parts) - 1; i >= 0; i-- {
+		rev.MergeFrom(parts[i])
+	}
+
+	first := encodeBuilder(t, whole)
+	for run := 0; run < 3; run++ {
+		if got := encodeBuilder(t, whole); !bytes.Equal(got, first) {
+			t.Fatalf("run %d: re-encoding the same builder changed the bytes", run)
+		}
+	}
+	if got := encodeBuilder(t, fwd); !bytes.Equal(got, first) {
+		t.Fatalf("sharding leaked into builder checkpoint bytes")
+	}
+	if got := encodeBuilder(t, rev); !bytes.Equal(got, first) {
+		t.Fatalf("merge order leaked into builder checkpoint bytes")
+	}
+}
+
+func TestSnapshotSaveBytesDeterministic(t *testing.T) {
+	visits := codecVisits(400)
+	day := time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC)
+
+	// The same day merged by one worker and by four must checkpoint
+	// byte-identically (shard/worker independence of persisted state).
+	one := MergeSnapshotParallel(day, []*IncrementalBuilder{buildFromVisits(visits)}, NewHistory(), 10, 1)
+	parts := make([]*IncrementalBuilder, 4)
+	for i := range parts {
+		parts[i] = NewIncrementalBuilder()
+	}
+	for i := range visits {
+		v := &visits[i]
+		parts[PairPartition(v.Host, v.Domain, len(parts))].Add(uint64(i+1), v)
+	}
+	four := MergeSnapshotParallel(day, parts, NewHistory(), 10, 4)
+
+	first := encodeSnapshot(t, one)
+	for run := 0; run < 3; run++ {
+		if got := encodeSnapshot(t, one); !bytes.Equal(got, first) {
+			t.Fatalf("run %d: re-encoding the same snapshot changed the bytes", run)
+		}
+	}
+	if got := encodeSnapshot(t, four); !bytes.Equal(got, first) {
+		t.Fatalf("merge worker count leaked into snapshot checkpoint bytes")
+	}
+}
+
+func TestHistorySaveBytesDeterministic(t *testing.T) {
+	day := time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC)
+	domains := []string{"d3.test", "d1.test", "d2.test", "d0.test"}
+	uas := [][2]string{{"h1", "agent/1"}, {"h0", "agent/1"}, {"h2", "agent/2"}, {"h1", "agent/2"}}
+
+	build := func(reverse bool) *History {
+		h := NewHistory()
+		ds := append([]string(nil), domains...)
+		us := append([][2]string(nil), uas...)
+		if reverse {
+			for i, j := 0, len(ds)-1; i < j; i, j = i+1, j-1 {
+				ds[i], ds[j] = ds[j], ds[i]
+			}
+			for i, j := 0, len(us)-1; i < j; i, j = i+1, j-1 {
+				us[i], us[j] = us[j], us[i]
+			}
+		}
+		h.UpdateDomains(day, ds)
+		for _, u := range us {
+			h.UpdateUA(u[0], u[1])
+		}
+		return h
+	}
+
+	encode := func(h *History) []byte {
+		var buf bytes.Buffer
+		if err := h.Save(&buf); err != nil {
+			t.Fatalf("history Save: %v", err)
+		}
+		return buf.Bytes()
+	}
+
+	a, b := build(false), build(true)
+	first := encode(a)
+	for run := 0; run < 3; run++ {
+		if got := encode(a); !bytes.Equal(got, first) {
+			t.Fatalf("run %d: re-encoding the same history changed the bytes", run)
+		}
+	}
+	if got := encode(b); !bytes.Equal(got, first) {
+		t.Fatalf("insertion order leaked into history bytes")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 )
 
@@ -34,9 +35,10 @@ type persistUA struct {
 
 const persistVersion = 1
 
-// Save streams the history to w. The output is deterministic given the
-// same history contents only up to map iteration order of hosts within a
-// UA record; consumers must not diff the raw bytes.
+// Save streams the history to w. The output is byte-deterministic given the
+// same history contents: records are emitted in sorted key order, so two
+// histories with equal state serialize identically (checkpoint bytes are
+// diffable and content-addressable).
 func (h *History) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if err := h.SaveTo(json.NewEncoder(bw)); err != nil {
@@ -59,16 +61,28 @@ func (h *History) SaveTo(enc *json.Encoder) error {
 	}); err != nil {
 		return fmt.Errorf("profile: save header: %w", err)
 	}
-	for d, t := range h.domains {
-		if err := enc.Encode(persistDomain{D: d, T: t}); err != nil {
+	domains := make([]string, 0, len(h.domains))
+	for d := range h.domains {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+	for _, d := range domains {
+		if err := enc.Encode(persistDomain{D: d, T: h.domains[d]}); err != nil {
 			return fmt.Errorf("profile: save domain: %w", err)
 		}
 	}
-	for ua, hosts := range h.uaHosts {
+	uas := make([]string, 0, len(h.uaHosts))
+	for ua := range h.uaHosts {
+		uas = append(uas, ua)
+	}
+	sort.Strings(uas)
+	for _, ua := range uas {
+		hosts := h.uaHosts[ua]
 		rec := persistUA{UA: ua, Hosts: make([]string, 0, len(hosts))}
 		for host := range hosts {
 			rec.Hosts = append(rec.Hosts, host)
 		}
+		sort.Strings(rec.Hosts)
 		if err := enc.Encode(rec); err != nil {
 			return fmt.Errorf("profile: save ua: %w", err)
 		}

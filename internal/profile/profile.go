@@ -4,6 +4,12 @@
 // and updated incrementally each operation day. From these it derives the
 // paper's central data reduction — the daily set of rare destinations
 // (new + unpopular) — and the RareUA signal used by the C&C detector.
+//
+// Snapshots, codecs, and persisted history are byte-deterministic for a
+// given logical state; reprolint's maporder analyzer enforces the marker
+// below.
+//
+//lint:deterministic
 package profile
 
 import (

@@ -293,6 +293,7 @@ func (p *snapPart) classify(hist *History, unpopularThreshold int) {
 	p.domains = make([]string, 0, len(p.b.perDomain))
 	p.rare = make(map[string]*DomainActivity)
 	for d, a := range p.b.perDomain {
+		//lint:ignore maporder p.domains has set semantics; consumers fold it into maps or sort before emitting (Snapshot.SaveTo)
 		p.domains = append(p.domains, d)
 		isNew, da := classifyAgg(d, a, hist, unpopularThreshold)
 		if isNew {
@@ -397,6 +398,7 @@ func NewSnapshotParallel(day time.Time, visits []logs.Visit, hist *History, unpo
 func (s *Snapshot) buildHostRare() {
 	for d, da := range s.Rare {
 		for h := range da.Hosts {
+			//lint:ignore maporder every HostRare bucket is sorted immediately below
 			s.HostRare[h] = append(s.HostRare[h], d)
 		}
 	}
@@ -452,6 +454,7 @@ func MergeSnapshotParallel(day time.Time, parts []*IncrementalBuilder, hist *His
 			if workers > 1 {
 				w = int(domainPartition(d) % uint32(workers))
 			}
+			//lint:ignore maporder bucket interleaving across domains is immaterial; per-domain aggregates stay in part index order and merge per domain
 			buckets[w] = append(buckets[w], partAgg{domain: d, agg: a})
 		}
 	}
@@ -490,6 +493,7 @@ func MergeSnapshotParallel(day time.Time, parts []*IncrementalBuilder, hist *His
 			rare:    make(map[string]*DomainActivity),
 		}
 		for d, a := range merged {
+			//lint:ignore maporder res.domains has set semantics; consumers fold it into maps or sort before emitting (Snapshot.SaveTo)
 			res.domains = append(res.domains, d)
 			isNew, da := classifyAgg(d, a, hist, unpopularThreshold)
 			if isNew {

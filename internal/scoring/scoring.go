@@ -4,6 +4,11 @@
 // scorer used for the LANL challenge (§V-B), where training data is too
 // scarce for a regression and only connectivity, timing correlation, and IP
 // proximity are available.
+//
+// Scores feed the ordered SOC report, so they must not depend on map
+// iteration order; reprolint's maporder analyzer enforces the marker below.
+//
+//lint:deterministic
 package scoring
 
 import (

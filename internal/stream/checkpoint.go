@@ -357,6 +357,10 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 				}
 			}
 		}
+		// Sort so identical engine state writes identical checkpoint bytes
+		// (the per-shard sets shard-partition the domains, so there are no
+		// cross-set duplicates to worry about).
+		sort.Strings(markers)
 		if err := enc.Encode(checkpointOpenDay{
 			MarkerDomains: len(markers), Unresolved: unresolved, LivePairs: len(livePairs),
 		}); err != nil {

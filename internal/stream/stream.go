@@ -51,6 +51,13 @@
 // In between rollovers the per-pair Online analyzers give an early-warning
 // signal: LiveAutomated lists the beaconing-looking (host, domain) pairs of
 // the open day before the day's verdict is final.
+//
+// Reports and checkpoints are byte-deterministic for a given logical state;
+// reprolint's maporder analyzer enforces the marker below, and its
+// locksafety analyzer holds the bounded-stall rule (nothing blocking under
+// the engine locks).
+//
+//lint:deterministic
 package stream
 
 import (
