@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/netip"
 	"os"
 	"runtime"
 	"sort"
@@ -21,7 +23,7 @@ import (
 	"repro/internal/whois"
 )
 
-// perfSnapshot is the BENCH_PR4.json schema: one comparable point on the
+// perfSnapshot is the BENCH_PR*.json schema: one comparable point on the
 // perf trajectory per CI run. Rates are records (or visits) per second;
 // durations are milliseconds, medians of perfRounds runs.
 type perfSnapshot struct {
@@ -52,10 +54,32 @@ type perfSnapshot struct {
 	IngestToReportSerialRps float64 `json:"ingestToReportSerialRecS"`
 	IngestToReportPipelined float64 `json:"ingestToReportPipelinedRecS"`
 
+	// The same pipelined cycle fed the way the daemon is fed: each day
+	// encoded to proxy TSV and decoded back before the batched ingest —
+	// through the zero-copy batch reader vs the retained naive parser. The
+	// delta is the decode win in its end-to-end context.
+	IngestToReportPipelinedTSV      float64 `json:"ingestToReportPipelinedTSVRecS"`
+	IngestToReportPipelinedTSVNaive float64 `json:"ingestToReportPipelinedTSVNaiveRecS"`
+
 	// The rollover ingest-stall (exclusive-lock hold during the buffer
 	// swap) vs the background pipeline duration it used to contain.
 	RolloverPauseMicros int64 `json:"rolloverPauseMicros"`
 	DayCloseMillis      int64 `json:"dayCloseMillis"`
+
+	// The decode path in isolation over one encoded day fragment with
+	// realistic value cardinality: the zero-copy batch reader (warm
+	// decoder, pooled buffer) vs the retained Split/time.Parse reference,
+	// plus the append encoder that replaced fmt.Fprintf. Allocs/record is
+	// the steady-state amortized number for the fast path.
+	DecodeRecords          int     `json:"decodeRecords"`
+	DecodeBytes            int     `json:"decodeBytes"`
+	DecodeNaiveRecS        float64 `json:"decodeNaiveRecS"`
+	DecodeNaiveMBPerS      float64 `json:"decodeNaiveMBPerS"`
+	DecodeFastRecS         float64 `json:"decodeFastRecS"`
+	DecodeFastMBPerS       float64 `json:"decodeFastMBPerS"`
+	DecodeSpeedup          float64 `json:"decodeSpeedup"`
+	DecodeFastAllocsPerRec float64 `json:"decodeFastAllocsPerRecord"`
+	EncodeAppendMBPerS     float64 `json:"encodeAppendMBPerS"`
 
 	// Checkpoint format comparison over one high-volume open day: legacy v1
 	// (raw-record replay, size proportional to traffic volume) vs v2
@@ -86,6 +110,9 @@ func runPerf(path string, seed int64) error {
 		return err
 	}
 	if err := perfIngestToReport(&snap); err != nil {
+		return err
+	}
+	if err := perfDecode(&snap); err != nil {
 		return err
 	}
 	if err := perfCheckpoint(&snap); err != nil {
@@ -185,28 +212,51 @@ func perfDayClose(snap *perfSnapshot, seed int64) error {
 // swap-and-continue overlap (BeginDay rollovers, one final Flush). The
 // total work is identical; the difference is the overlap the non-blocking
 // rollover buys.
-func perfIngestToReport(snap *perfSnapshot) error {
-	const days, perDay, batchSize = 4, 20000, 512
-	snap.IngestDays = days
-	snap.IngestRecordsPerDay = perDay
-	base := time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC)
-	recs := make([]logs.ProxyRecord, perDay)
+// perfRecords builds n records over a bounded (host, domain) working set —
+// the same shape the stream benchmarks use, with valid addresses so the
+// records survive a TSV encode/decode round trip.
+func perfRecords(n int, base time.Time, step time.Duration) []logs.ProxyRecord {
+	recs := make([]logs.ProxyRecord, n)
 	for i := range recs {
 		recs[i] = logs.ProxyRecord{
+			Time:      base.Add(time.Duration(i) * step),
 			Host:      fmt.Sprintf("host-%03d", i%64),
+			SrcIP:     netip.AddrFrom4([4]byte{10, 1, byte(i % 64), 7}),
 			Domain:    fmt.Sprintf("dom-%03d.example.net", i%61),
+			DestIP:    netip.AddrFrom4([4]byte{198, 51, 100, byte(i % 61)}),
 			URL:       "http://example.net/index.html",
 			Method:    "GET",
 			Status:    200,
 			UserAgent: "bench-agent/1.0",
 		}
 	}
+	return recs
+}
+
+// Decode modes for the pipelined ingest cycle.
+const (
+	decodeNone  = iota // ingest the in-memory records directly
+	decodeFast         // encode to TSV, decode via the zero-copy batch reader
+	decodeNaive        // encode to TSV, decode via the retained naive parser
+)
+
+func perfIngestToReport(snap *perfSnapshot) error {
+	const days, perDay, batchSize = 4, 20000, 512
+	snap.IngestDays = days
+	snap.IngestRecordsPerDay = perDay
+	base := time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC)
+	recs := perfRecords(perDay, base, 0)
 
 	newEngine := func() *stream.Engine {
 		pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{}, whois.NewRegistry(), nil, nil)
 		return stream.New(stream.Config{Shards: 4, QueueDepth: 8192, TrainingDays: 1 << 30}, pipe)
 	}
-	runCycle := func(pipelined bool) (float64, error) {
+	dec := logs.GetProxyDecoder()
+	defer logs.PutProxyDecoder(dec)
+	buf := logs.GetProxyBuf(perDay)
+	defer func() { logs.PutProxyBuf(buf) }()
+	var tsv []byte
+	runCycle := func(pipelined bool, decode int) (float64, error) {
 		var best float64
 		for r := 0; r < perfRounds; r++ {
 			e := newEngine()
@@ -219,12 +269,29 @@ func perfIngestToReport(snap *perfSnapshot) error {
 				for i := range recs {
 					recs[i].Time = dayT.Add(time.Duration(i) * 4 * time.Millisecond)
 				}
-				for i := 0; i < perDay; i += batchSize {
-					end := i + batchSize
-					if end > perDay {
-						end = perDay
+				day := recs
+				if decode != decodeNone {
+					tsv = tsv[:0]
+					for _, rec := range recs {
+						tsv = logs.AppendProxy(tsv, rec)
 					}
-					if err := e.IngestBatch(recs[i:end]); err != nil {
+					var err error
+					if decode == decodeFast {
+						buf, err = logs.ReadProxyBatch(bytes.NewReader(tsv), dec, buf[:0])
+					} else {
+						buf, err = decodeProxyNaive(tsv, buf[:0])
+					}
+					if err != nil {
+						return 0, err
+					}
+					day = buf
+				}
+				for i := 0; i < len(day); i += batchSize {
+					end := i + batchSize
+					if end > len(day) {
+						end = len(day)
+					}
+					if err := e.IngestBatch(day[i:end]); err != nil {
 						return 0, err
 					}
 				}
@@ -241,7 +308,7 @@ func perfIngestToReport(snap *perfSnapshot) error {
 			if rps > best {
 				best = rps
 			}
-			if pipelined {
+			if pipelined && decode == decodeNone {
 				st := e.Stats()
 				snap.RolloverPauseMicros = st.LastRolloverPauseMicros
 				snap.DayCloseMillis = st.LastDayCloseMillis
@@ -254,11 +321,126 @@ func perfIngestToReport(snap *perfSnapshot) error {
 	}
 
 	var err error
-	if snap.IngestToReportSerialRps, err = runCycle(false); err != nil {
+	if snap.IngestToReportSerialRps, err = runCycle(false, decodeNone); err != nil {
 		return err
 	}
-	if snap.IngestToReportPipelined, err = runCycle(true); err != nil {
+	if snap.IngestToReportPipelined, err = runCycle(true, decodeNone); err != nil {
 		return err
+	}
+	if snap.IngestToReportPipelinedTSV, err = runCycle(true, decodeFast); err != nil {
+		return err
+	}
+	if snap.IngestToReportPipelinedTSVNaive, err = runCycle(true, decodeNaive); err != nil {
+		return err
+	}
+	return nil
+}
+
+// decodeProxyNaive is the pre-PR decode loop: bufio.Scanner framing plus
+// the retained naive reference parser.
+func decodeProxyNaive(tsv []byte, recs []logs.ProxyRecord) ([]logs.ProxyRecord, error) {
+	sc := bufio.NewScanner(bytes.NewReader(tsv))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		rec, err := logs.ParseProxyNaive(sc.Text())
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, sc.Err()
+}
+
+// perfDecode prices the decode path in isolation: the zero-copy batch
+// reader with a warm decoder vs the naive reference over one encoded day
+// fragment, plus the append encoder's throughput and the fast path's
+// steady-state allocation rate.
+func perfDecode(snap *perfSnapshot) error {
+	const n = 8192
+	base := time.Date(2014, 2, 13, 9, 0, 0, 0, time.UTC)
+	recs := perfRecords(n, base, 1500*time.Millisecond)
+	var data []byte
+	for _, r := range recs {
+		data = logs.AppendProxy(data, r)
+	}
+	snap.DecodeRecords = n
+	snap.DecodeBytes = len(data)
+	mb := float64(len(data)) / (1 << 20)
+
+	// Append-encoder throughput.
+	{
+		var best float64
+		dst := make([]byte, 0, len(data))
+		for r := 0; r < perfRounds; r++ {
+			start := time.Now()
+			dst = dst[:0]
+			for i := range recs {
+				dst = logs.AppendProxy(dst, recs[i])
+			}
+			if rate := mb / time.Since(start).Seconds(); rate > best {
+				best = rate
+			}
+		}
+		snap.EncodeAppendMBPerS = best
+	}
+
+	// Naive reference decode.
+	{
+		var best time.Duration
+		buf := make([]logs.ProxyRecord, 0, n)
+		for r := 0; r < perfRounds; r++ {
+			start := time.Now()
+			var err error
+			if buf, err = decodeProxyNaive(data, buf[:0]); err != nil {
+				return err
+			}
+			if len(buf) != n {
+				return fmt.Errorf("naive decode: %d records, want %d", len(buf), n)
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		snap.DecodeNaiveRecS = float64(n) / best.Seconds()
+		snap.DecodeNaiveMBPerS = mb / best.Seconds()
+	}
+
+	// Zero-copy decode: warm decoder, pooled buffer, plus the amortized
+	// allocation rate in the steady state (measured over whole rounds so
+	// one-off growth — a new intern entry, a grown framing buffer — is
+	// amortized the way it is in production).
+	{
+		dec := logs.GetProxyDecoder()
+		defer logs.PutProxyDecoder(dec)
+		buf := logs.GetProxyBuf(n)
+		defer func() { logs.PutProxyBuf(buf) }()
+		var err error
+		if buf, err = logs.ReadProxyBatch(bytes.NewReader(data), dec, buf[:0]); err != nil {
+			return err // warm-up round: populate intern and address caches
+		}
+		var best time.Duration
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		const rounds = 8
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			if buf, err = logs.ReadProxyBatch(bytes.NewReader(data), dec, buf[:0]); err != nil {
+				return err
+			}
+			if len(buf) != n {
+				return fmt.Errorf("fast decode: %d records, want %d", len(buf), n)
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		runtime.ReadMemStats(&ms1)
+		snap.DecodeFastRecS = float64(n) / best.Seconds()
+		snap.DecodeFastMBPerS = mb / best.Seconds()
+		snap.DecodeFastAllocsPerRec = float64(ms1.Mallocs-ms0.Mallocs) / (rounds * n)
+	}
+	if snap.DecodeNaiveRecS > 0 {
+		snap.DecodeSpeedup = snap.DecodeFastRecS / snap.DecodeNaiveRecS
 	}
 	return nil
 }

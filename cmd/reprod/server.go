@@ -224,14 +224,24 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// Cap the body before consuming any of it: an oversized POST must die
 	// with 413, not buffer the daemon toward OOM.
 	body := http.MaxBytesReader(w, r.Body, s.maxIngest)
+	// Size the record buffer from Content-Length (clamped to the body cap,
+	// since a hostile length header must not drive allocation past it).
+	// Chunked requests advertise no length and start from the pooled
+	// buffer's existing capacity.
+	var sizeHint int64
+	if n := r.ContentLength; n > 0 {
+		sizeHint = min(n, s.maxIngest)
+	}
 	// Parse the whole batch before ingesting any of it: a malformed line
 	// must reject the request with zero records accepted, or the sender's
-	// corrected retry would double-ingest the valid prefix.
-	var recs []logs.ProxyRecord
-	if err := logs.ReadProxy(body, func(rec logs.ProxyRecord) error {
-		recs = append(recs, rec)
-		return nil
-	}); err != nil {
+	// corrected retry would double-ingest the valid prefix. The decoder and
+	// record buffer come from pools, so steady-state ingest reuses one warm
+	// interning table and one buffer across requests.
+	dec := logs.GetProxyDecoder()
+	recs, err := logs.ReadProxyBatch(body, dec, logs.GetProxyBuf(int(sizeHint/approxProxyLineBytes)))
+	logs.PutProxyDecoder(dec)
+	if err != nil {
+		logs.PutProxyBuf(recs)
 		// A tripped limit usually surfaces as a parse error on the line the
 		// cap truncated, so ask the reader, not just the error chain.
 		if errors.As(err, new(*http.MaxBytesError)) || bodyLimitTripped(body) {
@@ -245,13 +255,22 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// One engine call ingests the parsed batch atomically — the lock is
 	// taken once, the records land contiguously, and an error (day closed
 	// under us, daemon shutting down) means none of them were accepted, so
-	// the sender's retry replays a clean batch boundary.
-	if err := s.eng.IngestBatch(recs); err != nil {
-		writeErr(w, engineErrStatus(err), "rejected whole batch: %v", err)
+	// the sender's retry replays a clean batch boundary. IngestBatch
+	// reduces the records synchronously, so the buffer recycles as soon as
+	// it returns.
+	n := len(recs)
+	ingestErr := s.eng.IngestBatch(recs)
+	logs.PutProxyBuf(recs)
+	if ingestErr != nil {
+		writeErr(w, engineErrStatus(ingestErr), "rejected whole batch: %v", ingestErr)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"ingested": len(recs)})
+	writeJSON(w, http.StatusOK, map[string]int{"ingested": n})
 }
+
+// approxProxyLineBytes converts a byte-size hint into a record-count
+// preallocation for ingest buffers; it matches the batch loader's estimate.
+const approxProxyLineBytes = 96
 
 func (s *server) handleFlush(w http.ResponseWriter, _ *http.Request) {
 	if err := s.eng.Flush(); err != nil {

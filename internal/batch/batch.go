@@ -77,34 +77,55 @@ func dateFromName(name, prefix string) (time.Time, error) {
 	return t, nil
 }
 
-// LoadProxyDay reads one day's proxy records and lease map.
+// approxProxyLineBytes sizes record-buffer preallocation from a byte
+// count (file size, Content-Length). Underestimating only costs append
+// growth; overestimating only costs capacity.
+const approxProxyLineBytes = 96
+
+// LoadProxyDay reads one day's proxy records and lease map. The record
+// slice is freshly allocated (callers keep it across days); the decoder
+// comes from the package pool so consecutive days share warm interning
+// tables.
 func LoadProxyDay(d Day) ([]logs.ProxyRecord, map[netip.Addr]string, error) {
+	dec := logs.GetProxyDecoder()
+	defer logs.PutProxyDecoder(dec)
+	return LoadProxyDayInto(d, dec, nil)
+}
+
+// LoadProxyDayInto reads one day's proxy records through the caller's
+// decoder, appending into recs (which may be nil), and returns the grown
+// slice plus the day's lease map. Replay-style callers that drop each
+// day's records after ingesting them pass a pooled buffer and a warm
+// decoder to make the per-day load allocation-free in the steady state.
+func LoadProxyDayInto(d Day, dec *logs.ProxyDecoder, recs []logs.ProxyRecord) ([]logs.ProxyRecord, map[netip.Addr]string, error) {
 	f, err := os.Open(d.ProxyPath)
 	if err != nil {
-		return nil, nil, err
+		return recs, nil, err
 	}
 	defer f.Close()
-	var recs []logs.ProxyRecord
-	if err := logs.ReadProxy(f, func(r logs.ProxyRecord) error {
-		recs = append(recs, r)
-		return nil
-	}); err != nil {
-		return nil, nil, fmt.Errorf("batch: %s: %w", d.ProxyPath, err)
+	if cap(recs) == 0 {
+		if fi, err := f.Stat(); err == nil && fi.Size() > 0 {
+			recs = make([]logs.ProxyRecord, 0, fi.Size()/approxProxyLineBytes+1)
+		}
+	}
+	recs, err = logs.ReadProxyBatch(f, dec, recs)
+	if err != nil {
+		return recs, nil, fmt.Errorf("batch: %s: %w", d.ProxyPath, err)
 	}
 
 	data, err := os.ReadFile(d.LeasePath)
 	if err != nil {
-		return nil, nil, err
+		return recs, nil, err
 	}
 	var raw map[string]string
 	if err := json.Unmarshal(data, &raw); err != nil {
-		return nil, nil, fmt.Errorf("batch: %s: %w", d.LeasePath, err)
+		return recs, nil, fmt.Errorf("batch: %s: %w", d.LeasePath, err)
 	}
 	leases := make(map[netip.Addr]string, len(raw))
 	for ip, host := range raw {
 		addr, err := netip.ParseAddr(ip)
 		if err != nil {
-			return nil, nil, fmt.Errorf("batch: %s: lease %q: %w", d.LeasePath, ip, err)
+			return recs, nil, fmt.Errorf("batch: %s: lease %q: %w", d.LeasePath, ip, err)
 		}
 		leases[addr] = host
 	}
@@ -119,6 +140,9 @@ func LoadDNSDay(d Day) ([]logs.DNSRecord, error) {
 	}
 	defer f.Close()
 	var recs []logs.DNSRecord
+	if fi, err := f.Stat(); err == nil && fi.Size() > 0 {
+		recs = make([]logs.DNSRecord, 0, fi.Size()/approxProxyLineBytes+1)
+	}
 	if err := logs.ReadDNS(f, func(r logs.DNSRecord) error {
 		recs = append(recs, r)
 		return nil

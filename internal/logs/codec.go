@@ -14,14 +14,42 @@ import (
 // per line, tab-separated fields, streamed so that multi-gigabyte files
 // never have to fit in memory. cmd/datagen writes this format and the
 // normalization pipeline reads it back.
+//
+// Decode runs through the zero-copy path (cut.go, decode.go); the naive
+// parsers at the bottom of this file are retained as the differential-fuzz
+// reference and are not called on any hot path. Encode runs through the
+// Append* functions, which produce bytes identical to the fmt.Fprintf
+// write path they replaced.
 
 // timeLayout keeps full sub-second precision: beacon jitter is fractional
 // and the detectors' interval math must survive a disk round trip.
 const timeLayout = time.RFC3339Nano
 
+// AppendDNS appends the TSV encoding of r — one line, including the
+// trailing newline — to dst and returns the extended slice.
+func AppendDNS(dst []byte, r DNSRecord) []byte {
+	dst = r.Time.UTC().AppendFormat(dst, timeLayout)
+	dst = append(dst, '\t')
+	dst = appendAddr(dst, r.SrcIP)
+	dst = append(dst, '\t')
+	dst = append(dst, r.Query...)
+	dst = append(dst, '\t')
+	dst = append(dst, r.Type.String()...)
+	dst = append(dst, '\t')
+	if r.Answer.IsValid() {
+		dst = r.Answer.AppendTo(dst)
+	}
+	dst = append(dst, '\t')
+	dst = append(dst, boolField(r.Internal)...)
+	dst = append(dst, '\t')
+	dst = append(dst, boolField(r.Server)...)
+	return append(dst, '\n')
+}
+
 // DNSWriter streams DNSRecords to an io.Writer in TSV form.
 type DNSWriter struct {
-	w *bufio.Writer
+	w       *bufio.Writer
+	scratch []byte
 }
 
 // NewDNSWriter returns a writer that buffers output to w.
@@ -31,13 +59,8 @@ func NewDNSWriter(w io.Writer) *DNSWriter {
 
 // Write appends one record.
 func (dw *DNSWriter) Write(r DNSRecord) error {
-	answer := ""
-	if r.Answer.IsValid() {
-		answer = r.Answer.String()
-	}
-	_, err := fmt.Fprintf(dw.w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
-		r.Time.UTC().Format(timeLayout), r.SrcIP, r.Query, r.Type,
-		answer, boolField(r.Internal), boolField(r.Server))
+	dw.scratch = AppendDNS(dw.scratch[:0], r)
+	_, err := dw.w.Write(dw.scratch)
 	return err
 }
 
@@ -45,14 +68,16 @@ func (dw *DNSWriter) Write(r DNSRecord) error {
 func (dw *DNSWriter) Flush() error { return dw.w.Flush() }
 
 // ReadDNS parses every DNS record from r, invoking fn for each. It stops at
-// the first malformed line or when fn returns an error.
+// the first malformed line or when fn returns an error. Decode state
+// (interning, address cache) lives for the duration of the call.
 func ReadDNS(r io.Reader, fn func(DNSRecord) error) error {
+	d := NewDNSDecoder()
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
 	line := 0
 	for sc.Scan() {
 		line++
-		rec, err := parseDNSLine(sc.Text())
+		rec, err := d.ParseDNSRecord(sc.Bytes())
 		if err != nil {
 			return fmt.Errorf("line %d: %w", line, err)
 		}
@@ -60,47 +85,45 @@ func ReadDNS(r io.Reader, fn func(DNSRecord) error) error {
 			return err
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("line %d: %w", line+1, err)
+	}
+	return nil
 }
 
-func parseDNSLine(s string) (DNSRecord, error) {
-	fields := strings.Split(s, "\t")
-	if len(fields) != 7 {
-		return DNSRecord{}, fmt.Errorf("expected 7 fields, got %d", len(fields))
+// AppendProxy appends the TSV encoding of r — one line, including the
+// trailing newline — to dst and returns the extended slice.
+func AppendProxy(dst []byte, r ProxyRecord) []byte {
+	dst = r.Time.UTC().AppendFormat(dst, timeLayout)
+	dst = append(dst, '\t')
+	dst = append(dst, r.Host...)
+	dst = append(dst, '\t')
+	dst = appendAddr(dst, r.SrcIP)
+	dst = append(dst, '\t')
+	dst = append(dst, r.Domain...)
+	dst = append(dst, '\t')
+	if r.DestIP.IsValid() {
+		dst = r.DestIP.AppendTo(dst)
 	}
-	t, err := time.Parse(timeLayout, fields[0])
-	if err != nil {
-		return DNSRecord{}, fmt.Errorf("timestamp: %w", err)
-	}
-	src, err := netip.ParseAddr(fields[1])
-	if err != nil {
-		return DNSRecord{}, fmt.Errorf("source IP: %w", err)
-	}
-	typ, err := ParseRecordType(fields[3])
-	if err != nil {
-		return DNSRecord{}, err
-	}
-	var answer netip.Addr
-	if fields[4] != "" {
-		answer, err = netip.ParseAddr(fields[4])
-		if err != nil {
-			return DNSRecord{}, fmt.Errorf("answer IP: %w", err)
-		}
-	}
-	return DNSRecord{
-		Time:     t,
-		SrcIP:    src,
-		Query:    fields[2],
-		Type:     typ,
-		Answer:   answer,
-		Internal: fields[5] == "1",
-		Server:   fields[6] == "1",
-	}, nil
+	dst = append(dst, '\t')
+	dst = escapeAppend(dst, r.URL)
+	dst = append(dst, '\t')
+	dst = append(dst, r.Method...)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, int64(r.Status), 10)
+	dst = append(dst, '\t')
+	dst = escapeAppend(dst, r.UserAgent)
+	dst = append(dst, '\t')
+	dst = escapeAppend(dst, r.Referer)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, int64(r.TZOffset), 10)
+	return append(dst, '\n')
 }
 
 // ProxyWriter streams ProxyRecords to an io.Writer in TSV form.
 type ProxyWriter struct {
-	w *bufio.Writer
+	w       *bufio.Writer
+	scratch []byte
 }
 
 // NewProxyWriter returns a writer that buffers output to w.
@@ -110,28 +133,25 @@ func NewProxyWriter(w io.Writer) *ProxyWriter {
 
 // Write appends one record.
 func (pw *ProxyWriter) Write(r ProxyRecord) error {
-	dest := ""
-	if r.DestIP.IsValid() {
-		dest = r.DestIP.String()
-	}
-	_, err := fmt.Fprintf(pw.w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d\t%s\t%s\t%d\n",
-		r.Time.UTC().Format(timeLayout), r.Host, r.SrcIP, r.Domain, dest,
-		escapeField(r.URL), r.Method, r.Status,
-		escapeField(r.UserAgent), escapeField(r.Referer), r.TZOffset)
+	pw.scratch = AppendProxy(pw.scratch[:0], r)
+	_, err := pw.w.Write(pw.scratch)
 	return err
 }
 
 // Flush flushes buffered records to the underlying writer.
 func (pw *ProxyWriter) Flush() error { return pw.w.Flush() }
 
-// ReadProxy parses every proxy record from r, invoking fn for each.
+// ReadProxy parses every proxy record from r, invoking fn for each. Decode
+// state (interning, address cache) lives for the duration of the call;
+// batch consumers should prefer ReadProxyBatch with a pooled decoder.
 func ReadProxy(r io.Reader, fn func(ProxyRecord) error) error {
+	d := NewProxyDecoder()
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
 	line := 0
 	for sc.Scan() {
 		line++
-		rec, err := parseProxyLine(sc.Text())
+		rec, err := d.ParseProxyRecord(sc.Bytes())
 		if err != nil {
 			return fmt.Errorf("line %d: %w", line, err)
 		}
@@ -139,8 +159,18 @@ func ReadProxy(r io.Reader, fn func(ProxyRecord) error) error {
 			return err
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("line %d: %w", line+1, err)
+	}
+	return nil
 }
+
+// ParseProxyNaive is the straightforward Split/time.Parse proxy-line
+// parser the zero-copy path replaced. It is retained as the reference
+// implementation: the differential fuzz target holds ParseProxyRecord to
+// its accept/reject decisions and record values, and cmd/benchreport
+// prices the fast path against it.
+func ParseProxyNaive(s string) (ProxyRecord, error) { return parseProxyLine(s) }
 
 func parseProxyLine(s string) (ProxyRecord, error) {
 	fields := strings.Split(s, "\t")
@@ -185,6 +215,53 @@ func parseProxyLine(s string) (ProxyRecord, error) {
 	}, nil
 }
 
+// parseDNSLine is the retained naive DNS parser (differential-fuzz
+// reference; see ParseProxyNaive).
+func parseDNSLine(s string) (DNSRecord, error) {
+	fields := strings.Split(s, "\t")
+	if len(fields) != 7 {
+		return DNSRecord{}, fmt.Errorf("expected 7 fields, got %d", len(fields))
+	}
+	t, err := time.Parse(timeLayout, fields[0])
+	if err != nil {
+		return DNSRecord{}, fmt.Errorf("timestamp: %w", err)
+	}
+	src, err := netip.ParseAddr(fields[1])
+	if err != nil {
+		return DNSRecord{}, fmt.Errorf("source IP: %w", err)
+	}
+	typ, err := ParseRecordType(fields[3])
+	if err != nil {
+		return DNSRecord{}, err
+	}
+	var answer netip.Addr
+	if fields[4] != "" {
+		answer, err = netip.ParseAddr(fields[4])
+		if err != nil {
+			return DNSRecord{}, fmt.Errorf("answer IP: %w", err)
+		}
+	}
+	return DNSRecord{
+		Time:     t,
+		SrcIP:    src,
+		Query:    fields[2],
+		Type:     typ,
+		Answer:   answer,
+		Internal: fields[5] == "1",
+		Server:   fields[6] == "1",
+	}, nil
+}
+
+// appendAddr appends the textual address exactly as the %s verb printed
+// it, including the "invalid IP" placeholder for the zero Addr (which
+// Addr.AppendTo would silently skip).
+func appendAddr(dst []byte, a netip.Addr) []byte {
+	if a.IsValid() {
+		return a.AppendTo(dst)
+	}
+	return append(dst, "invalid IP"...)
+}
+
 func boolField(b bool) string {
 	if b {
 		return "1"
@@ -192,8 +269,27 @@ func boolField(b bool) string {
 	return "0"
 }
 
-// escapeField protects the TSV framing against tabs and newlines inside
-// free-text fields (URLs and user-agent strings can contain anything).
+// escapeAppend protects the TSV framing against tabs and newlines inside
+// free-text fields (URLs and user-agent strings can contain anything),
+// appending into dst. Byte-compatible with escapeField.
+func escapeAppend(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			dst = append(dst, '\\', '\\')
+		case '\t':
+			dst = append(dst, '\\', 't')
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
+}
+
+// escapeField is the string-returning escape used by the naive reference
+// path and tests.
 func escapeField(s string) string {
 	r := strings.NewReplacer("\\", "\\\\", "\t", "\\t", "\n", "\\n")
 	return r.Replace(s)

@@ -1,0 +1,484 @@
+package logs
+
+// The allocation-free decode path. A decoder owns the mutable state the
+// zero-copy parse needs — the interning table, the IP-address cache, the
+// unescape scratch buffer — so the hot loop allocates only for values it
+// has never seen (plus the genuinely high-cardinality URL column, which a
+// single-slot cache still elides for the bursts of identical URLs real
+// proxy logs are full of). Decoders are NOT safe for concurrent use; reuse
+// them across reads of the same log stream via GetProxyDecoder /
+// PutProxyDecoder so the interning tables stay warm.
+//
+// Buffer ownership: ReadProxyBatch appends into the caller-owned slice and
+// returns it. Callers that want recycling take a buffer from GetProxyBuf
+// and hand it back with PutProxyBuf once every record has been consumed
+// (the engine's IngestBatch reduces records synchronously, so "after
+// IngestBatch returns" is safe); PutProxyBuf clears the used region so a
+// pooled buffer never pins a previous day's strings.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/netip"
+	"sync"
+)
+
+// maxLineBytes bounds one TSV line across every reader in this package
+// (bufio.Scanner's buffer cap).
+const maxLineBytes = 1024 * 1024
+
+// ProxyDecoder carries the reusable state of the zero-copy proxy-TSV
+// parse. The zero value is NOT ready; use NewProxyDecoder.
+type ProxyDecoder struct {
+	in      *Intern
+	addrs   addrCache
+	ts      tsCache
+	lastURL string     // single-slot cache: repeated URLs (beacon polls) cost no allocation
+	scratch []byte     // unescape buffer, reused across fields and records
+	readBuf []byte     // line-framing buffer, reused across ReadProxyBatch calls
+	fields  [11][]byte // cutTSV destination, reused across records
+}
+
+// NewProxyDecoder returns a decoder with empty caches.
+func NewProxyDecoder() *ProxyDecoder {
+	return &ProxyDecoder{in: NewIntern()}
+}
+
+// ParseProxyRecord decodes one proxy TSV line (without trailing newline).
+// It accepts exactly the lines the naive reference parser accepts and
+// yields identical records; the differential fuzz target holds the two
+// equal on arbitrary input. The line may be reused by the caller after the
+// call returns — no returned string aliases it.
+func (d *ProxyDecoder) ParseProxyRecord(line []byte) (ProxyRecord, error) {
+	var rec ProxyRecord
+	if err := d.parseInto(&rec, line); err != nil {
+		return ProxyRecord{}, err
+	}
+	return rec, nil
+}
+
+// parseInto decodes one line directly into *rec, overwriting every field on
+// success. On error *rec is left partially written; callers must discard it.
+func (d *ProxyDecoder) parseInto(rec *ProxyRecord, line []byte) error {
+	f := &d.fields
+	// Fast header: when the line opens with a strict UTC-Z timestamp and a
+	// tab, take the parsed time directly and cut only the ten remaining
+	// fields; otherwise cut everything and let the generic timestamp path
+	// (with its time.Parse fallback) make the call.
+	t, rest, fastTS := d.ts.cutLeading(line)
+	if fastTS {
+		if n := cutTSV(rest, f[1:]); n != 10 {
+			return fmt.Errorf("expected 11 fields, got %d", n+1)
+		}
+	} else {
+		if n := cutTSV(line, f[:]); n != 11 {
+			return fmt.Errorf("expected 11 fields, got %d", n)
+		}
+		var err error
+		if t, err = d.ts.parseTimestamp(f[0]); err != nil {
+			return fmt.Errorf("timestamp: %w", err)
+		}
+	}
+	// One escape scan over the contiguous span holding every unescapable
+	// field (URL through Referer) instead of three per-field scans. The
+	// span is re-sliced from f[5]'s backing line, so this works for both
+	// cut paths above. False positives (a backslash in Method or Status)
+	// only cost the per-field rescan inside unescape.
+	span := f[5][:len(f[5])+len(f[6])+len(f[7])+len(f[8])+len(f[9])+4]
+	esc := bytes.IndexByte(span, '\\') >= 0
+	// The front-cache probes below are (*Intern).Bytes and
+	// (*addrCache).parse written out by hand: the inliner prices both far
+	// over its budget, and at this throughput seven outlined calls per
+	// record are a measurable fraction of the total. Each probe is
+	// semantically identical to the method it mirrors — same hash, same
+	// slot, same slow path — and the differential fuzzer holds the whole
+	// parse to the naive reference either way.
+	var err error
+	var src netip.Addr
+	if e := &d.addrs.front[quickHash(f[2])>>(64-addrFrontBits)]; len(f[2]) != 0 && len(e.key) == len(f[2]) && string(f[2]) == e.key {
+		src = e.addr
+	} else if src, err = d.addrs.parseSlow(f[2], e); err != nil {
+		return fmt.Errorf("source IP: %w", err)
+	}
+	var dest netip.Addr
+	if len(f[4]) != 0 {
+		if e := &d.addrs.front[quickHash(f[4])>>(64-addrFrontBits)]; len(e.key) == len(f[4]) && string(f[4]) == e.key {
+			dest = e.addr
+		} else if dest, err = d.addrs.parseSlow(f[4], e); err != nil {
+			return fmt.Errorf("dest IP: %w", err)
+		}
+	}
+	status, err := atoiField(f[7])
+	if err != nil {
+		return fmt.Errorf("status: %w", err)
+	}
+	tz, err := atoiField(f[10])
+	if err != nil {
+		return fmt.Errorf("tz offset: %w", err)
+	}
+	rec.Time = t
+	rec.SrcIP = src
+	rec.DestIP = dest
+	rec.Status = status
+	rec.TZOffset = tz
+	in := d.in
+	if b := f[1]; len(b) == 0 {
+		rec.Host = ""
+	} else if slot := &in.front[quickHash(b)>>(64-internFrontBits)]; len(b) == len(*slot) && string(b) == *slot {
+		rec.Host = *slot
+	} else {
+		rec.Host = in.bytesSlow(b, slot)
+	}
+	if b := f[3]; len(b) == 0 {
+		rec.Domain = ""
+	} else if slot := &in.front[quickHash(b)>>(64-internFrontBits)]; len(b) == len(*slot) && string(b) == *slot {
+		rec.Domain = *slot
+	} else {
+		rec.Domain = in.bytesSlow(b, slot)
+	}
+	// The URL column is too high-cardinality to intern but extremely bursty
+	// in practice (a beaconing host repeats one URL all day), so a
+	// single-slot last-value cache removes the per-record allocation exactly
+	// when the steady state repeats itself.
+	if u := d.unescape(f[5], esc); string(u) != d.lastURL { // comparison does not allocate
+		d.lastURL = string(u)
+	}
+	rec.URL = d.lastURL
+	if b := f[6]; len(b) == 0 {
+		rec.Method = ""
+	} else if slot := &in.front[quickHash(b)>>(64-internFrontBits)]; len(b) == len(*slot) && string(b) == *slot {
+		rec.Method = *slot
+	} else {
+		rec.Method = in.bytesSlow(b, slot)
+	}
+	if b := d.unescape(f[8], esc); len(b) == 0 {
+		rec.UserAgent = ""
+	} else if slot := &in.front[quickHash(b)>>(64-internFrontBits)]; len(b) == len(*slot) && string(b) == *slot {
+		rec.UserAgent = *slot
+	} else {
+		rec.UserAgent = in.bytesSlow(b, slot)
+	}
+	if b := d.unescape(f[9], esc); len(b) == 0 {
+		rec.Referer = ""
+	} else if slot := &in.front[quickHash(b)>>(64-internFrontBits)]; len(b) == len(*slot) && string(b) == *slot {
+		rec.Referer = *slot
+	} else {
+		rec.Referer = in.bytesSlow(b, slot)
+	}
+	return nil
+}
+
+// unescape resolves the TSV escapes in b, reusing the decoder's scratch
+// buffer when any are present. esc is cutTSV's line-level backslash flag:
+// when false no field on the line can contain an escape and the scan is
+// skipped outright. The result is only valid until the next unescape call;
+// consume it (intern or copy) before then.
+func (d *ProxyDecoder) unescape(b []byte, esc bool) []byte {
+	if !esc || bytes.IndexByte(b, '\\') < 0 {
+		return b
+	}
+	d.scratch = unescapeAppend(d.scratch[:0], b)
+	return d.scratch
+}
+
+// unescapeAppend is unescapeField appending into dst — same escape
+// semantics, no intermediate strings.Builder.
+func unescapeAppend(dst, s []byte) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 == len(s) {
+			dst = append(dst, s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 't':
+			dst = append(dst, '\t')
+		case 'n':
+			dst = append(dst, '\n')
+		case '\\':
+			dst = append(dst, '\\')
+		default:
+			dst = append(dst, '\\', s[i])
+		}
+	}
+	return dst
+}
+
+// lineScanner is a minimal replacement for bufio.Scanner+ScanLines on the
+// batch decode path: same tokens (lines split on '\n', one trailing '\r'
+// stripped, unterminated final line delivered) and the same
+// bufio.ErrTooLong behavior — a buffer full at maxLineBytes without a
+// newline fails even if EOF is one read away, exactly as the scanner does —
+// but without the scanner's per-line state machine, and with a caller-owned
+// buffer so a pooled decoder reuses its framing buffer across batches.
+type lineScanner struct {
+	r          io.Reader
+	buf        []byte
+	start, end int
+	err        error // sticky read error, including io.EOF
+}
+
+// next returns the next line and ok=true, or ok=false at clean EOF, or a
+// framing/read error. The buffered-line path is small enough to inline
+// into the batch loop; refill and EOF handling live in nextSlow.
+func (ls *lineScanner) next() ([]byte, bool, error) {
+	if i := bytes.IndexByte(ls.buf[ls.start:ls.end], '\n'); i >= 0 {
+		line := ls.buf[ls.start : ls.start+i]
+		ls.start += i + 1
+		return dropCR(line), true, nil
+	}
+	return ls.nextSlow()
+}
+
+func (ls *lineScanner) nextSlow() ([]byte, bool, error) {
+	for {
+		if i := bytes.IndexByte(ls.buf[ls.start:ls.end], '\n'); i >= 0 {
+			line := ls.buf[ls.start : ls.start+i]
+			ls.start += i + 1
+			return dropCR(line), true, nil
+		}
+		if ls.err != nil {
+			if ls.err != io.EOF {
+				return nil, false, ls.err
+			}
+			if ls.end > ls.start {
+				line := ls.buf[ls.start:ls.end]
+				ls.start = ls.end
+				return dropCR(line), true, nil
+			}
+			return nil, false, nil
+		}
+		if ls.start > 0 {
+			copy(ls.buf, ls.buf[ls.start:ls.end])
+			ls.end -= ls.start
+			ls.start = 0
+		}
+		if ls.end == len(ls.buf) {
+			if len(ls.buf) >= maxLineBytes {
+				return nil, false, bufio.ErrTooLong
+			}
+			grown := make([]byte, min(2*len(ls.buf), maxLineBytes))
+			copy(grown, ls.buf[:ls.end])
+			ls.buf = grown
+		}
+		n, err := ls.r.Read(ls.buf[ls.end:])
+		ls.end += n
+		if err != nil {
+			ls.err = err
+		}
+	}
+}
+
+func dropCR(line []byte) []byte {
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		return line[:len(line)-1]
+	}
+	return line
+}
+
+// ReadProxyBatch parses every proxy record from r, appending to recs
+// (which may be nil) and returning the grown slice. Errors carry the
+// 1-based line number, including scanner-level failures such as an
+// over-long line. A nil decoder gets a throwaway one — callers on a hot
+// path should pass a warm decoder instead.
+func ReadProxyBatch(r io.Reader, d *ProxyDecoder, recs []ProxyRecord) ([]ProxyRecord, error) {
+	if d == nil {
+		d = NewProxyDecoder()
+	}
+	if d.readBuf == nil {
+		d.readBuf = make([]byte, 64*1024)
+	}
+	ls := lineScanner{r: r, buf: d.readBuf}
+	line := 0
+	for {
+		// lineScanner.next's buffered-line path, written out by hand: the
+		// inliner prices next over budget, and the call per record is
+		// measurable at this throughput. Refills and EOF still go through
+		// nextSlow, so the framing semantics live in one place.
+		var b []byte
+		var ok bool
+		var err error
+		if i := bytes.IndexByte(ls.buf[ls.start:ls.end], '\n'); i >= 0 {
+			b, ok = dropCR(ls.buf[ls.start:ls.start+i]), true
+			ls.start += i + 1
+		} else {
+			b, ok, err = ls.nextSlow()
+		}
+		if err != nil {
+			// The framer dies *on* the line after the last delivered one —
+			// surface that position (bufio.ErrTooLong otherwise points
+			// nowhere in a multi-gigabyte file).
+			d.readBuf = ls.buf
+			return recs, fmt.Errorf("line %d: %w", line+1, err)
+		}
+		if !ok {
+			break
+		}
+		line++
+		if len(recs) < cap(recs) {
+			recs = recs[:len(recs)+1]
+		} else {
+			recs = append(recs, ProxyRecord{})
+		}
+		if err := d.parseInto(&recs[len(recs)-1], b); err != nil {
+			recs = recs[:len(recs)-1]
+			d.readBuf = ls.buf
+			return recs, fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	d.readBuf = ls.buf // keep a grown framing buffer for the next batch
+	return recs, nil
+}
+
+// proxyDecoderPool recycles decoders so sequential batches (HTTP ingest
+// requests, replayed day files) keep their interning tables warm. The
+// tables are capped, so a pooled decoder's footprint is bounded for life.
+var proxyDecoderPool = sync.Pool{New: func() any { return NewProxyDecoder() }}
+
+// GetProxyDecoder takes a (possibly warm) decoder from the pool.
+func GetProxyDecoder() *ProxyDecoder { return proxyDecoderPool.Get().(*ProxyDecoder) }
+
+// PutProxyDecoder returns a decoder to the pool. The caller must not use
+// it afterwards.
+func PutProxyDecoder(d *ProxyDecoder) { proxyDecoderPool.Put(d) }
+
+// proxyBufPool recycles record buffers between batches.
+var proxyBufPool sync.Pool
+
+// GetProxyBuf returns an empty []ProxyRecord with at least the requested
+// capacity, reusing a pooled buffer when one is large enough.
+func GetProxyBuf(capacity int) []ProxyRecord {
+	if v := proxyBufPool.Get(); v != nil {
+		if b := (*v.(*[]ProxyRecord))[:0]; cap(b) >= capacity {
+			return b
+		}
+		// Too small for this caller; drop it and let the GC take it rather
+		// than guaranteeing append-regrowth right after "preallocating".
+	}
+	return make([]ProxyRecord, 0, capacity)
+}
+
+// PutProxyBuf recycles a record buffer once its records have been fully
+// consumed. The used region is cleared so the pool never pins record
+// strings beyond the batch that allocated them.
+func PutProxyBuf(b []ProxyRecord) {
+	if cap(b) == 0 {
+		return
+	}
+	clear(b)
+	b = b[:0]
+	proxyBufPool.Put(&b)
+}
+
+// DNSDecoder is the zero-copy decoder for DNS TSV records.
+type DNSDecoder struct {
+	in    *Intern
+	addrs addrCache
+	ts    tsCache
+}
+
+// NewDNSDecoder returns a decoder with empty caches.
+func NewDNSDecoder() *DNSDecoder {
+	return &DNSDecoder{in: NewIntern()}
+}
+
+// ParseDNSRecord decodes one DNS TSV line; same contract as
+// ParseProxyRecord (naive-equivalent accept/reject, no aliasing of line).
+func (d *DNSDecoder) ParseDNSRecord(line []byte) (DNSRecord, error) {
+	var f [7][]byte
+	if n := cutTSV(line, f[:]); n != 7 {
+		return DNSRecord{}, fmt.Errorf("expected 7 fields, got %d", n)
+	}
+	t, err := d.ts.parseTimestamp(f[0])
+	if err != nil {
+		return DNSRecord{}, fmt.Errorf("timestamp: %w", err)
+	}
+	src, err := d.addrs.parse(f[1])
+	if err != nil {
+		return DNSRecord{}, fmt.Errorf("source IP: %w", err)
+	}
+	typ, err := parseRecordTypeBytes(f[3])
+	if err != nil {
+		return DNSRecord{}, err
+	}
+	var answer netip.Addr
+	if len(f[4]) != 0 {
+		if answer, err = d.addrs.parse(f[4]); err != nil {
+			return DNSRecord{}, fmt.Errorf("answer IP: %w", err)
+		}
+	}
+	return DNSRecord{
+		Time:     t,
+		SrcIP:    src,
+		Query:    d.in.Bytes(f[2]),
+		Type:     typ,
+		Answer:   answer,
+		Internal: boolFieldSet(f[5]),
+		Server:   boolFieldSet(f[6]),
+	}, nil
+}
+
+// parseRecordTypeBytes is ParseRecordType without the string conversion on
+// the match path; the error path (already allocating) delegates for the
+// identical message.
+func parseRecordTypeBytes(b []byte) (RecordType, error) {
+	for t, name := range recordTypeNames {
+		if string(b) == name {
+			return t, nil
+		}
+	}
+	return ParseRecordType(string(b))
+}
+
+func boolFieldSet(b []byte) bool { return len(b) == 1 && b[0] == '1' }
+
+// FlowDecoder is the zero-copy decoder for NetFlow TSV records.
+type FlowDecoder struct {
+	in    *Intern
+	addrs addrCache
+	ts    tsCache
+}
+
+// NewFlowDecoder returns a decoder with empty caches.
+func NewFlowDecoder() *FlowDecoder {
+	return &FlowDecoder{in: NewIntern()}
+}
+
+// ParseFlowRecord decodes one flow TSV line; same contract as
+// ParseProxyRecord (naive-equivalent accept/reject, no aliasing of line).
+func (d *FlowDecoder) ParseFlowRecord(line []byte) (FlowRecord, error) {
+	var f [7][]byte
+	if n := cutTSV(line, f[:]); n != 7 {
+		return FlowRecord{}, fmt.Errorf("expected 7 fields, got %d", n)
+	}
+	t, err := d.ts.parseTimestamp(f[0])
+	if err != nil {
+		return FlowRecord{}, fmt.Errorf("timestamp: %w", err)
+	}
+	src, err := d.addrs.parse(f[1])
+	if err != nil {
+		return FlowRecord{}, fmt.Errorf("src IP: %w", err)
+	}
+	dst, err := d.addrs.parse(f[2])
+	if err != nil {
+		return FlowRecord{}, fmt.Errorf("dst IP: %w", err)
+	}
+	port, err := uintField(f[3], 16)
+	if err != nil {
+		return FlowRecord{}, fmt.Errorf("port: %w", err)
+	}
+	nbytes, err := atoiField(f[5])
+	if err != nil {
+		return FlowRecord{}, fmt.Errorf("bytes: %w", err)
+	}
+	packets, err := atoiField(f[6])
+	if err != nil {
+		return FlowRecord{}, fmt.Errorf("packets: %w", err)
+	}
+	return FlowRecord{
+		Time: t, SrcIP: src, DstIP: dst, DstPort: uint16(port),
+		Protocol: d.in.Bytes(f[4]), Bytes: int64(nbytes), Packets: int64(packets),
+	}, nil
+}

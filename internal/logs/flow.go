@@ -25,9 +25,29 @@ type FlowRecord struct {
 	Packets  int64
 }
 
+// AppendFlow appends the TSV encoding of r — one line, including the
+// trailing newline — to dst and returns the extended slice.
+func AppendFlow(dst []byte, r FlowRecord) []byte {
+	dst = r.Time.UTC().AppendFormat(dst, timeLayout)
+	dst = append(dst, '\t')
+	dst = appendAddr(dst, r.SrcIP)
+	dst = append(dst, '\t')
+	dst = appendAddr(dst, r.DstIP)
+	dst = append(dst, '\t')
+	dst = strconv.AppendUint(dst, uint64(r.DstPort), 10)
+	dst = append(dst, '\t')
+	dst = append(dst, r.Protocol...)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, r.Bytes, 10)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, r.Packets, 10)
+	return append(dst, '\n')
+}
+
 // FlowWriter streams FlowRecords as TSV.
 type FlowWriter struct {
-	w *bufio.Writer
+	w       *bufio.Writer
+	scratch []byte
 }
 
 // NewFlowWriter returns a writer that buffers output to w.
@@ -37,23 +57,25 @@ func NewFlowWriter(w io.Writer) *FlowWriter {
 
 // Write appends one record.
 func (fw *FlowWriter) Write(r FlowRecord) error {
-	_, err := fmt.Fprintf(fw.w, "%s\t%s\t%s\t%d\t%s\t%d\t%d\n",
-		r.Time.UTC().Format(timeLayout), r.SrcIP, r.DstIP, r.DstPort,
-		r.Protocol, r.Bytes, r.Packets)
+	fw.scratch = AppendFlow(fw.scratch[:0], r)
+	_, err := fw.w.Write(fw.scratch)
 	return err
 }
 
 // Flush flushes buffered records.
 func (fw *FlowWriter) Flush() error { return fw.w.Flush() }
 
-// ReadFlows parses every flow record from r, invoking fn for each.
+// ReadFlows parses every flow record from r, invoking fn for each — the
+// future live-netflow ingest path, so it decodes through the same
+// zero-copy primitives as the proxy and DNS readers.
 func ReadFlows(r io.Reader, fn func(FlowRecord) error) error {
+	d := NewFlowDecoder()
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
 	line := 0
 	for sc.Scan() {
 		line++
-		rec, err := parseFlowLine(sc.Text())
+		rec, err := d.ParseFlowRecord(sc.Bytes())
 		if err != nil {
 			return fmt.Errorf("line %d: %w", line, err)
 		}
@@ -61,9 +83,14 @@ func ReadFlows(r io.Reader, fn func(FlowRecord) error) error {
 			return err
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("line %d: %w", line+1, err)
+	}
+	return nil
 }
 
+// parseFlowLine is the retained naive flow parser (differential-fuzz
+// reference; see ParseProxyNaive).
 func parseFlowLine(s string) (FlowRecord, error) {
 	fields := strings.Split(s, "\t")
 	if len(fields) != 7 {

@@ -4,6 +4,7 @@ import (
 	"net/netip"
 	"strings"
 	"testing"
+	"time"
 )
 
 // foldDomainRef is the straightforward Split/Join folding the allocation-
@@ -55,6 +56,127 @@ func FuzzFoldDomain(f *testing.F) {
 			if again := FoldDomain(got, n); again != got {
 				t.Fatalf("FoldDomain not idempotent: %q -> %q -> %q", domain, got, again)
 			}
+		}
+	})
+}
+
+// timesEquivalent compares parsed timestamps the way the codec cares
+// about: same instant and same zone offset. Pointer-identical Locations
+// are not required — the naive and fast paths may both call
+// time.FixedZone, which allocates a fresh Location per call.
+func timesEquivalent(a, b time.Time) bool {
+	if !a.Equal(b) {
+		return false
+	}
+	_, oa := a.Zone()
+	_, ob := b.Zone()
+	return oa == ob
+}
+
+func proxyRecordsEquivalent(a, b ProxyRecord) bool {
+	return timesEquivalent(a.Time, b.Time) &&
+		a.Host == b.Host && a.SrcIP == b.SrcIP && a.Domain == b.Domain &&
+		a.DestIP == b.DestIP && a.URL == b.URL && a.Method == b.Method &&
+		a.Status == b.Status && a.UserAgent == b.UserAgent &&
+		a.Referer == b.Referer && a.TZOffset == b.TZOffset
+}
+
+// FuzzParseProxyLine differentially fuzzes the zero-copy proxy parser
+// against the retained naive reference: identical accept/reject decisions
+// and, on accept, byte-for-byte identical records — which is what makes
+// field interning invisible to every persisted form. Each input is decoded
+// twice through one decoder so the second pass exercises warm intern and
+// address caches.
+func FuzzParseProxyLine(f *testing.F) {
+	seeds := []string{
+		"2014-02-13T09:00:00Z\thost1\t10.1.2.3\texample.org\t198.51.100.7\thttp://example.org/a\tGET\t200\tMozilla/5.0\thttp://ref.example.org/\t-5",
+		"2014-02-13T09:00:00.123456789Z\th\t10.0.0.1\td.com\t\tu\\tq\tPOST\t504\tua\\nx\t\t0",
+		"2014-02-13T09:00:00+02:00\th\t10.0.0.1\td.com\t\tu\tGET\t200\tua\tref\t2",
+		"2014-02-13T09:00:00.5Z\th\tfe80::1%eth0\td.com\t\tu\tGET\t200\tua\tref\t0",
+		"2014-02-31T09:00:00Z\th\t10.0.0.1\td.com\t\tu\tGET\t200\tua\tref\t0",
+		"2014-02-13T09:00:00,5Z\th\t10.0.0.1\td.com\t\tu\tGET\t200\tua\tref\t0",
+		"2014-02-13T09:00:00.1234567890123Z\th\t10.0.0.1\td.com\t\tu\tGET\t200\tua\tref\t0",
+		"bad-time\th\t10.0.0.1\td.com\t\tu\tGET\t200\tua\tref\t0",
+		"2014-02-13T09:00:00Z\th\t10.0.0.1\td.com\t\tu\tGET\t+200\tua\tref\t-0",
+		"2014-02-13T09:00:00Z\th\t10.0.0.1\td.com\t\tu\tGET\t99999999999999999999\tua\tref\t0",
+		"too\tfew", "", "\t\t\t\t\t\t\t\t\t\t", "a\tb\tc\td\te\tf\tg\th\ti\tj\tk\tl",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	d := NewProxyDecoder()
+	f.Fuzz(func(t *testing.T, line string) {
+		want, wantErr := parseProxyLine(line)
+		for pass := 0; pass < 2; pass++ {
+			got, gotErr := d.ParseProxyRecord([]byte(line))
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("pass %d: accept mismatch on %q: fast err %v, naive err %v", pass, line, gotErr, wantErr)
+			}
+			if wantErr == nil && !proxyRecordsEquivalent(got, want) {
+				t.Fatalf("pass %d: record mismatch on %q:\nfast:  %+v\nnaive: %+v", pass, line, got, want)
+			}
+		}
+	})
+}
+
+// FuzzParseDNSLine holds the DNS fast path to the naive reference the same
+// way.
+func FuzzParseDNSLine(f *testing.F) {
+	seeds := []string{
+		"2013-03-04T12:00:00Z\t74.92.144.170\trainbow-.c3\tA\t191.146.166.145\t0\t0",
+		"2013-03-04T12:00:00Z\t10.0.0.1\tprinter.lanl.internal\tA\t\t1\t1",
+		"2013-03-04T12:00:00.25Z\t10.0.0.2\tmail.example.com\tTXT\t\t0\t0",
+		"2013-03-04T12:00:00Z\t10.0.0.1\tq.c3\tBOGUS\t\t0\t0",
+		"not\tenough\tfields", "",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	d := NewDNSDecoder()
+	f.Fuzz(func(t *testing.T, line string) {
+		want, wantErr := parseDNSLine(line)
+		got, gotErr := d.ParseDNSRecord([]byte(line))
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("accept mismatch on %q: fast err %v, naive err %v", line, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if !timesEquivalent(got.Time, want.Time) || got.SrcIP != want.SrcIP ||
+			got.Query != want.Query || got.Type != want.Type || got.Answer != want.Answer ||
+			got.Internal != want.Internal || got.Server != want.Server {
+			t.Fatalf("record mismatch on %q:\nfast:  %+v\nnaive: %+v", line, got, want)
+		}
+	})
+}
+
+// FuzzParseFlowLine holds the flow fast path to the naive reference the
+// same way.
+func FuzzParseFlowLine(f *testing.F) {
+	seeds := []string{
+		"2014-02-13T09:00:00Z\t10.1.2.3\t203.0.113.9\t443\ttcp\t1234\t9",
+		"2014-02-13T09:00:00Z\t10.1.2.3\t203.0.113.9\t70000\ttcp\t1\t1",
+		"2014-02-13T09:00:00Z\t10.1.2.3\t203.0.113.9\t-1\tudp\t1\t1",
+		"2014-02-13T09:00:00Z\t10.1.2.3\t203.0.113.9\t53\tudp\t-5\t+2",
+		"x\ty", "",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	d := NewFlowDecoder()
+	f.Fuzz(func(t *testing.T, line string) {
+		want, wantErr := parseFlowLine(line)
+		got, gotErr := d.ParseFlowRecord([]byte(line))
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("accept mismatch on %q: fast err %v, naive err %v", line, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if !timesEquivalent(got.Time, want.Time) || got.SrcIP != want.SrcIP ||
+			got.DstIP != want.DstIP || got.DstPort != want.DstPort ||
+			got.Protocol != want.Protocol || got.Bytes != want.Bytes || got.Packets != want.Packets {
+			t.Fatalf("record mismatch on %q:\nfast:  %+v\nnaive: %+v", line, got, want)
 		}
 	})
 }

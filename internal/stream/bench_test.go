@@ -10,9 +10,11 @@ package stream
 // real day; no rollover happens inside the timed loop.
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"io"
+	"net/netip"
 	"testing"
 	"time"
 
@@ -34,7 +36,9 @@ func benchRecords(n int) []logs.ProxyRecord {
 		recs[i] = logs.ProxyRecord{
 			Time:      base.Add(time.Duration(i) * 50 * time.Millisecond),
 			Host:      fmt.Sprintf("host-%03d", i%64),
+			SrcIP:     netip.AddrFrom4([4]byte{10, 1, byte(i % 64), 7}),
 			Domain:    fmt.Sprintf("dom-%03d.example.net", i%61),
+			DestIP:    netip.AddrFrom4([4]byte{198, 51, 100, byte(i % 61)}),
 			URL:       "http://example.net/index.html",
 			Method:    "GET",
 			Status:    200,
@@ -276,4 +280,82 @@ func BenchmarkIngestToReportPipelined(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)*perDay/b.Elapsed().Seconds(), "rec/s")
 	_ = e.Close()
+}
+
+// benchIngestToReportPipelinedTSV is the pipelined day cycle fed the way
+// the daemon is fed: each day is encoded to proxy TSV and decoded back
+// before the batched ingest, so the measured cycle includes the decode
+// path end to end. The fast variant decodes through the pooled zero-copy
+// batch reader (what handleIngest, ReplayDir and the batch loader run);
+// the naive variant decodes through the retained Split/time.Parse
+// reference parser. The encode side is identical in both, so the delta
+// between the two benchmarks is the decode win in its end-to-end context.
+func benchIngestToReportPipelinedTSV(b *testing.B, naiveDecode bool) {
+	const perDay, batchSize = 20000, 512
+	recs := benchRecords(perDay)
+	e := trainOnlyEngine(Config{Shards: 4, QueueDepth: 8192})
+	day := time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC)
+	dec := logs.GetProxyDecoder()
+	defer logs.PutProxyDecoder(dec)
+	buf := logs.GetProxyBuf(perDay)
+	defer func() { logs.PutProxyBuf(buf) }()
+	var tsv []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := day.AddDate(0, 0, i)
+		if err := e.BeginDay(d, nil); err != nil {
+			b.Fatal(err)
+		}
+		for j := range recs {
+			recs[j].Time = d.Add(time.Duration(j) * 4 * time.Millisecond)
+		}
+		tsv = tsv[:0]
+		for _, r := range recs {
+			tsv = logs.AppendProxy(tsv, r)
+		}
+		var err error
+		if naiveDecode {
+			buf, err = decodeProxyNaive(tsv, buf[:0])
+		} else {
+			buf, err = logs.ReadProxyBatch(bytes.NewReader(tsv), dec, buf[:0])
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < len(buf); j += batchSize {
+			if err := e.IngestBatch(buf[j:min(j+batchSize, len(buf))]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := e.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*perDay/b.Elapsed().Seconds(), "rec/s")
+	_ = e.Close()
+}
+
+// decodeProxyNaive is the pre-PR decode loop: bufio.Scanner line framing
+// plus the retained naive reference parser.
+func decodeProxyNaive(tsv []byte, recs []logs.ProxyRecord) ([]logs.ProxyRecord, error) {
+	sc := bufio.NewScanner(bytes.NewReader(tsv))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		rec, err := logs.ParseProxyNaive(sc.Text())
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, sc.Err()
+}
+
+func BenchmarkIngestToReportPipelinedTSV(b *testing.B) {
+	benchIngestToReportPipelinedTSV(b, false)
+}
+
+func BenchmarkIngestToReportPipelinedTSVNaive(b *testing.B) {
+	benchIngestToReportPipelinedTSV(b, true)
 }

@@ -132,12 +132,22 @@ func TestStreamingMatchesBatch(t *testing.T) {
 
 	cfg := Config{Shards: 4, QueueDepth: 256, TrainingDays: fx.training}
 	e := New(cfg, fx.newPipeline())
-	// Alternate days between the per-record path and multi-record batches
-	// (odd-size chunks, so batch boundaries never align with anything) —
-	// the golden invariant must hold for both ingestion shapes.
-	ingest := func(e *Engine, recs []logs.ProxyRecord, batched bool) {
+	// Rotate days through three ingestion shapes: per-record, multi-record
+	// batches in odd-size chunks (so batch boundaries never align with
+	// anything), and the HTTP-TSV shape — records re-encoded to TSV and
+	// decoded back through the pooled zero-copy batch reader, which is
+	// exactly what cmd/reprod's /ingest endpoint runs. The golden invariant
+	// must hold for all three.
+	ingest := func(e *Engine, recs []logs.ProxyRecord, shape int) {
 		t.Helper()
-		if batched {
+		switch shape {
+		case 0:
+			for _, r := range recs {
+				if err := e.IngestProxy(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 1:
 			for len(recs) > 0 {
 				n := min(97, len(recs))
 				if err := e.IngestBatch(recs[:n]); err != nil {
@@ -145,12 +155,21 @@ func TestStreamingMatchesBatch(t *testing.T) {
 				}
 				recs = recs[n:]
 			}
-			return
-		}
-		for _, r := range recs {
-			if err := e.IngestProxy(r); err != nil {
+		default:
+			var tsv []byte
+			for _, r := range recs {
+				tsv = logs.AppendProxy(tsv, r)
+			}
+			dec := logs.GetProxyDecoder()
+			defer logs.PutProxyDecoder(dec)
+			decoded, err := logs.ReadProxyBatch(bytes.NewReader(tsv), dec, logs.GetProxyBuf(len(recs)))
+			if err != nil {
 				t.Fatal(err)
 			}
+			if err := e.IngestBatch(decoded); err != nil {
+				t.Fatal(err)
+			}
+			logs.PutProxyBuf(decoded)
 		}
 	}
 	ckptDay := len(days) - 3 // a post-calibration operation day
@@ -166,7 +185,7 @@ func TestStreamingMatchesBatch(t *testing.T) {
 		if i == ckptDay {
 			half = len(recs) / 2
 		}
-		ingest(e, recs[:half], i%2 == 0)
+		ingest(e, recs[:half], i%3)
 		if i == ckptDay {
 			// Mid-day restart: checkpoint, abandon the engine, restore
 			// into a fresh one with a different shard count, resume.
@@ -182,9 +201,9 @@ func TestStreamingMatchesBatch(t *testing.T) {
 				t.Fatal(err)
 			}
 			abandonEngine(abandoned)
-			// Resume with the other ingestion shape than the first half
+			// Resume with a different ingestion shape than the first half
 			// used, crossing the restore boundary with batches in play.
-			ingest(e, recs[half:], i%2 != 0)
+			ingest(e, recs[half:], (i+1)%3)
 		}
 	}
 	if err := e.Flush(); err != nil {

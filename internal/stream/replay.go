@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/logs"
 )
 
 // ReplayOptions parameterizes ReplayDir.
@@ -37,8 +38,26 @@ func ReplayDir(e *Engine, dir string, opts ReplayOptions) error {
 	if opts.MaxGap <= 0 {
 		opts.MaxGap = 10 * time.Second
 	}
+	// One pooled decoder and one pooled record buffer serve every day file:
+	// the interning tables stay warm across days (an enterprise's hosts and
+	// user agents barely change overnight) and, after the first day grows
+	// the buffer, per-day loading stops allocating. Records are dropped as
+	// soon as the engine has them — IngestBatch reduces synchronously — so
+	// reusing the buffer across days is safe.
+	dec := logs.GetProxyDecoder()
+	buf := logs.GetProxyBuf(replayBatchSize)
+	defer func() {
+		logs.PutProxyDecoder(dec)
+		logs.PutProxyBuf(buf)
+	}()
 	for _, d := range days {
-		recs, leases, err := batch.LoadProxyDay(d)
+		recs, leases, err := batch.LoadProxyDayInto(d, dec, buf[:0])
+		// Track the longest extent ever written on the current backing
+		// array, so PutProxyBuf clears records from earlier, longer days
+		// too, not just the final day's prefix.
+		if cap(recs) > cap(buf) || len(recs) > len(buf) {
+			buf = recs
+		}
 		if err != nil {
 			return err
 		}
