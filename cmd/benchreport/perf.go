@@ -15,6 +15,8 @@ import (
 	"repro/internal/ccdetect"
 	"repro/internal/features"
 	"repro/internal/gen"
+	"repro/internal/inputs"
+	"repro/internal/loadgen"
 	"repro/internal/logs"
 	"repro/internal/normalize"
 	"repro/internal/pipeline"
@@ -93,6 +95,21 @@ type perfSnapshot struct {
 	CheckpointV2EncodeMs  float64 `json:"checkpointV2EncodeMs"`
 	CheckpointV1RestoreMs float64 `json:"checkpointV1RestoreMs"`
 	CheckpointV2RestoreMs float64 `json:"checkpointV2RestoreMs"`
+
+	// A short in-process soak through the live TCP listener: the loadgen
+	// traffic model paced at SoakTargetRecS into an internal/inputs
+	// listener feeding the engine. Latency is per framed batch write;
+	// drops must be zero at this rate (the snapshot records them so a
+	// regression is visible, not fatal).
+	SoakSeconds        float64 `json:"soakSeconds"`
+	SoakTargetRecS     float64 `json:"soakTargetRecS"`
+	SoakAchievedRecS   float64 `json:"soakAchievedRecS"`
+	SoakRecords        int64   `json:"soakRecords"`
+	SoakDroppedRecords int64   `json:"soakDroppedRecords"`
+	SoakP50Micros      int64   `json:"soakP50Micros"`
+	SoakP95Micros      int64   `json:"soakP95Micros"`
+	SoakP99Micros      int64   `json:"soakP99Micros"`
+	SoakHeapPeakBytes  uint64  `json:"soakHeapPeakBytes"`
 }
 
 const perfRounds = 3
@@ -116,6 +133,9 @@ func runPerf(path string, seed int64) error {
 		return err
 	}
 	if err := perfCheckpoint(&snap); err != nil {
+		return err
+	}
+	if err := perfSoak(&snap); err != nil {
 		return err
 	}
 
@@ -516,5 +536,55 @@ func perfCheckpoint(snap *perfSnapshot) error {
 		*f.encodeMs = medianMs(encRuns)
 		*f.restoreMs = medianMs(resRuns)
 	}
+	return nil
+}
+
+// perfSoak runs the heavy-traffic harness end to end in-process: loadgen's
+// traffic model paced over a real TCP connection into a live framed
+// listener feeding the engine. One round, not a median — a soak's variance
+// is itself part of what the percentiles report.
+func perfSoak(snap *perfSnapshot) error {
+	const (
+		soakRate     = 25000.0
+		soakDuration = 3 * time.Second
+	)
+	pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{}, whois.NewRegistry(), nil, nil)
+	e := stream.New(stream.Config{Shards: 4, QueueDepth: 8192, TrainingDays: 1 << 30}, pipe)
+	defer e.Close()
+	l, err := inputs.Listen(e, "127.0.0.1:0", inputs.Config{Name: "soak", Framing: inputs.FramingNewline})
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	m := loadgen.NewModel(loadgen.ModelConfig{Seed: snap.Seed})
+	if err := e.BeginDay(m.Day(), nil); err != nil {
+		return err
+	}
+	res, err := loadgen.Run(loadgen.DriverConfig{
+		Mode: "tcp", Addr: l.Addr().String(), Framing: inputs.FramingNewline,
+		Rate: soakRate, Duration: soakDuration, Batch: 512,
+	}, m)
+	if err != nil {
+		return err
+	}
+	// Let the listener drain the tail so the drop counters are final.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := l.Stats()
+		if st.Records+st.SheddedRecords+st.RejectedRecords >= res.SentRecords {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := l.Stats()
+	snap.SoakSeconds = soakDuration.Seconds()
+	snap.SoakTargetRecS = res.TargetRecS
+	snap.SoakAchievedRecS = res.AchievedRecS
+	snap.SoakRecords = res.SentRecords
+	snap.SoakDroppedRecords = st.SheddedRecords + st.RejectedRecords
+	snap.SoakP50Micros = res.P50Micros
+	snap.SoakP95Micros = res.P95Micros
+	snap.SoakP99Micros = res.P99Micros
+	snap.SoakHeapPeakBytes = res.HeapPeakBytes
 	return nil
 }

@@ -1,0 +1,244 @@
+// Command loadgen drives heavy synthetic proxy traffic at a reprod daemon
+// and reports whether the daemon kept up: achieved rate vs target, ingest
+// latency percentiles, daemon-side drops, and the daemon's memory ceiling.
+//
+// Usage:
+//
+//	loadgen [-mode tcp|http] [-target ADDR] [-admin URL] [-rate N]
+//	        [-duration D] [-batch N] [-framing newline|octet]
+//	        [-seed N] [-hosts N] [-domains N] [-cc N] [-cc-period D]
+//	        [-day YYYY-MM-DD] [-open-day] [-report FILE]
+//	loadgen -selftest [-rate N] [-duration D] ...
+//
+// In tcp mode, -target is a live listener address (the daemon's
+// -listen-tcp or -listen-syslog; pick -framing to match: newline for
+// -listen-tcp, syslog — octet frames carrying an RFC 5424 header — for
+// -listen-syslog; bare octet is raw octet framing with no header, for
+// listeners configured without one). In http mode, -target is the
+// daemon's base URL and batches go to POST /ingest. With -admin set, the
+// driver polls GET /stats for the daemon's heap ceiling and listener drop
+// counters, and -open-day opens the model's virtual day over POST /day
+// before driving.
+//
+// -selftest runs the whole loop in-process — model, paced TCP sender,
+// listener, engine — at a deliberately sustainable rate, and exits
+// non-zero unless delivery was lossless and every counter agrees. CI runs
+// it as the soak smoke.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/inputs"
+	"repro/internal/loadgen"
+	"repro/internal/pipeline"
+	"repro/internal/stream"
+	"repro/internal/whois"
+)
+
+type options struct {
+	mode     string
+	target   string
+	admin    string
+	rate     float64
+	duration time.Duration
+	batch    int
+	framing  string
+	seed     int64
+	hosts    int
+	domains  int
+	cc       int
+	ccPeriod time.Duration
+	day      string
+	openDay  bool
+	report   string
+	selftest bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.mode, "mode", "tcp", "transport: tcp (framed listener) or http (POST /ingest)")
+	flag.StringVar(&o.target, "target", "", "tcp: listener host:port; http: daemon base URL")
+	flag.StringVar(&o.admin, "admin", "", "daemon base URL for /stats polling and -open-day (optional)")
+	flag.Float64Var(&o.rate, "rate", 10000, "target ingest rate, records/second")
+	flag.DurationVar(&o.duration, "duration", time.Minute, "how long to sustain the rate")
+	flag.IntVar(&o.batch, "batch", 256, "records per send")
+	flag.StringVar(&o.framing, "framing", "newline", "tcp framing: newline, octet, or syslog (octet + RFC 5424 header)")
+	flag.Int64Var(&o.seed, "seed", 1, "traffic model seed")
+	flag.IntVar(&o.hosts, "hosts", 0, "browsing host pool (0 = default)")
+	flag.IntVar(&o.domains, "domains", 0, "benign domain pool (0 = default)")
+	flag.IntVar(&o.cc, "cc", 0, "beaconing C&C pairs (0 = default)")
+	flag.DurationVar(&o.ccPeriod, "cc-period", 0, "beacon period in virtual time (0 = default)")
+	flag.StringVar(&o.day, "day", "", "virtual day YYYY-MM-DD (default 2014-03-01)")
+	flag.BoolVar(&o.openDay, "open-day", false, "open the virtual day via the admin API before driving (requires -admin)")
+	flag.StringVar(&o.report, "report", "", "write the result JSON here instead of stdout")
+	flag.BoolVar(&o.selftest, "selftest", false, "run an in-process lossless soak and exit non-zero on any loss or mismatch")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func (o options) modelConfig() (loadgen.ModelConfig, error) {
+	cfg := loadgen.ModelConfig{
+		Seed: o.seed, Hosts: o.hosts, Domains: o.domains,
+		CCPairs: o.cc, CCPeriod: o.ccPeriod,
+	}
+	if o.day != "" {
+		day, err := time.Parse("2006-01-02", o.day)
+		if err != nil {
+			return cfg, fmt.Errorf("bad -day %q: want YYYY-MM-DD", o.day)
+		}
+		cfg.Day = day
+	}
+	return cfg, nil
+}
+
+func (o options) parseFraming() (inputs.Framing, bool, error) {
+	switch o.framing {
+	case "newline":
+		return inputs.FramingNewline, false, nil
+	case "octet":
+		return inputs.FramingOctet, false, nil
+	case "syslog":
+		return inputs.FramingOctet, true, nil
+	}
+	return 0, false, fmt.Errorf("bad -framing %q: want newline, octet, or syslog", o.framing)
+}
+
+func run(o options) error {
+	mcfg, err := o.modelConfig()
+	if err != nil {
+		return err
+	}
+	framing, syslogHeader, err := o.parseFraming()
+	if err != nil {
+		return err
+	}
+	if o.selftest {
+		return selftest(o, mcfg, framing, syslogHeader)
+	}
+	if o.target == "" {
+		return fmt.Errorf("-target is required (or use -selftest)")
+	}
+	m := loadgen.NewModel(mcfg)
+	if o.openDay {
+		if o.admin == "" {
+			return fmt.Errorf("-open-day requires -admin")
+		}
+		if err := openDay(o.admin, m.Day()); err != nil {
+			return err
+		}
+	}
+	res, runErr := loadgen.Run(loadgen.DriverConfig{
+		Mode: o.mode, Addr: o.target, AdminURL: o.admin,
+		Rate: o.rate, Duration: o.duration, Batch: o.batch,
+		Framing: framing, SyslogHeader: syslogHeader,
+	}, m)
+	if err := writeReport(o.report, res); err != nil {
+		return err
+	}
+	return runErr
+}
+
+func openDay(admin string, day time.Time) error {
+	body := fmt.Sprintf(`{"date":%q}`, day.Format("2006-01-02"))
+	resp, err := http.Post(admin+"/day", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("open day: daemon answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func writeReport(path string, res loadgen.Result) error {
+	out := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// selftest wires the full loop in one process: model → paced TCP sender →
+// framed listener → streaming engine. At a sustainable rate nothing may be
+// shed, rejected, or malformed, and the sender's, listener's and engine's
+// counts must agree exactly. This is the CI soak smoke, so violations are
+// reported all at once rather than first-failure.
+func selftest(o options, mcfg loadgen.ModelConfig, framing inputs.Framing, syslogHeader bool) error {
+	pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{}, whois.NewRegistry(), nil, nil)
+	eng := stream.New(stream.Config{Shards: 2, TrainingDays: 1 << 30}, pipe)
+	defer eng.Close()
+	l, err := inputs.Listen(eng, "127.0.0.1:0", inputs.Config{
+		Name: "selftest", Framing: framing, SyslogHeader: syslogHeader,
+	})
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	m := loadgen.NewModel(mcfg)
+	if err := eng.BeginDay(m.Day(), nil); err != nil {
+		return err
+	}
+
+	res, runErr := loadgen.Run(loadgen.DriverConfig{
+		Mode: "tcp", Addr: l.Addr().String(),
+		Framing: framing, SyslogHeader: syslogHeader,
+		Rate: o.rate, Duration: o.duration, Batch: o.batch,
+	}, m)
+	if runErr != nil {
+		return runErr
+	}
+	// The listener delivers the tail asynchronously after the sender's
+	// connection closes; wait for the counters to settle.
+	deadline := time.Now().Add(10 * time.Second)
+	for l.Stats().Records != res.SentRecords && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := writeReport(o.report, res); err != nil {
+		return err
+	}
+
+	st := l.Stats()
+	engRecords := int64(eng.Stats().DayRecords)
+	var faults []string
+	if res.SentRecords == 0 {
+		faults = append(faults, "drove zero records")
+	}
+	if res.AckedRecords != res.SentRecords {
+		faults = append(faults, fmt.Sprintf("acked %d of %d sent", res.AckedRecords, res.SentRecords))
+	}
+	if st.SheddedRecords != 0 || st.RejectedRecords != 0 || st.MalformedFrames != 0 {
+		faults = append(faults, fmt.Sprintf("listener lost records: shed %d, rejected %d, malformed %d",
+			st.SheddedRecords, st.RejectedRecords, st.MalformedFrames))
+	}
+	if st.Records != res.SentRecords {
+		faults = append(faults, fmt.Sprintf("listener delivered %d of %d sent", st.Records, res.SentRecords))
+	}
+	if engRecords != res.SentRecords {
+		faults = append(faults, fmt.Sprintf("engine holds %d of %d sent", engRecords, res.SentRecords))
+	}
+	if len(faults) > 0 {
+		return fmt.Errorf("selftest failed: %s", strings.Join(faults, "; "))
+	}
+	fmt.Fprintf(os.Stderr, "selftest ok: %d records at %.0f rec/s, p99 %dµs, zero loss\n",
+		res.SentRecords, res.AchievedRecS, res.P99Micros)
+	return nil
+}

@@ -10,6 +10,7 @@
 //	       [-replay DIR] [-speed X]
 //	       [-checkpoint FILE] [-checkpoint-interval D] [-max-ingest-bytes N]
 //	       [-alert-config FILE] [-preview-interval D]
+//	       [-listen-tcp ADDR] [-listen-syslog ADDR] [-listen-flow ADDR]
 //
 // Because the paper's intelligence externals (VirusTotal, SOC IOC lists,
 // WHOIS) are simulated, the daemon synthesizes them from the dataset seed:
@@ -41,6 +42,19 @@
 //	                        dropped, per-sink queue depth and last error)
 //	GET  /healthz           liveness
 //
+// # Live listeners
+//
+// Beyond TSV-over-HTTP, the daemon ingests framed TCP feeds (see
+// internal/inputs): -listen-tcp accepts newline-delimited proxy TSV
+// records, -listen-syslog accepts RFC 6587 octet-counted frames carrying
+// an RFC 5424 header whose message is one proxy TSV record, and
+// -listen-flow accepts newline-delimited netflow TSV records embedded
+// through the flow reduction's filters. TCP cannot answer 429, so a
+// lagging engine sheds listener batches with counted drops; per-listener
+// counters (frames, records, sheds, malformed) appear under "inputs" in
+// GET /stats. Days are still opened via POST /day (or replay): listener
+// records arriving with no day open are counted as rejected, not buffered.
+//
 // # Alerting
 //
 // -alert-config FILE (TOML or JSON; see internal/alert) wires detection
@@ -52,12 +66,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -65,6 +83,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/eval"
 	"repro/internal/gen"
+	"repro/internal/inputs"
 	"repro/internal/intel"
 	"repro/internal/pipeline"
 	"repro/internal/report"
@@ -88,6 +107,9 @@ type daemonOpts struct {
 	maxIngest    int64
 	alertConfig  string
 	previewEvery time.Duration
+	listenTCP    string
+	listenSyslog string
+	listenFlow   string
 }
 
 func main() {
@@ -106,6 +128,9 @@ func main() {
 	flag.Int64Var(&o.maxIngest, "max-ingest-bytes", defaultMaxIngestBytes, "largest accepted /ingest body in bytes (oversized requests get 413)")
 	flag.StringVar(&o.alertConfig, "alert-config", "", "alert routing configuration (TOML or JSON): sinks (webhook/syslog/file/stdout) and rules; day-close reports publish confirmed alert events")
 	flag.DurationVar(&o.previewEvery, "preview-interval", 0, "run a mid-day detection preview periodically (e.g. 5m; 0 = off), publishing provisional alert events")
+	flag.StringVar(&o.listenTCP, "listen-tcp", "", "also ingest newline-framed proxy TSV records on this TCP address")
+	flag.StringVar(&o.listenSyslog, "listen-syslog", "", "also ingest RFC 6587 octet-counted RFC 5424 syslog frames (proxy TSV message body) on this TCP address")
+	flag.StringVar(&o.listenFlow, "listen-flow", "", "also ingest newline-framed netflow TSV records on this TCP address")
 	flag.Parse()
 
 	if o.ckptInterval > 0 && o.checkpoint == "" {
@@ -173,20 +198,63 @@ func newEngine(o daemonOpts, engCfg stream.Config) (*stream.Engine, error) {
 	return stream.New(engCfg, pipe), nil
 }
 
-func run(o daemonOpts) error {
-	// The alert dispatcher outlives the engine teardown path: Publish never
-	// blocks, and Close (deferred) flushes what the sinks can still take.
-	var alerts *alert.Dispatcher
+// shutdownGrace bounds each stage of the ordered shutdown: draining
+// in-flight HTTP requests, and waiting out an in-flight day-close.
+const shutdownGrace = 10 * time.Second
+
+// daemon owns the running pieces of one reprod process and the order they
+// are torn down in. The shutdown sequence is the data-safety contract:
+// every record the daemon acknowledged — a 200 on /ingest, a completed
+// listener batch — must be inside the final checkpoint.
+type daemon struct {
+	o       daemonOpts
+	eng     *stream.Engine
+	srv     *server
+	httpSrv *http.Server
+	httpLn  net.Listener
+	alerts  *alert.Dispatcher
+	inputs  []*inputs.Listener
+
+	// stop ends the background loops (periodic checkpoints, previews) and
+	// interrupts a running replay; rolledOver carries the engine's
+	// "day completed" pulses to the rollover-checkpoint goroutine and is
+	// closed only once the engine is quiesced.
+	stop       chan struct{}
+	rolledOver chan struct{}
+	errc       chan error
+	replayWG   sync.WaitGroup
+	loopWG     sync.WaitGroup
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// newDaemon builds every component and binds every socket, so address
+// errors surface before any goroutine starts and tests learn the real
+// ports from an ":0" bind.
+func newDaemon(o daemonOpts) (*daemon, error) {
+	var err error
+	d := &daemon{
+		o:          o,
+		stop:       make(chan struct{}),
+		rolledOver: make(chan struct{}, 1),
+		errc:       make(chan error, 4),
+	}
+	// The alert dispatcher outlives the engine teardown path: Publish
+	// never blocks, and Close flushes what the sinks can still take.
+	defer func() {
+		if err != nil {
+			d.closeSockets()
+		}
+	}()
 	if o.alertConfig != "" {
-		acfg, err := alert.LoadConfig(o.alertConfig)
-		if err != nil {
-			return fmt.Errorf("alert config %s: %w", o.alertConfig, err)
+		var acfg alert.Config
+		if acfg, err = alert.LoadConfig(o.alertConfig); err != nil {
+			return nil, fmt.Errorf("alert config %s: %w", o.alertConfig, err)
 		}
-		alerts, err = alert.NewDispatcherFromConfig(acfg)
-		if err != nil {
-			return fmt.Errorf("alert config %s: %w", o.alertConfig, err)
+		if d.alerts, err = alert.NewDispatcherFromConfig(acfg); err != nil {
+			return nil, fmt.Errorf("alert config %s: %w", o.alertConfig, err)
 		}
-		defer alerts.Close()
 		log.Printf("alerting to %d sinks via %s", len(acfg.Sinks), o.alertConfig)
 	}
 
@@ -194,7 +262,6 @@ func run(o daemonOpts) error {
 	// checkpoint (which re-freezes it) is kicked to a separate goroutine.
 	// Alert publishing, by contrast, is safe inline: Publish is a
 	// non-blocking counter bump + channel send by contract.
-	rolledOver := make(chan struct{}, 1)
 	engCfg := stream.Config{
 		Shards: o.shards, QueueDepth: o.queue, TrainingDays: o.training,
 		OnReport: func(rep pipeline.EnterpriseDayReport, daily *report.Daily) {
@@ -205,75 +272,215 @@ func run(o daemonOpts) error {
 				log.Printf("day %s processed: %d records, %d rare, %d automated, %d suspicious domains",
 					rep.Day.Format("2006-01-02"), rep.Stats.Records, rep.RareCount,
 					len(rep.Automated), len(daily.Domains))
-				if alerts != nil {
+				if d.alerts != nil {
 					for _, ev := range alert.EventsFromDaily(*daily, alert.KindConfirmed, time.Now()) {
-						alerts.Publish(ev)
+						d.alerts.Publish(ev)
 					}
 				}
 			}
 			select {
-			case rolledOver <- struct{}{}:
+			case d.rolledOver <- struct{}{}:
 			default:
 			}
 		},
 	}
-	e, err := newEngine(o, engCfg)
+	d.eng, err = newEngine(o, engCfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
-	srv := newServer(e, o.checkpoint, o.maxIngest, alerts)
-	httpSrv := &http.Server{Addr: o.addr, Handler: srv.mux()}
+	d.srv = newServer(d.eng, o.checkpoint, o.maxIngest, d.alerts)
+	d.httpLn, err = net.Listen("tcp", o.addr)
+	if err != nil {
+		return nil, err
+	}
+	d.httpSrv = &http.Server{Handler: d.srv.mux()}
 
-	errc := make(chan error, 2)
+	// The live listeners bind here but accept immediately: the engine is
+	// already able to ingest (or to count rejections when no day is open).
+	type spec struct {
+		addr string
+		cfg  inputs.Config
+	}
+	specs := []spec{
+		{o.listenTCP, inputs.Config{Name: "tcp", Framing: inputs.FramingNewline, Format: inputs.FormatProxy}},
+		{o.listenSyslog, inputs.Config{Name: "syslog", Framing: inputs.FramingOctet, Format: inputs.FormatProxy, SyslogHeader: true}},
+		{o.listenFlow, inputs.Config{Name: "flow", Framing: inputs.FramingNewline, Format: inputs.FormatFlow}},
+	}
+	for _, sp := range specs {
+		if sp.addr == "" {
+			continue
+		}
+		sp.cfg.Logf = log.Printf
+		var l *inputs.Listener
+		if l, err = inputs.Listen(d.eng, sp.addr, sp.cfg); err != nil {
+			return nil, err
+		}
+		log.Printf("ingesting %s records on %s", sp.cfg.Name, l.Addr())
+		d.inputs = append(d.inputs, l)
+	}
+	d.srv.inputs = d.inputs
+	return d, nil
+}
+
+// closeSockets releases everything newDaemon bound — the bail-out path
+// when construction fails partway.
+func (d *daemon) closeSockets() {
+	for _, l := range d.inputs {
+		l.Close()
+	}
+	if d.httpLn != nil {
+		d.httpLn.Close()
+	}
+	if d.alerts != nil {
+		d.alerts.Close()
+	}
+}
+
+// start launches the daemon's goroutines: the HTTP server, the
+// rollover-checkpoint consumer, the optional periodic-checkpoint and
+// preview loops, and the optional replay.
+func (d *daemon) start() {
 	go func() {
-		log.Printf("reprod listening on %s", o.addr)
-		errc <- httpSrv.ListenAndServe()
+		log.Printf("reprod listening on %s", d.httpLn.Addr())
+		if err := d.httpSrv.Serve(d.httpLn); !errors.Is(err, http.ErrServerClosed) {
+			d.errc <- err
+		}
 	}()
+	d.loopWG.Add(1)
 	go func() {
-		for range rolledOver {
-			if err := srv.writeCheckpoint(); err != nil {
+		defer d.loopWG.Done()
+		for range d.rolledOver {
+			if err := d.srv.writeCheckpoint(); err != nil {
 				log.Printf("checkpoint after rollover: %v", err)
 			}
 		}
 	}()
-	if o.checkpoint != "" && o.ckptInterval > 0 {
-		go srv.runPeriodicCheckpoints(o.ckptInterval, nil)
-	}
-	if o.previewEvery > 0 {
-		go srv.runPreviewLoop(o.previewEvery, nil)
-	}
-
-	if o.replay != "" {
+	if d.o.checkpoint != "" && d.o.ckptInterval > 0 {
+		d.loopWG.Add(1)
 		go func() {
+			defer d.loopWG.Done()
+			d.srv.runPeriodicCheckpoints(d.o.ckptInterval, d.stop)
+		}()
+	}
+	if d.o.previewEvery > 0 {
+		d.loopWG.Add(1)
+		go func() {
+			defer d.loopWG.Done()
+			d.srv.runPreviewLoop(d.o.previewEvery, d.stop)
+		}()
+	}
+	if d.o.replay != "" {
+		d.replayWG.Add(1)
+		go func() {
+			defer d.replayWG.Done()
 			start := time.Now()
-			err := stream.ReplayDir(e, o.replay, stream.ReplayOptions{
-				Speed: o.speed,
-				OnDay: func(d batch.Day, records int) {
-					log.Printf("replaying %s (%d records)", d.Date.Format("2006-01-02"), records)
+			err := stream.ReplayDir(d.eng, d.o.replay, stream.ReplayOptions{
+				Speed: d.o.speed,
+				Stop:  d.stop,
+				OnDay: func(day batch.Day, records int) {
+					log.Printf("replaying %s (%d records)", day.Date.Format("2006-01-02"), records)
 				},
 			})
-			if err != nil {
-				errc <- fmt.Errorf("replay: %w", err)
+			switch {
+			case errors.Is(err, stream.ErrStopped):
+				log.Printf("replay of %s interrupted by shutdown", d.o.replay)
+				return
+			case err != nil:
+				d.errc <- fmt.Errorf("replay: %w", err)
 				return
 			}
-			log.Printf("replay of %s done in %v; serving reports", o.replay, time.Since(start).Round(time.Millisecond))
-			if cerr := srv.writeCheckpoint(); cerr != nil {
+			log.Printf("replay of %s done in %v; serving reports", d.o.replay, time.Since(start).Round(time.Millisecond))
+			if cerr := d.srv.writeCheckpoint(); cerr != nil {
 				log.Printf("checkpoint: %v", cerr)
 			}
 		}()
 	}
+}
+
+// shutdown tears the daemon down in acknowledgment-safe order and writes
+// the final checkpoint last, so the snapshot covers everything any client
+// was told succeeded. Idempotent; later calls return the first result.
+func (d *daemon) shutdown() error {
+	d.shutdownOnce.Do(func() { d.shutdownErr = d.doShutdown() })
+	return d.shutdownErr
+}
+
+func (d *daemon) doShutdown() error {
+	// 1. Stop HTTP intake gracefully: no new connections, in-flight
+	// requests run to completion so their 200s are honest. A wedged
+	// handler falls back to a hard close after the grace period.
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := d.httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v; closing remaining connections", err)
+		d.httpSrv.Close()
+	}
+	// 2. Stop the live listeners: Close unblocks every connection read and
+	// waits for the handlers to deliver their pending parsed batches.
+	for _, l := range d.inputs {
+		l.Close()
+	}
+	// 3. Stop the background loops and interrupt a running replay at its
+	// next batch boundary.
+	close(d.stop)
+	d.replayWG.Wait()
+	// 4. Quiesce the engine: wait out an in-flight day-close. After this,
+	// with every ingest source stopped and no close pending, nothing can
+	// fire OnReport again — so closing rolledOver is safe, and the
+	// rollover-checkpoint goroutine drains any pending pulse and exits.
+	d.awaitCloseDrained()
+	close(d.rolledOver)
+	d.loopWG.Wait()
+	// 5. Only now snapshot: the checkpoint sees every acknowledged record
+	// and the completed day history.
+	if err := d.srv.writeCheckpoint(); err != nil {
+		return fmt.Errorf("shutdown checkpoint: %w", err)
+	}
+	if d.alerts != nil {
+		d.alerts.Close()
+	}
+	return nil
+}
+
+// awaitCloseDrained polls out the background day-close, bounded by the
+// shutdown grace period — a hung pipeline must not make SIGTERM hang
+// forever; the checkpoint format tolerates an in-flight close either way.
+func (d *daemon) awaitCloseDrained() {
+	deadline := time.Now().Add(shutdownGrace)
+	for {
+		if _, pending := d.eng.PendingClose(); !pending {
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Printf("day-close still running after %v; checkpointing around it", shutdownGrace)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func run(o daemonOpts) error {
+	d, err := newDaemon(o)
+	if err != nil {
+		return err
+	}
+	d.start()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
 	select {
-	case err := <-errc:
+	case err := <-d.errc:
+		// Fatal component failure (HTTP serve, replay): still run the
+		// ordered shutdown so acknowledged records reach the checkpoint,
+		// but report the original failure.
+		if serr := d.shutdown(); serr != nil {
+			log.Printf("shutdown after failure: %v", serr)
+		}
 		return err
 	case s := <-sig:
-		log.Printf("received %v, checkpointing and shutting down", s)
-		if err := srv.writeCheckpoint(); err != nil {
-			log.Printf("checkpoint: %v", err)
-		}
-		return httpSrv.Close()
+		log.Printf("received %v, shutting down", s)
+		return d.shutdown()
 	}
 }

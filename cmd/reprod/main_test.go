@@ -4,12 +4,16 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"net/netip"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -666,4 +670,260 @@ func BenchmarkIngestBlockedSink(b *testing.B) {
 		d.Publish(alert.HealthEvent(alert.SevInfo, time.Now(), "prime"))
 	}
 	benchIngest(b, d)
+}
+
+// testDaemon builds and starts a full daemon on ephemeral ports, with the
+// engine defaults the HTTP tests use. Tests that shut it down themselves
+// are fine: shutdown is idempotent.
+func testDaemon(t *testing.T, o daemonOpts) *daemon {
+	t.Helper()
+	if o.addr == "" {
+		o.addr = "127.0.0.1:0"
+	}
+	if o.shards == 0 {
+		o.shards = 2
+	}
+	if o.training == 0 {
+		o.training = 1 << 30
+	}
+	o.seed = 1
+	d, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.start()
+	t.Cleanup(func() { _ = d.shutdown() })
+	return d
+}
+
+// restoreCheckpointRecords restores a checkpoint file, flushes the open
+// day, and returns that day's record count.
+func restoreCheckpointRecords(t *testing.T, path, date string) int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	restored, err := stream.Restore(f, stream.Config{Shards: 2, TrainingDays: 1 << 30},
+		stream.RestoreDeps{Whois: whois.NewRegistry()})
+	if err != nil {
+		t.Fatalf("shutdown checkpoint does not restore: %v", err)
+	}
+	defer restored.Close()
+	if err := restored.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := restored.DayReport(date)
+	if !ok {
+		t.Fatalf("restored checkpoint has no day %s", date)
+	}
+	return rep.Stats.Records
+}
+
+// TestShutdownPreservesAckedRecords is the regression test for the
+// shutdown data-loss bug: the old path checkpointed first and then
+// hard-closed the HTTP server, so a batch acknowledged with 200 between
+// those two steps vanished. Now acknowledgment-before-checkpoint is the
+// invariant: hammer /ingest from several connections, shut down mid-storm,
+// and every record a 200 acknowledged must be in the final checkpoint.
+func TestShutdownPreservesAckedRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reprod.ckpt")
+	d := testDaemon(t, daemonOpts{checkpoint: path})
+	base := "http://" + d.httpLn.Addr().String()
+
+	resp, err := http.Post(base+"/day", "application/json", strings.NewReader(`{"date":"2014-03-01"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("day open = %d", resp.StatusCode)
+	}
+
+	day := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	const perBatch = 5
+	body := proxyTSV(t, testRecords(day, perBatch))
+	var acked atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				resp, err := http.Post(base+"/ingest", "text/tab-separated-values", strings.NewReader(body))
+				if err != nil {
+					return // server gone: shutdown finished closing the socket
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					return // 503 during shutdown, or hard refusal
+				}
+				acked.Add(perBatch)
+			}
+		}()
+	}
+
+	// Shut down only once the storm is actually landing acks, so the
+	// shutdown races real in-flight requests.
+	deadline := time.Now().Add(10 * time.Second)
+	for acked.Load() < 3*perBatch {
+		if time.Now().After(deadline) {
+			t.Fatal("ingest hammer never got going")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := d.shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	got := restoreCheckpointRecords(t, path, "2014-03-01")
+	if int64(got) < acked.Load() {
+		t.Fatalf("shutdown lost acknowledged records: %d acked with 200, checkpoint has %d", acked.Load(), got)
+	}
+}
+
+// writeReplayDay lays out one cmd/datagen-shaped day file pair for -replay.
+func writeReplayDay(t *testing.T, dir string, day time.Time, n int) {
+	t.Helper()
+	date := day.Format("2006-01-02")
+	f, err := os.Create(filepath.Join(dir, "proxy-"+date+".tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := logs.NewProxyWriter(f)
+	for _, r := range testRecords(day, n) {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "leases-"+date+".json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShutdownInterruptsReplayAndLoops is the regression test for the
+// unstoppable-background-goroutines bug: the periodic checkpoint and
+// preview loops used to get nil stop channels, and a paced replay had no
+// stop at all — a SIGTERM during a -speed replay hung until the dataset
+// ran out. Shutdown must interrupt a mid-sleep paced replay and join every
+// loop, promptly, and still write a checkpoint holding the partial day.
+func TestShutdownInterruptsReplayAndLoops(t *testing.T) {
+	dir := t.TempDir()
+	day := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	writeReplayDay(t, dir, day, 50)
+	path := filepath.Join(t.TempDir(), "reprod.ckpt")
+	// Speed 1 with minute-spaced records: the replayer paces with 10s
+	// (MaxGap-capped) sleeps, so without the stop channel this test would
+	// hang for minutes. The hour-interval loops prove join-on-stop, not
+	// tick-coincidence.
+	d := testDaemon(t, daemonOpts{
+		checkpoint: path, ckptInterval: time.Hour, previewEvery: time.Hour,
+		replay: dir, speed: 1,
+	})
+
+	// Wait for the replay to open the day and land its first record, so
+	// shutdown interrupts a replay that is genuinely mid-pacing-sleep.
+	deadline := time.Now().Add(10 * time.Second)
+	for d.eng.Stats().TotalRecords == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("replay never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- d.shutdown() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(9 * time.Second): // under one 10s pacing sleep
+		t.Fatal("shutdown hung on the paced replay or a background loop")
+	}
+	select {
+	case err := <-d.errc:
+		t.Fatalf("stopped replay surfaced as a failure: %v", err)
+	default:
+	}
+	if got := restoreCheckpointRecords(t, path, "2014-03-01"); got < 1 {
+		t.Fatalf("checkpoint lost the partial replay day: %d records", got)
+	}
+}
+
+// TestListenerWiredIntoDaemon covers the -listen-tcp wiring end to end:
+// records framed over a raw TCP connection land in the engine, the
+// listener counters surface in /stats next to the memory section, and the
+// records survive shutdown into the checkpoint.
+func TestListenerWiredIntoDaemon(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reprod.ckpt")
+	d := testDaemon(t, daemonOpts{checkpoint: path, listenTCP: "127.0.0.1:0"})
+	base := "http://" + d.httpLn.Addr().String()
+
+	resp, err := http.Post(base+"/day", "application/json", strings.NewReader(`{"date":"2014-03-01"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	day := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	conn, err := net.Dial("tcp", d.inputs[0].Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(conn, proxyTSV(t, testRecords(day, 30))); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The listener delivers asynchronously; poll /stats for the counters.
+	var body map[string]any
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(base + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = map[string]any{}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if body["totalRecords"] == float64(30) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("TCP-ingested records never reached the engine: stats %v", body)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ins, _ := body["inputs"].([]any)
+	if len(ins) != 1 {
+		t.Fatalf("stats inputs = %v, want one listener", body["inputs"])
+	}
+	in, _ := ins[0].(map[string]any)
+	if in["name"] != "tcp" || in["records"] != float64(30) || in["connsAccepted"] != float64(1) {
+		t.Fatalf("listener stats = %v", in)
+	}
+	if mem, _ := body["memory"].(map[string]any); mem == nil || mem["heapSysBytes"] == float64(0) {
+		t.Fatalf("stats memory section = %v", body["memory"])
+	}
+
+	if err := d.shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if got := restoreCheckpointRecords(t, path, "2014-03-01"); got != 30 {
+		t.Fatalf("checkpoint after TCP ingest has %d records, want 30", got)
+	}
 }

@@ -10,10 +10,12 @@ import (
 	"net/netip"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/alert"
+	"repro/internal/inputs"
 	"repro/internal/logs"
 	"repro/internal/report"
 	"repro/internal/stream"
@@ -35,6 +37,9 @@ type server struct {
 	// alerts is the outbound alert dispatcher (nil: alerting off). Publish
 	// never blocks, so handlers and engine callbacks call it freely.
 	alerts *alert.Dispatcher
+	// inputs are the live TCP/syslog/netflow listeners, surfaced in /stats.
+	// Set once before the HTTP server starts; read-only afterwards.
+	inputs []*inputs.Listener
 }
 
 func newServer(e *stream.Engine, ckptPath string, maxIngest int64, alerts *alert.Dispatcher) *server {
@@ -107,6 +112,20 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "daysDone": s.eng.DaysDone()})
 }
 
+// memStats is the /stats memory section: enough to watch the daemon's
+// footprint during a soak without shelling into the host.
+type memStats struct {
+	HeapAllocBytes uint64 `json:"heapAllocBytes"`
+	HeapSysBytes   uint64 `json:"heapSysBytes"`
+	NumGC          uint32 `json:"numGC"`
+}
+
+func readMemStats() memStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return memStats{HeapAllocBytes: ms.HeapAlloc, HeapSysBytes: ms.HeapSys, NumGC: ms.NumGC}
+}
+
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st, live := s.eng.Snapshot(25)
 	var alerts *alert.Stats
@@ -114,11 +133,17 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		a := s.alerts.Stats()
 		alerts = &a
 	}
+	var inStats []inputs.Stats
+	for _, l := range s.inputs {
+		inStats = append(inStats, l.Stats())
+	}
 	writeJSON(w, http.StatusOK, struct {
 		stream.Stats
 		LiveAutomated []stream.LivePair `json:"liveAutomated,omitempty"`
 		Alerts        *alert.Stats      `json:"alerts,omitempty"`
-	}{st, live, alerts})
+		Inputs        []inputs.Stats    `json:"inputs,omitempty"`
+		Memory        memStats          `json:"memory"`
+	}{st, live, alerts, inStats, readMemStats()})
 }
 
 // handlePreview computes a fresh mid-day detection preview: the report a

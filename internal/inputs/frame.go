@@ -1,0 +1,191 @@
+package inputs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+)
+
+// Framing selects how records are delimited on a stream connection.
+type Framing int
+
+const (
+	// FramingNewline delimits frames with '\n'; a trailing '\r' is
+	// stripped, so both Unix and CRLF senders work.
+	FramingNewline Framing = iota
+	// FramingOctet is RFC 6587 octet counting: each frame is
+	// "LENGTH SP payload" where LENGTH is the decimal byte count of the
+	// payload. This is what syslog transports emit over TCP, and it is
+	// the only framing that can carry payloads with embedded newlines.
+	FramingOctet
+)
+
+// DefaultMaxFrameBytes bounds a single frame when Config.MaxFrameBytes is
+// zero. It matches the TSV codec's own line cap, so any record the HTTP
+// ingest path would accept fits in one frame.
+const DefaultMaxFrameBytes = 1 << 20
+
+// Frame-splitter errors. All of them are terminal for the connection that
+// produced them: a sender whose framing is broken cannot be resynchronized,
+// so the listener refuses cleanly instead of guessing at record boundaries.
+var (
+	// errFrameTooBig reports a frame over the configured cap — either a
+	// newline never arrived within MaxFrameBytes, or an octet count
+	// promised more than MaxFrameBytes. Treated like the per-connection
+	// byte cap: the sender is hostile or misconfigured.
+	errFrameTooBig = errors.New("inputs: frame exceeds the frame byte cap")
+	// errBadOctetHeader reports an RFC 6587 header that is not
+	// "1*9DIGIT SP": a non-digit length, a missing space, or a length
+	// field long enough to overflow. There is no way to find the next
+	// frame boundary after this, so the connection must close.
+	errBadOctetHeader = errors.New("inputs: malformed octet-count header")
+	// errTornFrame reports a connection that ended mid-frame: bytes after
+	// the last complete frame with no terminator (newline framing) or
+	// fewer payload bytes than the octet count promised. The complete
+	// frames before the tear were already delivered.
+	errTornFrame = errors.New("inputs: connection ended mid-frame")
+)
+
+// maxOctetDigits caps the RFC 6587 length field. Nine digits keep the
+// parsed count well inside int range on every platform; real frames are
+// bounded by MaxFrameBytes long before that.
+const maxOctetDigits = 9
+
+// frameScanner splits a stream into frames with partial-frame buffering:
+// frames may arrive split across arbitrarily many reads (TCP segmentation)
+// and several frames may arrive in one read. The returned frame slices
+// alias the internal buffer and are valid only until the next call.
+type frameScanner struct {
+	r       io.Reader
+	framing Framing
+	max     int
+	buf     []byte
+	start   int // index of the first unconsumed byte in buf
+	eof     bool
+}
+
+func newFrameScanner(r io.Reader, framing Framing, maxFrame int) *frameScanner {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrameBytes
+	}
+	return &frameScanner{r: r, framing: framing, max: maxFrame, buf: make([]byte, 0, 4096)}
+}
+
+// buffered reports whether undelivered bytes sit in the scanner's buffer —
+// the listener flushes its pending batch to the engine before a read that
+// would block, so a slow trickle of records is never parked in the batch
+// buffer waiting for peers.
+func (fs *frameScanner) buffered() bool { return fs.start < len(fs.buf) }
+
+// next returns the next complete frame, io.EOF at a clean end of stream, or
+// a terminal error. The frame aliases the scanner's buffer.
+func (fs *frameScanner) next() ([]byte, error) {
+	if fs.framing == FramingOctet {
+		return fs.nextOctet()
+	}
+	for {
+		if i := bytes.IndexByte(fs.buf[fs.start:], '\n'); i >= 0 {
+			// Enforce the cap on complete lines too, so whether an
+			// over-long line is refused never depends on how the kernel
+			// chunked the reads.
+			if i > fs.max {
+				return nil, errFrameTooBig
+			}
+			frame := fs.buf[fs.start : fs.start+i]
+			fs.start += i + 1
+			if n := len(frame); n > 0 && frame[n-1] == '\r' {
+				frame = frame[:n-1]
+			}
+			return frame, nil
+		}
+		if len(fs.buf)-fs.start > fs.max {
+			return nil, errFrameTooBig
+		}
+		if fs.eof {
+			if fs.start == len(fs.buf) {
+				return nil, io.EOF
+			}
+			return nil, errTornFrame
+		}
+		if err := fs.fill(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (fs *frameScanner) nextOctet() ([]byte, error) {
+	for {
+		b := fs.buf[fs.start:]
+		n, hdr, ok, complete := parseOctetHeader(b)
+		if !ok {
+			return nil, errBadOctetHeader
+		}
+		if complete {
+			if n > fs.max {
+				return nil, errFrameTooBig
+			}
+			if len(b) >= hdr+n {
+				frame := b[hdr : hdr+n]
+				fs.start += hdr + n
+				return frame, nil
+			}
+		}
+		if fs.eof {
+			if len(b) == 0 {
+				return nil, io.EOF
+			}
+			return nil, errTornFrame
+		}
+		if err := fs.fill(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// parseOctetHeader scans an RFC 6587 "LENGTH SP" prefix. ok=false means the
+// bytes can never become a valid header (close the connection);
+// complete=false with ok=true means more bytes are needed.
+func parseOctetHeader(b []byte) (n, hdr int, ok, complete bool) {
+	i := 0
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		if i == maxOctetDigits {
+			return 0, 0, false, false
+		}
+		n = n*10 + int(b[i]-'0')
+		i++
+	}
+	switch {
+	case i == len(b):
+		// All digits so far; the space may still arrive.
+		return 0, 0, true, false
+	case i == 0 || b[i] != ' ':
+		// Leading non-digit, or digits not followed by a space.
+		return 0, 0, false, false
+	}
+	return n, i + 1, true, true
+}
+
+// fill reads more bytes, compacting consumed space first so the buffer
+// stays bounded by the largest frame rather than the connection's history.
+func (fs *frameScanner) fill() error {
+	if fs.start > 0 && (fs.start == len(fs.buf) || len(fs.buf) == cap(fs.buf)) {
+		n := copy(fs.buf, fs.buf[fs.start:])
+		fs.buf = fs.buf[:n]
+		fs.start = 0
+	}
+	if len(fs.buf) == cap(fs.buf) {
+		grown := make([]byte, len(fs.buf), 2*cap(fs.buf))
+		copy(grown, fs.buf)
+		fs.buf = grown
+	}
+	n, err := fs.r.Read(fs.buf[len(fs.buf):cap(fs.buf)])
+	fs.buf = fs.buf[:len(fs.buf)+n]
+	switch {
+	case err == io.EOF:
+		fs.eof = true
+		return nil
+	case err != nil:
+		return err
+	}
+	return nil
+}

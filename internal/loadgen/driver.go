@@ -1,0 +1,330 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"slices"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/inputs"
+	"repro/internal/logs"
+)
+
+// DriverConfig parameterizes one paced soak run.
+type DriverConfig struct {
+	// Mode selects the transport: "tcp" writes framed records to a live
+	// listener; "http" POSTs TSV batches to /ingest.
+	Mode string
+	// Addr is the target: "host:port" for tcp, a base URL such as
+	// "http://127.0.0.1:8714" for http.
+	Addr string
+	// AdminURL, when set, is the daemon's HTTP base; the driver polls its
+	// /stats for the memory ceiling and listener drop counters. Empty
+	// means sample this process instead (the in-process selftest shape).
+	AdminURL string
+	// Rate is the target ingest rate in records per second.
+	Rate float64
+	// Duration is how long to sustain it.
+	Duration time.Duration
+	// Batch is how many records each send carries (default 256).
+	Batch int
+	// Framing applies in tcp mode (default newline).
+	Framing inputs.Framing
+	// SyslogHeader wraps each octet frame's payload in an RFC 5424 header,
+	// the shape the daemon's -listen-syslog drain requires. Only meaningful
+	// with FramingOctet.
+	SyslogHeader bool
+	// SampleEvery is the memory/stats sampling cadence (default 250ms).
+	SampleEvery time.Duration
+}
+
+// Result is what a soak run measured. Latency is per batch send: the RTT
+// of the POST in http mode, the time for the framed write to be accepted
+// in tcp mode (engine backpressure surfaces as slow writes).
+type Result struct {
+	TargetRecS   float64 `json:"targetRecS"`
+	AchievedRecS float64 `json:"achievedRecS"`
+	// SentRecords counts records handed to the transport; AckedRecords
+	// counts records a 200 acknowledged (http) or the socket accepted
+	// (tcp). Listener-side sheds show up in DroppedRecords, not here.
+	SentRecords   int64 `json:"sentRecords"`
+	AckedRecords  int64 `json:"ackedRecords"`
+	ElapsedMillis int64 `json:"elapsedMillis"`
+	// ThrottledBatches counts 429 backpressure responses (http mode).
+	ThrottledBatches int64 `json:"throttledBatches"`
+	// DroppedRecords is the daemon-side shed+rejected delta over the run
+	// (requires AdminURL; -1 when unknown).
+	DroppedRecords int64 `json:"droppedRecords"`
+	P50Micros      int64 `json:"p50Micros"`
+	P95Micros      int64 `json:"p95Micros"`
+	P99Micros      int64 `json:"p99Micros"`
+	// HeapPeakBytes is the highest heap footprint observed during the run:
+	// the daemon's (via /stats) with AdminURL, this process's otherwise.
+	HeapPeakBytes uint64 `json:"heapPeakBytes"`
+}
+
+// sender abstracts the two transports behind one paced loop.
+type sender interface {
+	// send delivers one batch, returning whether it was acknowledged
+	// (false: throttled, counted but not fatal).
+	send(recs []logs.ProxyRecord) (acked bool, err error)
+	close() error
+}
+
+// Run sustains cfg.Rate for cfg.Duration and reports what happened.
+func Run(cfg DriverConfig, m *Model) (Result, error) {
+	if cfg.Batch <= 0 {
+		cfg.Batch = 256
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 250 * time.Millisecond
+	}
+	if cfg.Rate <= 0 {
+		return Result{}, fmt.Errorf("loadgen: rate must be positive, got %g", cfg.Rate)
+	}
+	var s sender
+	var err error
+	switch cfg.Mode {
+	case "tcp":
+		s, err = newTCPSender(cfg.Addr, cfg.Framing, cfg.SyslogHeader)
+	case "http":
+		s = &httpSender{base: cfg.Addr}
+	default:
+		err = fmt.Errorf("loadgen: unknown mode %q (want tcp or http)", cfg.Mode)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.close()
+
+	res := Result{TargetRecS: cfg.Rate, DroppedRecords: -1}
+	dropsBefore, _ := adminDrops(cfg.AdminURL)
+
+	// The memory sampler runs alongside the paced loop; peak is atomic so
+	// the final read needs no join-ordering care.
+	var heapPeak atomic.Uint64
+	stopSampling := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		t := time.NewTicker(cfg.SampleEvery)
+		defer t.Stop()
+		for {
+			sample := localHeap
+			if cfg.AdminURL != "" {
+				sample = func() uint64 { return adminHeap(cfg.AdminURL) }
+			}
+			if h := sample(); h > heapPeak.Load() {
+				heapPeak.Store(h)
+			}
+			select {
+			case <-stopSampling:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+
+	// Paced loop: batch i is due at start + i*interval. Falling behind is
+	// not "sleep less", it is "send immediately" — the achieved-rate gap
+	// in the result is then the honest signal that the target was not
+	// sustainable.
+	interval := time.Duration(float64(cfg.Batch) / cfg.Rate * float64(time.Second))
+	var latencies []int64
+	recs := make([]logs.ProxyRecord, 0, cfg.Batch)
+	start := time.Now()
+	var runErr error
+	for i := 0; ; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		if due.Sub(start) >= cfg.Duration {
+			break
+		}
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		recs = m.Fill(recs[:0], cfg.Batch)
+		t0 := time.Now()
+		acked, err := s.send(recs)
+		if err != nil {
+			runErr = err
+			break
+		}
+		latencies = append(latencies, time.Since(t0).Microseconds())
+		res.SentRecords += int64(len(recs))
+		if acked {
+			res.AckedRecords += int64(len(recs))
+		} else {
+			res.ThrottledBatches++
+		}
+	}
+	elapsed := time.Since(start)
+	close(stopSampling)
+	samplerWG.Wait()
+
+	res.ElapsedMillis = elapsed.Milliseconds()
+	if elapsed > 0 {
+		res.AchievedRecS = float64(res.AckedRecords) / elapsed.Seconds()
+	}
+	res.P50Micros, res.P95Micros, res.P99Micros = percentiles(latencies)
+	res.HeapPeakBytes = heapPeak.Load()
+	if dropsAfter, ok := adminDrops(cfg.AdminURL); ok {
+		res.DroppedRecords = dropsAfter - dropsBefore
+	}
+	return res, runErr
+}
+
+func percentiles(micros []int64) (p50, p95, p99 int64) {
+	if len(micros) == 0 {
+		return 0, 0, 0
+	}
+	slices.Sort(micros)
+	at := func(q float64) int64 {
+		i := int(q * float64(len(micros)-1))
+		return micros[i]
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+// tcpSender frames batches onto one persistent connection — the shape of a
+// forwarder relaying a proxy log in real time.
+type tcpSender struct {
+	conn    net.Conn
+	framing inputs.Framing
+	syslog  bool
+	buf     []byte
+	line    []byte
+}
+
+// syslogHeader is the RFC 5424 prefix for relayed records: PRI 134
+// (local0.info), nil timestamp/PROCID/MSGID, nil structured data. The
+// listener skips the header tokens without interpreting them, so constant
+// nil values keep the stream deterministic per seed.
+const syslogHeader = "<134>1 - loadgen loadgen - - - "
+
+func newTCPSender(addr string, framing inputs.Framing, syslog bool) (*tcpSender, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpSender{conn: conn, framing: framing, syslog: syslog}, nil
+}
+
+func (s *tcpSender) send(recs []logs.ProxyRecord) (bool, error) {
+	s.buf = s.buf[:0]
+	for _, r := range recs {
+		if s.framing == inputs.FramingOctet {
+			s.line = s.line[:0]
+			if s.syslog {
+				s.line = append(s.line, syslogHeader...)
+			}
+			s.line = logs.AppendProxy(s.line, r)
+			payload := s.line[:len(s.line)-1] // the octet count replaces the \n
+			s.buf = strconv.AppendInt(s.buf, int64(len(payload)), 10)
+			s.buf = append(s.buf, ' ')
+			s.buf = append(s.buf, payload...)
+		} else {
+			s.buf = logs.AppendProxy(s.buf, r)
+		}
+	}
+	if _, err := s.conn.Write(s.buf); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func (s *tcpSender) close() error { return s.conn.Close() }
+
+// httpSender POSTs TSV batches to /ingest, the cmd/reprod API shape.
+type httpSender struct {
+	base string
+	buf  bytes.Buffer
+}
+
+func (s *httpSender) send(recs []logs.ProxyRecord) (bool, error) {
+	s.buf.Reset()
+	var raw []byte
+	for _, r := range recs {
+		raw = logs.AppendProxy(raw[:0], r)
+		s.buf.Write(raw)
+	}
+	resp, err := http.Post(s.base+"/ingest", "text/tab-separated-values", &s.buf)
+	if err != nil {
+		return false, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusTooManyRequests:
+		return false, nil // backpressure: counted, not fatal
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("loadgen: /ingest returned %d: %s", resp.StatusCode, body)
+	}
+}
+
+func (s *httpSender) close() error { return nil }
+
+func localHeap() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapSys
+}
+
+// adminStats is the slice of the daemon's /stats the driver reads.
+type adminStats struct {
+	Inputs []inputs.Stats `json:"inputs"`
+	Memory struct {
+		HeapSysBytes uint64 `json:"heapSysBytes"`
+	} `json:"memory"`
+}
+
+func fetchAdminStats(adminURL string) (adminStats, bool) {
+	var st adminStats
+	if adminURL == "" {
+		return st, false
+	}
+	resp, err := http.Get(adminURL + "/stats")
+	if err != nil {
+		return st, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, false
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, false
+	}
+	return st, true
+}
+
+// adminDrops sums the daemon's listener-side losses: records shed under
+// lag plus records the engine rejected.
+func adminDrops(adminURL string) (int64, bool) {
+	st, ok := fetchAdminStats(adminURL)
+	if !ok {
+		return 0, false
+	}
+	var drops int64
+	for _, in := range st.Inputs {
+		drops += in.SheddedRecords + in.RejectedRecords
+	}
+	return drops, true
+}
+
+func adminHeap(adminURL string) uint64 {
+	st, _ := fetchAdminStats(adminURL)
+	return st.Memory.HeapSysBytes
+}

@@ -1,0 +1,194 @@
+package loadgen
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/inputs"
+	"repro/internal/logs"
+)
+
+func TestModelDeterministic(t *testing.T) {
+	a := NewModel(ModelConfig{Seed: 42})
+	b := NewModel(ModelConfig{Seed: 42})
+	ra := a.Fill(nil, 2000)
+	rb := b.Fill(nil, 2000)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("same seed diverged at record %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+	c := NewModel(ModelConfig{Seed: 43})
+	rc := c.Fill(nil, 2000)
+	same := 0
+	for i := range rc {
+		if rc[i] == ra[i] {
+			same++
+		}
+	}
+	if same == len(rc) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestModelTrafficShape(t *testing.T) {
+	// 60000 records at the default 1000 rec/s virtual rate span one
+	// virtual minute; with a 1s beacon period each C&C pair fires ~60
+	// times in it.
+	m := NewModel(ModelConfig{Seed: 7, CCPairs: 2, CCPeriod: time.Second})
+	recs := m.Fill(nil, 60000)
+	beacons := 0
+	hosts := map[string]bool{}
+	domains := map[string]bool{}
+	for i, r := range recs {
+		if r.Time.IsZero() || r.Host == "" || r.Domain == "" {
+			t.Fatalf("record %d incomplete: %+v", i, r)
+		}
+		if i > 0 && r.Time.Before(recs[i-1].Time) {
+			t.Fatalf("record %d goes back in time", i)
+		}
+		if strings.Contains(r.Domain, "lg-malware") {
+			beacons++
+		}
+		hosts[r.Host] = true
+		domains[r.Domain] = true
+	}
+	// 2 pairs × one beacon per virtual minute × 60 minutes, ± staggering.
+	if beacons < 100 || beacons > 140 {
+		t.Fatalf("beacon count = %d over a virtual hour, want ~120", beacons)
+	}
+	if len(hosts) < 100 {
+		t.Fatalf("only %d distinct hosts browsing, want most of the pool", len(hosts))
+	}
+	if len(domains) < 200 {
+		t.Fatalf("only %d distinct domains, want a long tail", len(domains))
+	}
+}
+
+// countEngine is a minimal Ingester for driver tests.
+type countEngine struct {
+	records atomic.Int64
+	lagging atomic.Bool
+}
+
+func (c *countEngine) IngestBatch(recs []logs.ProxyRecord) error {
+	c.records.Add(int64(len(recs)))
+	return nil
+}
+func (c *countEngine) Lagging() bool { return c.lagging.Load() }
+
+// TestDriverTCP runs a short real soak: model → paced TCP sender → live
+// listener → counting engine, for both framings. Every sent record must
+// arrive; the result must carry sane pacing numbers.
+func TestDriverTCP(t *testing.T) {
+	shapes := []struct {
+		framing inputs.Framing
+		syslog  bool
+	}{
+		{inputs.FramingNewline, false},
+		{inputs.FramingOctet, false},
+		{inputs.FramingOctet, true}, // the -listen-syslog drain shape
+	}
+	for _, shape := range shapes {
+		framing := shape.framing
+		eng := &countEngine{}
+		l, err := inputs.Listen(eng, "127.0.0.1:0", inputs.Config{
+			Name: "soak", Framing: framing, SyslogHeader: shape.syslog,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(DriverConfig{
+			Mode: "tcp", Addr: l.Addr().String(),
+			Framing: framing, SyslogHeader: shape.syslog,
+			Rate: 20000, Duration: 300 * time.Millisecond, Batch: 128,
+			SampleEvery: 20 * time.Millisecond,
+		}, NewModel(ModelConfig{Seed: 1}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SentRecords == 0 || res.AckedRecords != res.SentRecords {
+			t.Fatalf("framing %v: sent %d acked %d", framing, res.SentRecords, res.AckedRecords)
+		}
+		// The listener delivers asynchronously; wait for the tail.
+		deadline := time.Now().Add(10 * time.Second)
+		for eng.records.Load() != res.SentRecords {
+			if time.Now().After(deadline) {
+				t.Fatalf("framing %v: engine got %d of %d sent records",
+					framing, eng.records.Load(), res.SentRecords)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		st := l.Stats()
+		if st.SheddedRecords != 0 || st.RejectedRecords != 0 || st.MalformedFrames != 0 {
+			t.Fatalf("framing %v: lossless soak shed %d rejected %d malformed %d",
+				framing, st.SheddedRecords, st.RejectedRecords, st.MalformedFrames)
+		}
+		if res.AchievedRecS <= 0 || res.P50Micros < 0 || res.P99Micros < res.P50Micros {
+			t.Fatalf("framing %v: implausible result %+v", framing, res)
+		}
+		if res.HeapPeakBytes == 0 {
+			t.Fatalf("framing %v: memory sampler never ran", framing)
+		}
+		l.Close()
+	}
+}
+
+// TestDriverHTTP covers the /ingest transport against a stub daemon:
+// acks count records, a 429 counts as a throttled batch and not an ack,
+// and the admin /stats delta yields the drop count and heap ceiling.
+func TestDriverHTTP(t *testing.T) {
+	var ingested atomic.Int64
+	var calls atomic.Int64
+	var drops atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 2 { // second batch: simulate backpressure
+			drops.Add(1)
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		n := 0
+		sc := bufio.NewScanner(r.Body)
+		for sc.Scan() {
+			n++
+		}
+		ingested.Add(int64(n))
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"inputs":[{"name":"tcp","sheddedRecords":0,"rejectedRecords":0}],` +
+			`"memory":{"heapSysBytes":12345678}}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	res, err := Run(DriverConfig{
+		Mode: "http", Addr: ts.URL, AdminURL: ts.URL,
+		Rate: 5000, Duration: 250 * time.Millisecond, Batch: 100,
+		SampleEvery: 20 * time.Millisecond,
+	}, NewModel(ModelConfig{Seed: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThrottledBatches != 1 {
+		t.Fatalf("throttled batches = %d, want exactly the injected 429", res.ThrottledBatches)
+	}
+	if res.AckedRecords != res.SentRecords-100 {
+		t.Fatalf("acked %d of %d sent with one 100-record batch throttled", res.AckedRecords, res.SentRecords)
+	}
+	if got := ingested.Load(); got != res.AckedRecords {
+		t.Fatalf("stub ingested %d, driver acked %d", got, res.AckedRecords)
+	}
+	if res.DroppedRecords != 0 {
+		t.Fatalf("admin drops = %d, want 0 (stub reports none)", res.DroppedRecords)
+	}
+	if res.HeapPeakBytes != 12345678 {
+		t.Fatalf("heap ceiling = %d, want the stub's 12345678", res.HeapPeakBytes)
+	}
+}

@@ -1,0 +1,184 @@
+// Package loadgen generates and drives heavy proxy-log traffic against a
+// running reprod daemon (or an in-process engine), for soak tests and the
+// perf report.
+//
+// The traffic model is a shrunken, steady-state cousin of cmd/datagen's
+// enterprise generator: a pool of hosts browsing a popularity-skewed pool
+// of benign web domains, plus a few infected hosts beaconing to C&C
+// domains on a fixed period — enough structure that the detection pipeline
+// does real work (folding, profiling, periodicity fitting) instead of
+// degenerate all-identical records. Unlike cmd/datagen it generates
+// records on demand at ingest speed rather than materializing day files,
+// so a soak can sustain arbitrary rates for arbitrary durations from
+// constant memory. Everything is deterministic in the seed.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/logs"
+)
+
+// ModelConfig sizes the synthetic enterprise.
+type ModelConfig struct {
+	// Seed makes the whole stream reproducible.
+	Seed int64
+	// Hosts is the browsing population (default 200).
+	Hosts int
+	// Domains is the benign domain pool (default 500).
+	Domains int
+	// CCPairs is how many (infected host, C&C domain) pairs beacon
+	// (default 3).
+	CCPairs int
+	// CCPeriod is the beacon period in virtual time (default 60s).
+	CCPeriod time.Duration
+	// Day is the virtual day records are stamped into; the engine expects
+	// an open day matching it (default 2014-03-01).
+	Day time.Time
+	// VirtualRate is how many records one virtual second carries (default
+	// 1000). The virtual clock is decoupled from wall time on purpose: a
+	// 30-second wall soak at 50k rec/s still produces one coherent
+	// morning of traffic with plausible inter-arrival gaps, rather than
+	// records crammed into 30 seconds of timestamps.
+	VirtualRate float64
+}
+
+type ccPair struct {
+	host   int
+	domain string
+	next   time.Time
+}
+
+// Model is a deterministic on-demand record generator. Not safe for
+// concurrent use; the driver calls it from one goroutine.
+type Model struct {
+	cfg     ModelConfig
+	rng     *rand.Rand
+	hosts   []string
+	srcIPs  []netip.Addr
+	domains []string
+	destIPs []netip.Addr
+	agents  []string
+	cc      []ccPair
+	clock   time.Time
+	tick    time.Duration
+}
+
+// NewModel applies defaults and builds the pools.
+func NewModel(cfg ModelConfig) *Model {
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 200
+	}
+	if cfg.Domains <= 0 {
+		cfg.Domains = 500
+	}
+	if cfg.CCPairs < 0 {
+		cfg.CCPairs = 0
+	} else if cfg.CCPairs == 0 {
+		cfg.CCPairs = 3
+	}
+	if cfg.CCPeriod <= 0 {
+		cfg.CCPeriod = time.Minute
+	}
+	if cfg.Day.IsZero() {
+		cfg.Day = time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if cfg.VirtualRate <= 0 {
+		cfg.VirtualRate = 1000
+	}
+	m := &Model{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		clock: cfg.Day.Add(8 * time.Hour), // the working day starts at 08:00
+		tick:  time.Duration(float64(time.Second) / cfg.VirtualRate),
+		agents: []string{
+			"Mozilla/5.0 (Windows NT 6.1) corp-browser/31.0",
+			"Mozilla/5.0 (Macintosh) corp-browser/31.0",
+			"updater-agent/2.4",
+		},
+	}
+	m.hosts = make([]string, cfg.Hosts)
+	m.srcIPs = make([]netip.Addr, cfg.Hosts)
+	for i := range m.hosts {
+		m.hosts[i] = fmt.Sprintf("lg-host-%03d", i)
+		m.srcIPs[i] = netip.AddrFrom4([4]byte{10, 20, byte(i >> 8), byte(i)})
+	}
+	// Distinct second-level domains, so folding keeps them apart and the
+	// rare-domain stage sees a realistic spread.
+	m.domains = make([]string, cfg.Domains)
+	m.destIPs = make([]netip.Addr, cfg.Domains)
+	for i := range m.domains {
+		m.domains[i] = fmt.Sprintf("www.lg-domain-%04d.com", i)
+		m.destIPs[i] = netip.AddrFrom4([4]byte{198, 18, byte(i >> 8), byte(i)})
+	}
+	for i := 0; i < cfg.CCPairs && i < cfg.Hosts; i++ {
+		m.cc = append(m.cc, ccPair{
+			host:   i,
+			domain: fmt.Sprintf("cc-%03d.lg-malware-%03d.net", i, i),
+			// Stagger the first beacons so they don't all fire on the same
+			// record index.
+			next: m.clock.Add(time.Duration(i) * cfg.CCPeriod / time.Duration(cfg.CCPairs)),
+		})
+	}
+	return m
+}
+
+// Day returns the virtual day the model stamps records into.
+func (m *Model) Day() time.Time { return m.cfg.Day }
+
+// Fill appends n records to dst and returns it. The virtual clock advances
+// one tick per record; a C&C pair whose beacon is due preempts the benign
+// traffic for that slot.
+func (m *Model) Fill(dst []logs.ProxyRecord, n int) []logs.ProxyRecord {
+	for i := 0; i < n; i++ {
+		m.clock = m.clock.Add(m.tick)
+		if r, ok := m.dueBeacon(); ok {
+			dst = append(dst, r)
+			continue
+		}
+		host := m.rng.Intn(len(m.hosts))
+		// Squaring the uniform draw skews toward low indexes: a handful of
+		// popular domains dominate, a long tail stays rare — the shape the
+		// profiling stages expect.
+		f := m.rng.Float64()
+		domain := int(f * f * float64(len(m.domains)))
+		dst = append(dst, logs.ProxyRecord{
+			Time:      m.clock,
+			Host:      m.hosts[host],
+			SrcIP:     m.srcIPs[host],
+			Domain:    m.domains[domain],
+			DestIP:    m.destIPs[domain],
+			URL:       "/",
+			Method:    "GET",
+			Status:    200,
+			UserAgent: m.agents[host%len(m.agents)],
+		})
+	}
+	return dst
+}
+
+// dueBeacon emits the next overdue C&C beacon, if any.
+func (m *Model) dueBeacon() (logs.ProxyRecord, bool) {
+	for i := range m.cc {
+		c := &m.cc[i]
+		if m.clock.Before(c.next) {
+			continue
+		}
+		c.next = c.next.Add(m.cfg.CCPeriod)
+		return logs.ProxyRecord{
+			Time:      m.clock,
+			Host:      m.hosts[c.host],
+			SrcIP:     m.srcIPs[c.host],
+			Domain:    c.domain,
+			DestIP:    netip.AddrFrom4([4]byte{203, 0, 113, byte(c.host)}),
+			URL:       "/ping",
+			Method:    "POST",
+			Status:    200,
+			UserAgent: "svchost-updater/1.0",
+		}, true
+	}
+	return logs.ProxyRecord{}, false
+}

@@ -98,7 +98,7 @@ func ReduceFlows(recs []logs.FlowRecord, leases map[netip.Addr]string) ([]logs.V
 			stats.DroppedNonWeb++
 			continue
 		}
-		if isPrivate(r.DstIP) {
+		if IsInternal(r.DstIP) {
 			stats.DroppedInternal++
 			continue
 		}
@@ -121,7 +121,11 @@ func ReduceFlows(recs []logs.FlowRecord, leases map[netip.Addr]string) ([]logs.V
 	return visits, stats
 }
 
-func isPrivate(a netip.Addr) bool {
+// IsInternal reports whether a is enterprise-internal address space
+// (RFC 1918 or loopback) — the destinations the NetFlow reduction drops.
+// Exported so the live flow listener applies the same boundary before
+// records ever reach the engine.
+func IsInternal(a netip.Addr) bool {
 	if !a.Is4() {
 		return a.IsPrivate() || a.IsLoopback()
 	}

@@ -3,12 +3,15 @@ package stream
 import (
 	"bytes"
 	"encoding/json"
+	"net"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 
 	"repro/internal/batch"
 	"repro/internal/gen"
+	"repro/internal/inputs"
 	"repro/internal/intel"
 	"repro/internal/logs"
 	"repro/internal/pipeline"
@@ -132,12 +135,14 @@ func TestStreamingMatchesBatch(t *testing.T) {
 
 	cfg := Config{Shards: 4, QueueDepth: 256, TrainingDays: fx.training}
 	e := New(cfg, fx.newPipeline())
-	// Rotate days through three ingestion shapes: per-record, multi-record
+	// Rotate days through four ingestion shapes: per-record, multi-record
 	// batches in odd-size chunks (so batch boundaries never align with
-	// anything), and the HTTP-TSV shape — records re-encoded to TSV and
-	// decoded back through the pooled zero-copy batch reader, which is
-	// exactly what cmd/reprod's /ingest endpoint runs. The golden invariant
-	// must hold for all three.
+	// anything), the HTTP-TSV shape — records re-encoded to TSV and decoded
+	// back through the pooled zero-copy batch reader, which is exactly what
+	// cmd/reprod's /ingest endpoint runs — and the live TCP shape: records
+	// written octet-counted over a pipe into an internal/inputs listener
+	// handler, the daemon's -listen-syslog framing path. The golden
+	// invariant must hold for all four.
 	ingest := func(e *Engine, recs []logs.ProxyRecord, shape int) {
 		t.Helper()
 		switch shape {
@@ -155,7 +160,7 @@ func TestStreamingMatchesBatch(t *testing.T) {
 				}
 				recs = recs[n:]
 			}
-		default:
+		case 2:
 			var tsv []byte
 			for _, r := range recs {
 				tsv = logs.AppendProxy(tsv, r)
@@ -170,6 +175,42 @@ func TestStreamingMatchesBatch(t *testing.T) {
 				t.Fatal(err)
 			}
 			logs.PutProxyBuf(decoded)
+		default:
+			// One octet-counted frame per record, like a syslog relay
+			// (without the RFC 5424 header — framing is what's under test).
+			// net.Pipe is synchronous, so HandleConn has ingested everything
+			// once the client write-side is closed and HandleConn returns.
+			// The engine is wrapped to never report Lagging: the golden
+			// comparison needs loss-free delivery through the engine's own
+			// blocking backpressure, while the listener's shed-under-lag
+			// policy is pinned separately in the inputs package tests.
+			l := inputs.NewListener(noShed{e}, inputs.Config{Framing: inputs.FramingOctet, Format: inputs.FormatProxy})
+			client, server := net.Pipe()
+			done := make(chan error, 1)
+			go func() { done <- l.HandleConn(server) }()
+			var frame []byte
+			for _, r := range recs {
+				line := logs.AppendProxy(nil, r)
+				line = line[:len(line)-1] // framing replaces the trailing \n
+				frame = frame[:0]
+				frame = strconv.AppendInt(frame, int64(len(line)), 10)
+				frame = append(frame, ' ')
+				frame = append(frame, line...)
+				if _, err := client.Write(frame); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := client.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			st := l.Stats()
+			if int(st.Records) != len(recs) || st.SheddedRecords != 0 || st.RejectedRecords != 0 {
+				t.Fatalf("TCP shape delivered %d/%d records (shed %d, rejected %d)",
+					st.Records, len(recs), st.SheddedRecords, st.RejectedRecords)
+			}
 		}
 	}
 	ckptDay := len(days) - 3 // a post-calibration operation day
@@ -185,7 +226,7 @@ func TestStreamingMatchesBatch(t *testing.T) {
 		if i == ckptDay {
 			half = len(recs) / 2
 		}
-		ingest(e, recs[:half], i%3)
+		ingest(e, recs[:half], i%4)
 		if i == ckptDay {
 			// Mid-day restart: checkpoint, abandon the engine, restore
 			// into a fresh one with a different shard count, resume.
@@ -203,7 +244,7 @@ func TestStreamingMatchesBatch(t *testing.T) {
 			abandonEngine(abandoned)
 			// Resume with a different ingestion shape than the first half
 			// used, crossing the restore boundary with batches in play.
-			ingest(e, recs[half:], (i+1)%3)
+			ingest(e, recs[half:], (i+1)%4)
 		}
 	}
 	if err := e.Flush(); err != nil {
@@ -419,3 +460,10 @@ func TestReplayDirMatchesBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// noShed adapts an Engine into an inputs.Ingester that never reports lag,
+// so the equivalence test's TCP shape exercises framing and decode while
+// the engine's blocking backpressure guarantees loss-free delivery.
+type noShed struct{ *Engine }
+
+func (noShed) Lagging() bool { return false }

@@ -1,12 +1,19 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/batch"
 	"repro/internal/logs"
 )
+
+// ErrStopped reports that ReplayDir was interrupted through its Stop
+// channel. The engine is left as-is — open day intact, nothing flushed —
+// which is what a shutting-down daemon wants: the final checkpoint
+// preserves the partial day.
+var ErrStopped = errors.New("stream: replay stopped")
 
 // ReplayOptions parameterizes ReplayDir.
 type ReplayOptions struct {
@@ -20,6 +27,20 @@ type ReplayOptions struct {
 	MaxGap time.Duration
 	// OnDay, when set, observes each day file before it is streamed.
 	OnDay func(d batch.Day, records int)
+	// Stop, when non-nil, aborts the replay once closed: at the next
+	// batch boundary when unpaced, and additionally out of any pacing
+	// sleep. ReplayDir then returns ErrStopped without flushing.
+	Stop <-chan struct{}
+}
+
+// stopped reports whether Stop has been closed.
+func (o *ReplayOptions) stopped() bool {
+	select {
+	case <-o.Stop: // nil Stop never fires
+		return true
+	default:
+		return false
+	}
 }
 
 // ReplayDir streams an on-disk enterprise dataset (the cmd/datagen layout
@@ -51,13 +72,14 @@ func ReplayDir(e *Engine, dir string, opts ReplayOptions) error {
 		logs.PutProxyBuf(buf)
 	}()
 	for _, d := range days {
-		recs, leases, err := batch.LoadProxyDayInto(d, dec, buf[:0])
-		// Track the longest extent ever written on the current backing
-		// array, so PutProxyBuf clears records from earlier, longer days
-		// too, not just the final day's prefix.
-		if cap(recs) > cap(buf) || len(recs) > len(buf) {
-			buf = recs
+		if opts.stopped() {
+			return ErrStopped
 		}
+		recs, leases, err := batch.LoadProxyDayInto(d, dec, buf[:0])
+		// Reconcile buffer ownership before acting on the error: the
+		// deferred PutProxyBuf must cover whatever the load wrote, even
+		// when the load failed partway.
+		buf = adoptGrown(buf, recs)
 		if err != nil {
 			return err
 		}
@@ -71,8 +93,13 @@ func ReplayDir(e *Engine, dir string, opts ReplayOptions) error {
 			// Unpaced replay takes the batched hot path: fixed-size chunks
 			// amortize the engine lock and the per-shard channel sends, and
 			// keep peak buffer footprint bounded on multi-million record
-			// days.
+			// days. Each chunk is also the stop boundary, so a shutting-down
+			// daemon waits at most one chunk for the replayer to land on a
+			// clean batch edge.
 			for len(recs) > 0 {
+				if opts.stopped() {
+					return ErrStopped
+				}
 				n := min(replayBatchSize, len(recs))
 				if err := e.IngestBatch(recs[:n]); err != nil {
 					return fmt.Errorf("stream: replay %s: %w", d.Date.Format("2006-01-02"), err)
@@ -88,15 +115,54 @@ func ReplayDir(e *Engine, dir string, opts ReplayOptions) error {
 				if gap > opts.MaxGap {
 					gap = opts.MaxGap
 				}
-				time.Sleep(gap)
+				if gap > 0 && !sleepUnlessStopped(gap, opts.Stop) {
+					return ErrStopped
+				}
 			}
 			prev = r.Time
+			if opts.stopped() {
+				return ErrStopped
+			}
 			if err := e.IngestProxy(r); err != nil {
 				return fmt.Errorf("stream: replay %s: %w", d.Date.Format("2006-01-02"), err)
 			}
 		}
 	}
 	return e.Flush()
+}
+
+// adoptGrown reconciles record-buffer ownership after an append-based day
+// load. When the load outgrew the pooled buffer, append reallocated: the
+// grown slice becomes the buffer, and the outgrown backing array goes back
+// to the pool through PutProxyBuf — which clears it, so the pool never
+// pins the interned strings of a day nobody holds anymore. When the load
+// fit, the buffer keeps its backing array, extended to the longest extent
+// ever written so the deferred PutProxyBuf clears records from earlier,
+// longer days too, not just the final day's prefix.
+func adoptGrown(buf, recs []logs.ProxyRecord) []logs.ProxyRecord {
+	switch {
+	case cap(recs) > cap(buf):
+		logs.PutProxyBuf(buf)
+		return recs
+	case len(recs) > len(buf):
+		// Same backing array (append only reallocates upward), longer
+		// extent.
+		return recs
+	}
+	return buf
+}
+
+// sleepUnlessStopped sleeps for gap, returning false early if stop closes
+// first. A nil stop channel never fires, so it degrades to a plain sleep.
+func sleepUnlessStopped(gap time.Duration, stop <-chan struct{}) bool {
+	t := time.NewTimer(gap)
+	defer t.Stop()
+	select {
+	case <-stop:
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // replayBatchSize is the chunk ReplayDir hands to IngestBatch when pacing

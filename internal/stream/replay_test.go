@@ -1,0 +1,168 @@
+package stream
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/intel"
+	"repro/internal/logs"
+	"repro/internal/pipeline"
+	"repro/internal/whois"
+)
+
+// replayRecord builds an engine-acceptable proxy record for day files.
+func replayRecord(day time.Time, i int) logs.ProxyRecord {
+	return logs.ProxyRecord{
+		Time:      day.Add(time.Duration(i%86000) * time.Second),
+		Host:      fmt.Sprintf("host-%d", i%9),
+		SrcIP:     netip.MustParseAddr("10.0.0.4"),
+		Domain:    fmt.Sprintf("site-%d.example.org", i%11),
+		DestIP:    netip.MustParseAddr("198.51.100.4"),
+		URL:       "/",
+		Method:    "GET",
+		Status:    200,
+		UserAgent: "ua/1.0",
+	}
+}
+
+// writeReplayDataset lays out a cmd/datagen-shaped dataset with the given
+// per-day record counts, so a small first day followed by a much bigger
+// one forces the replay buffer to outgrow its pooled allocation mid-run.
+func writeReplayDataset(t *testing.T, counts []int) (string, time.Time) {
+	t.Helper()
+	dir := t.TempDir()
+	base := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	for d, n := range counts {
+		day := base.AddDate(0, 0, d)
+		date := day.Format("2006-01-02")
+		recs := make([]logs.ProxyRecord, n)
+		for i := range recs {
+			recs[i] = replayRecord(day, i)
+		}
+		writeProxyTSV(t, filepath.Join(dir, "proxy-"+date+".tsv"), recs)
+		leases, err := json.Marshal(map[string]string{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "leases-"+date+".json"), leases, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir, base
+}
+
+func newReplayEngine(training int) *Engine {
+	pipe := pipeline.NewEnterprise(pipeline.EnterpriseConfig{CalibrationDays: 2},
+		whois.NewRegistry(), intel.NewOracle().Reported, intel.NewOracle().IOCs)
+	return New(Config{Shards: 2, TrainingDays: training}, pipe)
+}
+
+// TestReplayDirBufferGrowth is the regression test for the pooled-buffer
+// ownership bug: a first day small enough to fit the pooled buffer, then
+// days big enough to force append to reallocate it mid-replay. Every
+// record must still land, and the outgrown backing array must go back to
+// the pool cleared (checked directly against adoptGrown below; here the
+// whole path runs end to end, under -race in CI).
+func TestReplayDirBufferGrowth(t *testing.T) {
+	counts := []int{100, replayBatchSize + 3000, replayBatchSize*2 + 500}
+	dir, _ := writeReplayDataset(t, counts)
+	e := newReplayEngine(len(counts) + 1) // all training: growth is the point, not detection
+	defer e.Close()
+	if err := ReplayDir(e, dir, ReplayOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for _, n := range counts {
+		want += uint64(n)
+	}
+	if got := e.Stats().TotalRecords; got != want {
+		t.Fatalf("replayed %d records, want %d", got, want)
+	}
+}
+
+// TestAdoptGrown pins the ownership contract: on growth the old buffer is
+// recycled with its whole used extent cleared (no stale interned-string
+// pinning), and without growth the extent high-water mark is kept.
+func TestAdoptGrown(t *testing.T) {
+	// Growth: the outgrown array must come back from PutProxyBuf cleared.
+	old := logs.GetProxyBuf(4)
+	old = append(old, replayRecord(time.Now(), 1), replayRecord(time.Now(), 2))
+	grown := make([]logs.ProxyRecord, 10, cap(old)*4)
+	got := adoptGrown(old, grown)
+	if cap(got) != cap(grown) {
+		t.Fatalf("adoptGrown kept the small buffer (cap %d), want the grown one (cap %d)", cap(got), cap(grown))
+	}
+	for i := range old {
+		if old[i] != (logs.ProxyRecord{}) {
+			t.Fatalf("outgrown buffer record %d not cleared on recycle: %+v", i, old[i])
+		}
+	}
+
+	// No growth, longer extent: the extent must extend so a later
+	// PutProxyBuf clears the longer day too.
+	buf := make([]logs.ProxyRecord, 0, 8)
+	long := append(buf, make([]logs.ProxyRecord, 6)...)
+	if got := adoptGrown(buf, long); len(got) != 6 {
+		t.Fatalf("extent = %d, want 6", len(got))
+	}
+	// No growth, shorter extent: keep the longer extent.
+	short := long[:0]
+	short = append(short, replayRecord(time.Now(), 3))
+	if got := adoptGrown(long, short); len(got) != 6 {
+		t.Fatalf("extent after shorter day = %d, want 6 (the high-water mark)", len(got))
+	}
+}
+
+// TestReplayDirStops covers ReplayOptions.Stop: a replay interrupted at a
+// day boundary returns ErrStopped promptly, without flushing — the open
+// day stays open for the shutdown checkpoint to preserve.
+func TestReplayDirStops(t *testing.T) {
+	dir, _ := writeReplayDataset(t, []int{50, 50, 50})
+	e := newReplayEngine(4)
+	defer abandonEngine(e)
+
+	stop := make(chan struct{})
+	days := 0
+	err := ReplayDir(e, dir, ReplayOptions{
+		Stop: stop,
+		OnDay: func(d batch.Day, records int) {
+			days++
+			if days == 1 {
+				// Interrupt mid-replay: the next batch boundary — before
+				// this day's first chunk — must be the last thing checked.
+				close(stop)
+			}
+		},
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if days != 1 {
+		t.Fatalf("replay announced %d days after stop, want 1", days)
+	}
+	if done := e.DaysDone(); done != 0 {
+		t.Fatalf("replay flushed %d days despite the stop", done)
+	}
+	if got := e.Stats().TotalRecords; got != 0 {
+		t.Fatalf("ingested %d records past the stopped batch boundary, want 0", got)
+	}
+
+	// A pre-closed Stop aborts before anything is ingested.
+	e2 := newReplayEngine(4)
+	defer abandonEngine(e2)
+	closed := make(chan struct{})
+	close(closed)
+	if err := ReplayDir(e2, dir, ReplayOptions{Stop: closed}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("pre-closed stop: err = %v, want ErrStopped", err)
+	}
+	if got := e2.Stats().TotalRecords; got != 0 {
+		t.Fatalf("pre-closed stop ingested %d records, want 0", got)
+	}
+}
