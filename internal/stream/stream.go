@@ -257,16 +257,20 @@ func (s *shard) apply(it *item) {
 	// Live periodicity state only for domains absent from the history:
 	// anything already profiled can never be rare today, and skipping it
 	// keeps the pair map proportional to the day's new traffic rather than
-	// its full volume. The history is safe to read here — it is internally
-	// locked, and the only writer is the background day-close committing
-	// yesterday while this shard ingests today. A read that races such a
-	// commit can at worst track live state for a domain that just became
-	// historical; the day reports never depend on it.
-	if s.eng.hist.SeenDomain(v.Domain) {
-		return
-	}
+	// its full volume. A domain already in s.domains was absent from the
+	// history when first seen and stays tracked for the rest of the day,
+	// so it skips the history lookup (and its RLock) entirely; only a
+	// domain's first resolved visit consults the history. The history is
+	// safe to read here — it is internally locked, and the only writer is
+	// the background day-close committing yesterday while this shard
+	// ingests today. A read that races such a commit can at worst keep
+	// tracking live state for a domain that just became historical; the
+	// day reports never depend on it.
 	dl, ok := s.domains[v.Domain]
 	if !ok {
+		if s.eng.hist.SeenDomain(v.Domain) {
+			return
+		}
 		dl = &domainLive{hosts: make(map[string]struct{})}
 		s.domains[v.Domain] = dl
 	}
