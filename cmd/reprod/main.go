@@ -96,6 +96,7 @@ type daemonOpts struct {
 	addr         string
 	shards       int
 	queue        int
+	shedThresh   float64
 	seed         int64
 	full         bool
 	training     int
@@ -117,6 +118,7 @@ func main() {
 	flag.StringVar(&o.addr, "addr", ":8714", "HTTP listen address")
 	flag.IntVar(&o.shards, "shards", 0, "ingest shards (0 = GOMAXPROCS)")
 	flag.IntVar(&o.queue, "queue", 0, "per-shard queue depth (0 = default)")
+	flag.Float64Var(&o.shedThresh, "shed-threshold", 0, "queue-fullness fraction (0,1] at which ingestion sheds load — HTTP answers 429 and the TCP/syslog/flow listeners drop records (0 = default 0.9)")
 	flag.Int64Var(&o.seed, "seed", 1, "dataset seed for the simulated WHOIS/intel externals")
 	flag.BoolVar(&o.full, "full", false, "size the externals for the full-scale dataset")
 	flag.IntVar(&o.training, "training", 0, "training days (0 = the scale's default)")
@@ -264,6 +266,7 @@ func newDaemon(o daemonOpts) (*daemon, error) {
 	// non-blocking counter bump + channel send by contract.
 	engCfg := stream.Config{
 		Shards: o.shards, QueueDepth: o.queue, TrainingDays: o.training,
+		ShedThreshold: o.shedThresh,
 		OnReport: func(rep pipeline.EnterpriseDayReport, daily *report.Daily) {
 			if daily == nil {
 				log.Printf("day %s trained: %d records, %d rare", rep.Day.Format("2006-01-02"),

@@ -458,6 +458,20 @@ func TestWorkersFlagReachesPipeline(t *testing.T) {
 	}
 }
 
+// TestShedThresholdFlagReachesEngine: the -shed-threshold knob must land
+// in the engine configuration the listeners consult through Lagging, and
+// leaving it unset must select the engine's 0.9 default.
+func TestShedThresholdFlagReachesEngine(t *testing.T) {
+	d := testDaemon(t, daemonOpts{shedThresh: 0.5})
+	if got := d.eng.Config().ShedThreshold; got != 0.5 {
+		t.Fatalf("engine ShedThreshold = %v, want the flag value 0.5", got)
+	}
+	d = testDaemon(t, daemonOpts{})
+	if got := d.eng.Config().ShedThreshold; got != 0.9 {
+		t.Fatalf("engine ShedThreshold with the flag unset = %v, want default 0.9", got)
+	}
+}
+
 // TestRunFailsOnCorruptCheckpoint: daemon startup against an empty or
 // corrupt checkpoint must stop with a descriptive error instead of
 // starting fresh (which would overwrite the history on the next write).

@@ -185,7 +185,7 @@ func FuzzFrameSplit(f *testing.F) {
 		if octet {
 			framing = FramingOctet
 		}
-		max = max&0xfff + 1   // [1, 4096]: zero would mean "default cap" to the scanner
+		max = max&0xfff + 1    // [1, 4096]: zero would mean "default cap" to the scanner
 		chunk = chunk&0x3f + 1 // [1, 64]
 		got, gotErr := collectFrames(&chunkReader{data: bytes.Clone(data), chunk: chunk}, framing, max)
 		want, wantErr := naiveSplit(data, framing, max)

@@ -308,7 +308,7 @@ func TestFlowListener(t *testing.T) {
 	at := time.Date(2014, 3, 4, 10, 0, 0, 0, time.UTC)
 	flows := []logs.FlowRecord{
 		{Time: at, SrcIP: netip.MustParseAddr("10.1.2.3"), DstIP: netip.MustParseAddr("203.0.113.9"), DstPort: 443, Protocol: "tcp", Bytes: 900, Packets: 4},
-		{Time: at, SrcIP: netip.MustParseAddr("10.1.2.3"), DstIP: netip.MustParseAddr("203.0.113.9"), DstPort: 22, Protocol: "tcp", Bytes: 100, Packets: 1},  // non-web port
+		{Time: at, SrcIP: netip.MustParseAddr("10.1.2.3"), DstIP: netip.MustParseAddr("203.0.113.9"), DstPort: 22, Protocol: "tcp", Bytes: 100, Packets: 1}, // non-web port
 		{Time: at, SrcIP: netip.MustParseAddr("10.1.2.3"), DstIP: netip.MustParseAddr("192.168.4.4"), DstPort: 80, Protocol: "tcp", Bytes: 100, Packets: 1}, // internal dst
 		{Time: at, SrcIP: netip.MustParseAddr("10.1.2.4"), DstIP: netip.MustParseAddr("198.51.100.5"), DstPort: 80, Protocol: "udp", Bytes: 50, Packets: 1},
 	}

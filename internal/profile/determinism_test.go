@@ -3,6 +3,8 @@ package profile
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -100,6 +102,62 @@ func TestSnapshotSaveBytesDeterministic(t *testing.T) {
 	}
 	if got := encodeSnapshot(t, four); !bytes.Equal(got, first) {
 		t.Fatalf("merge worker count leaked into snapshot checkpoint bytes")
+	}
+}
+
+// TestRunGroupingSaveBytesProperty is the determinism contract behind the
+// streaming engine's batched apply path: a day fed as domain runs — random
+// consecutive batch partitions, each batch grouped into per-domain runs
+// applied in scrambled order through the Run cursor — must checkpoint to
+// bytes identical to the plain sequential build. Legality rests on two
+// invariants the cursor preserves: within every (host, domain) pair the
+// visits still arrive in seq order (grouping only reorders across
+// domains), and the cursor's memos are run-scoped, so no state leaks
+// between runs that a fresh cursor wouldn't recreate.
+func TestRunGroupingSaveBytesProperty(t *testing.T) {
+	day := time.Date(2014, 3, 2, 0, 0, 0, 0, time.UTC)
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		visits := randomVisits(rng, day, 500+rng.Intn(2500))
+
+		ref := NewIncrementalBuilder()
+		for i := range visits {
+			ref.Add(uint64(i+1), &visits[i])
+		}
+		want := encodeBuilder(t, ref)
+
+		b := NewIncrementalBuilder()
+		for start := 0; start < len(visits); {
+			end := min(start+1+rng.Intn(400), len(visits))
+			// Group the batch into per-domain runs, order preserved within
+			// each run — what applyBatch's stable counting sort produces.
+			runs := make(map[string][]int)
+			var order []string
+			for i := start; i < end; i++ {
+				d := visits[i].Domain
+				if _, ok := runs[d]; !ok {
+					order = append(order, d)
+				}
+				runs[d] = append(runs[d], i)
+			}
+			rng.Shuffle(len(order), func(a, c int) { order[a], order[c] = order[c], order[a] })
+			for _, d := range order {
+				c := b.Run(d)
+				for _, i := range runs[d] {
+					c.Add(uint64(i+1), &visits[i])
+				}
+			}
+			start = end
+		}
+		if got := encodeBuilder(t, b); !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: run-grouped apply changed the builder checkpoint bytes", seed)
+		}
+		// The persisted form is the stronger claim; the merged snapshot
+		// (what reports read) must agree too.
+		hist := NewHistory()
+		assertSnapshotsEqual(t, fmt.Sprintf("seed=%d", seed),
+			MergeSnapshot(day, []*IncrementalBuilder{b}, hist, 10),
+			MergeSnapshot(day, []*IncrementalBuilder{ref}, hist, 10))
 	}
 }
 

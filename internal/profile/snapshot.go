@@ -205,6 +205,12 @@ type IncrementalBuilder struct {
 	perDomain map[string]*incrementalAgg
 	uaPairs   map[[2]string]bool
 	visits    int
+	// timesArena is the current block new hosts carve their initial Times
+	// capacity from, so a day of many low-volume hosts costs one slice
+	// allocation per block instead of one per host. Each host's carve is
+	// capacity-clipped (three-index slice), so growth past it reallocates
+	// privately and can never scribble on a neighbour's slots.
+	timesArena []time.Time
 }
 
 // NewIncrementalBuilder returns an empty partition builder.
@@ -215,35 +221,116 @@ func NewIncrementalBuilder() *IncrementalBuilder {
 	}
 }
 
-// Add folds one visit into the partition.
-func (b *IncrementalBuilder) Add(seq uint64, v *logs.Visit) {
-	a, ok := b.perDomain[v.Domain]
+const (
+	// timesCarve is the initial Times capacity granted to each new host.
+	timesCarve = 8
+	// timesArenaBlock is the block size timesCarve chunks are cut from.
+	timesArenaBlock = 1024
+)
+
+// takeTimes returns an empty Times slice with timesCarve private capacity.
+func (b *IncrementalBuilder) takeTimes() []time.Time {
+	if cap(b.timesArena)-len(b.timesArena) < timesCarve {
+		b.timesArena = make([]time.Time, 0, timesArenaBlock)
+	}
+	n := len(b.timesArena)
+	b.timesArena = b.timesArena[:n+timesCarve]
+	return b.timesArena[n : n : n+timesCarve]
+}
+
+// RunCursor folds a run of same-domain visits into its builder with the
+// (domain → aggregate) pointer resolved once per run, the
+// (host → HostActivity) pointer memoized across consecutive same-host
+// visits, and repeat URLs / user agents short-circuited before their map
+// operations. The fold is identical to per-visit Add — the cursor only
+// elides lookups and set writes whose effect is provably already present —
+// so cursor-fed and Add-fed builders are indistinguishable. A cursor is
+// invalidated by any other mutation of its builder (another cursor, Add,
+// MergeFrom); obtain a fresh one per run.
+type RunCursor struct {
+	b    *IncrementalBuilder
+	agg  *incrementalAgg
+	host string
+	ha   *HostActivity
+
+	// lastURL/lastURLSeq memoize the most recent URL offered to the path
+	// set: re-offering the same URL at an equal-or-later seq is provably a
+	// no-op (if its path is present the recorded first-occurrence seq is
+	// already ≤ lastURLSeq; if absent, the set went full rejecting it and
+	// every retained seq stays ≤ lastURLSeq, since inserts into a full set
+	// only ever lower its maximum), so the fold skips the parse and map
+	// probe. The memo must NOT short-circuit for seq < lastURLSeq — a
+	// smaller seq can still lower a retained entry's first-occurrence seq.
+	// urlMemoOK distinguishes a recorded empty URL from the cold zero
+	// value (the empty URL is meaningful: urlPath maps it to "/").
+	lastURL    string
+	lastURLSeq uint64
+	urlMemoOK  bool
+
+	// lastUA/sawNoUA memoize, for the current host only, membership
+	// already recorded in ha.UAs (and, for lastUA, the builder's uaPairs).
+	// Membership sets are order-free, so eliding the repeat writes cannot
+	// change any outcome. Reset on every host switch.
+	lastUA  string
+	sawNoUA bool
+}
+
+// Run starts a run of visits for one domain, creating the domain's
+// aggregate if absent. Every visit subsequently folded through the cursor
+// must carry exactly this domain.
+func (b *IncrementalBuilder) Run(domain string) RunCursor {
+	a, ok := b.perDomain[domain]
 	if !ok {
 		a = &incrementalAgg{hosts: make(map[string]*HostActivity)}
-		b.perDomain[v.Domain] = a
+		b.perDomain[domain] = a
 	}
+	return RunCursor{b: b, agg: a}
+}
+
+// Add folds one visit of the run; v.Domain must equal the run's domain.
+func (c *RunCursor) Add(seq uint64, v *logs.Visit) {
+	a := c.agg
 	if v.DestIP.IsValid() && (!a.ip.IsValid() || seq < a.ipSeq) {
 		a.ip, a.ipSeq = v.DestIP, seq
 	}
-	if pth := urlPath(v.URL); pth != "" {
-		a.admitPath(pth, seq)
+	if !c.urlMemoOK || v.URL != c.lastURL || seq < c.lastURLSeq {
+		if pth := urlPath(v.URL); pth != "" {
+			a.admitPath(pth, seq)
+		}
+		c.lastURL, c.lastURLSeq, c.urlMemoOK = v.URL, seq, true
 	}
-	ha, ok := a.hosts[v.Host]
-	if !ok {
-		ha = &HostActivity{Host: v.Host, UAs: make(map[string]bool)}
-		a.hosts[v.Host] = ha
+	ha := c.ha
+	if ha == nil || v.Host != c.host {
+		var ok bool
+		ha, ok = a.hosts[v.Host]
+		if !ok {
+			ha = &HostActivity{Host: v.Host, Times: c.b.takeTimes(), UAs: make(map[string]bool)}
+			a.hosts[v.Host] = ha
+		}
+		c.host, c.ha = v.Host, ha
+		c.lastUA, c.sawNoUA = "", false
 	}
 	ha.Times = append(ha.Times, v.Time)
 	if !v.HasRef {
 		ha.NoRefVisits++
 	}
 	if v.HasUA {
-		ha.UAs[v.UserAgent] = true
-		b.uaPairs[[2]string{v.Host, v.UserAgent}] = true
-	} else {
+		if v.UserAgent == "" || v.UserAgent != c.lastUA {
+			ha.UAs[v.UserAgent] = true
+			c.b.uaPairs[[2]string{v.Host, v.UserAgent}] = true
+			c.lastUA = v.UserAgent
+		}
+	} else if !c.sawNoUA {
 		ha.UAs[""] = true
+		c.sawNoUA = true
 	}
-	b.visits++
+	c.b.visits++
+}
+
+// Add folds one visit into the partition.
+func (b *IncrementalBuilder) Add(seq uint64, v *logs.Visit) {
+	c := b.Run(v.Domain)
+	c.Add(seq, v)
 }
 
 // Visits returns how many visits the partition has absorbed.
@@ -305,6 +392,34 @@ func (p *snapPart) classify(hist *History, unpopularThreshold int) {
 	}
 }
 
+// addRuns feeds visits (all of them when idx is nil, else the selected
+// subsequence, with seq = global visit index either way) into b through a
+// RunCursor, re-resolving the cursor only when the domain changes between
+// consecutive visits. Real traffic and replayed datasets arrive heavily
+// clustered by domain, so this amortizes the per-domain map lookup the
+// same way the streaming shards' batch regrouping does.
+func addRuns(b *IncrementalBuilder, visits []logs.Visit, idx []int32) {
+	var cur RunCursor
+	domain := ""
+	feed := func(i int) {
+		v := &visits[i]
+		if cur.agg == nil || v.Domain != domain {
+			cur = b.Run(v.Domain)
+			domain = v.Domain
+		}
+		cur.Add(uint64(i), v)
+	}
+	if idx == nil {
+		for i := range visits {
+			feed(i)
+		}
+		return
+	}
+	for _, i := range idx {
+		feed(int(i))
+	}
+}
+
 // NewSnapshot classifies the day's visits against the history: a domain is
 // new if absent from the history and rare if additionally contacted by
 // fewer than unpopularThreshold distinct hosts today (§III-A, §IV-A; the
@@ -333,9 +448,7 @@ func NewSnapshotParallel(day time.Time, visits []logs.Visit, hist *History, unpo
 	var parts []*snapPart
 	if workers <= 1 {
 		p := newSnapPart()
-		for i := range visits {
-			p.b.Add(uint64(i), &visits[i])
-		}
+		addRuns(p.b, visits, nil)
 		p.classify(hist, unpopularThreshold)
 		parts = []*snapPart{p}
 	} else {
@@ -360,9 +473,7 @@ func NewSnapshotParallel(day time.Time, visits []logs.Visit, hist *History, unpo
 			go func(w int) {
 				defer wg.Done()
 				p := newSnapPart()
-				for _, i := range idx[w] {
-					p.b.Add(uint64(i), &visits[i])
-				}
+				addRuns(p.b, visits, idx[w])
 				p.classify(hist, unpopularThreshold)
 				parts[w] = p
 			}(w)

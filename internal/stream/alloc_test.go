@@ -1,0 +1,41 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+// TestApplySteadyStateAllocs is the alloc-regression gate for the apply
+// path: on a warm day — live per-domain states resolved, builder
+// aggregates and host activities created, the pooled item buffers and the
+// grouping scratch grown — pushing a full working set through
+// IngestBatch→applyBatch must average at most one allocation per record
+// (the acceptance floor; in practice it is ~0, with the residue coming
+// from the amortized growth of per-pair Times slices as the day gets
+// longer). The quiesce inside the measured function makes the shard
+// worker's allocations part of the reading, not a concurrent leak.
+func TestApplySteadyStateAllocs(t *testing.T) {
+	const n, batch = 4096, 512
+	recs := benchRecords(n)
+	e := trainOnlyEngine(Config{Shards: 1, QueueDepth: 8192})
+	defer abandonEngine(e)
+	if err := e.BeginDay(time.Date(2014, 2, 3, 0, 0, 0, 0, time.UTC), nil); err != nil {
+		t.Fatal(err)
+	}
+	round := func() {
+		for i := 0; i < n; i += batch {
+			if err := e.IngestBatch(recs[i : i+batch]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Drain the shard queue so every apply lands inside this round.
+		e.quiesce(func(int, *shard) {})
+	}
+	round() // warm: live states, builder cursors, pooled buffers
+	round()
+	perRecord := testing.AllocsPerRun(10, round) / n
+	if perRecord > 1.0 {
+		t.Errorf("warm apply path allocates %.3f allocs/record, want <= 1", perRecord)
+	}
+	t.Logf("warm apply path: %.4f allocs/record", perRecord)
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/logs"
+	"repro/internal/normalize"
 )
 
 // discardEngine stops the shard workers without flushing the accumulated
@@ -141,6 +142,75 @@ func BenchmarkIngestBatch8ShardParallel(b *testing.B) { benchIngestBatch(b, 8, 5
 // BenchmarkIngestBatchOfOne prices the batch machinery at its worst case:
 // IngestProxy routed as a batch of one.
 func BenchmarkIngestBatchOfOne(b *testing.B) { benchIngestBatch(b, 1, 1, false) }
+
+// scatteredRecords is benchRecords with consecutive records landing on
+// distinct second-level domains, so no consecutive domain runs survive
+// folding and applyBatch must take its counting-sort grouping path
+// (benchRecords all fold to example.net — one run, the direct path).
+func scatteredRecords(n int) []logs.ProxyRecord {
+	recs := benchRecords(n)
+	for i := range recs {
+		recs[i].Domain = fmt.Sprintf("scat-%02d.net", i%61)
+	}
+	return recs
+}
+
+// buildItems reduces records to the shard work items routeBatchLocked
+// would queue, so the apply benchmarks time the shard-side fold alone.
+func buildItems(b *testing.B, recs []logs.ProxyRecord) []item {
+	b.Helper()
+	items := make([]item, 0, len(recs))
+	for i := range recs {
+		v, folded, outcome := normalize.ReduceProxyRecord(recs[i], nil)
+		it := item{seq: uint64(i + 1)}
+		switch outcome {
+		case normalize.ProxyDroppedIPLiteral:
+			b.Fatal("bench record dropped as IP literal")
+		case normalize.ProxyDroppedUnresolved:
+			it.domain = folded
+		default:
+			it.resolved = true
+			it.visit = v
+		}
+		items = append(items, it)
+	}
+	return items
+}
+
+// benchApplyBatch times the shard fold in isolation on an unstarted shard:
+// no queue hop, no routing hash — per-batch cost is one pooled-buffer fill
+// (the same copy routing performs) plus applyBatch. One benchmark op is
+// one record, so rec/s compares against the ingest benchmarks as the
+// apply-side share of their budget.
+func benchApplyBatch(b *testing.B, recs []logs.ProxyRecord) {
+	b.Helper()
+	const batchSize = 512
+	e := trainOnlyEngine(Config{Shards: 1})
+	discardEngine(b, e)
+	s := newShard(e, 0)
+	items := buildItems(b, recs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := 0
+	for i := 0; i < b.N; i += batchSize {
+		n := min(batchSize, b.N-i)
+		if start+n > len(items) {
+			start = 0
+		}
+		buf := e.getBuf()
+		*buf = append(*buf, items[start:start+n]...)
+		s.applyBatch(buf) // returns buf to the pool
+		start += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rec/s")
+}
+
+// BenchmarkApplyBatch folds domain-clustered traffic (the direct
+// consecutive-run path); BenchmarkApplyBatchScattered forces the
+// counting-sort grouping path — the delta prices the grouping pass.
+func BenchmarkApplyBatch(b *testing.B)          { benchApplyBatch(b, benchRecords(4096)) }
+func BenchmarkApplyBatchScattered(b *testing.B) { benchApplyBatch(b, scatteredRecords(4096)) }
 
 // BenchmarkCheckpointV1VsV2 prices the two checkpoint formats against each
 // other on the same generated high-volume day: encode (legacy v1 raw-item

@@ -269,21 +269,19 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		unres := make([]int, len(e.shards))
 		e.quiesce(func(i int, s *shard) {
 			parts[i] = s.part.Clone()
-			cp := make(map[string]struct{}, len(s.all))
-			for d := range s.all {
+			cp := make(map[string]struct{}, len(s.domains))
+			var lp []checkpointLivePair
+			for d, ds := range s.domains {
 				cp[d] = struct{}{}
+				for h, o := range ds.hosts {
+					// State deep-copies the bins, so the records stay valid
+					// after the freeze lifts and the analyzers keep observing.
+					lp = append(lp, checkpointLivePair{Host: h, Domain: d, State: o.State()})
+				}
 			}
 			alls[i] = cp
 			unres[i] = s.unresolved
-			if len(s.pairs) > 0 {
-				lp := make([]checkpointLivePair, 0, len(s.pairs))
-				for k, o := range s.pairs {
-					// State deep-copies the bins, so the records stay valid
-					// after the freeze lifts and the analyzers keep observing.
-					lp = append(lp, checkpointLivePair{Host: k.host, Domain: k.domain, State: o.State()})
-				}
-				pairsByShard[i] = lp
-			}
+			pairsByShard[i] = lp
 		})
 		for _, n := range unres {
 			unresolved += n
@@ -615,13 +613,13 @@ func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 			}
 			livePairs = make([]checkpointLivePair, 0, min(openMeta.LivePairs, 1<<16))
 			liveOnline = make([]*histogram.Online, 0, min(openMeta.LivePairs, 1<<16))
-			seenPairs := make(map[pairKey]struct{}, min(openMeta.LivePairs, 1<<16))
+			seenPairs := make(map[[2]string]struct{}, min(openMeta.LivePairs, 1<<16))
 			for i := 0; i < openMeta.LivePairs; i++ {
 				var lp checkpointLivePair
 				if err := dec.Decode(&lp); err != nil {
 					return nil, fmt.Errorf("stream: restore live pair %d: %w", i, err)
 				}
-				key := pairKey{lp.Host, lp.Domain}
+				key := [2]string{lp.Host, lp.Domain}
 				if _, dup := seenPairs[key]; dup {
 					return nil, fmt.Errorf("stream: restore: duplicate live pair (%s, %s)", lp.Host, lp.Domain)
 				}
@@ -670,44 +668,45 @@ func Restore(r io.Reader, cfg Config, deps RestoreDeps) (*Engine, error) {
 			bparts := openBuilder.Split(len(e.shards))
 			// Route the live analyzers with the same (host, domain) hash the
 			// ingest path uses, so a pair's future observations land on the
-			// shard holding its restored state. The per-domain accumulators
+			// shard holding its restored state. The live per-domain entries
 			// are rebuilt exactly from the pairs: every visit that touched a
 			// shard's domain entry also fed that shard's pair analyzer once.
-			pairsByShard := make([]map[pairKey]*histogram.Online, len(e.shards))
-			domsByShard := make([]map[string]*domainLive, len(e.shards))
+			domsByShard := make([]map[string]*domainState, len(e.shards))
 			var h maphash.Hash
 			h.SetSeed(e.seed)
 			for idx, lp := range livePairs {
 				si := e.shardIndex(&h, lp.Host, lp.Domain)
-				if pairsByShard[si] == nil {
-					pairsByShard[si] = make(map[pairKey]*histogram.Online)
-					domsByShard[si] = make(map[string]*domainLive)
+				if domsByShard[si] == nil {
+					domsByShard[si] = make(map[string]*domainState)
 				}
-				pairsByShard[si][pairKey{lp.Host, lp.Domain}] = liveOnline[idx]
-				dl, ok := domsByShard[si][lp.Domain]
+				ds, ok := domsByShard[si][lp.Domain]
 				if !ok {
-					dl = &domainLive{hosts: make(map[string]struct{})}
-					domsByShard[si][lp.Domain] = dl
+					ds = &domainState{live: true, hosts: make(map[string]*histogram.Online)}
+					domsByShard[si][lp.Domain] = ds
 				}
-				dl.hosts[lp.Host] = struct{}{}
-				dl.visits += lp.State.Conns
+				ds.hosts[lp.Host] = liveOnline[idx]
+				ds.visits += lp.State.Conns
 			}
 			e.mu.Lock()
 			e.quiesce(func(i int, s *shard) {
 				s.part = bparts[i]
-				s.all = make(map[string]struct{}, bparts[i].Domains())
+				// Non-live builder domains get marker-only entries: their
+				// next resolved visit re-consults the history, exactly as a
+				// fresh day's first visit would.
+				s.domains = make(map[string]*domainState, bparts[i].Domains())
 				for _, d := range bparts[i].DomainNames() {
-					s.all[d] = struct{}{}
+					s.domains[d] = &domainState{}
 				}
 				if i == 0 {
 					s.unresolved = openMeta.Unresolved
 					for _, d := range markerDomains {
-						s.all[d] = struct{}{}
+						if s.domains[d] == nil {
+							s.domains[d] = &domainState{}
+						}
 					}
 				}
-				if pairsByShard[i] != nil {
-					s.pairs = pairsByShard[i]
-					s.domains = domsByShard[i]
+				for d, ds := range domsByShard[i] {
+					s.domains[d] = ds
 				}
 			})
 			e.mu.Unlock()

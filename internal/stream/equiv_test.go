@@ -3,6 +3,7 @@ package stream
 import (
 	"bytes"
 	"encoding/json"
+	"math/rand"
 	"net"
 	"os"
 	"path/filepath"
@@ -286,6 +287,66 @@ func TestStreamingMatchesBatch(t *testing.T) {
 	}
 	if err := e.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRandomBatchPartitionReports is the streaming half of the apply-path
+// determinism property: how a day's records are partitioned into batches
+// decides how applyBatch groups them into domain runs (and whether the
+// direct consecutive-run path or the counting-sort path folds them), yet
+// every partition must publish SOC reports byte-identical to the batch
+// reference. Three random partitions per dataset, mixed batch sizes from
+// single records to whole-day slabs.
+func TestRandomBatchPartitionReports(t *testing.T) {
+	fx := newEquivFixture(t, 78)
+	want, _ := fx.batchDailies(t)
+	if len(want) == 0 {
+		t.Fatal("batch produced no processed days")
+	}
+	days, err := batch.DiscoverEnterprise(fx.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		e := New(Config{Shards: 1 + trial, QueueDepth: 256, TrainingDays: fx.training}, fx.newPipeline())
+		for _, d := range days {
+			recs, leases, err := batch.LoadProxyDay(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.BeginDay(d.Date, leases); err != nil {
+				t.Fatal(err)
+			}
+			for start := 0; start < len(recs); {
+				var n int
+				if rng.Intn(4) == 0 {
+					n = 1 + rng.Intn(8) // tiny batches: below the grouping cutoff
+				} else {
+					n = 1 + rng.Intn(2*len(recs)/3+1)
+				}
+				end := min(start+n, len(recs))
+				if err := e.IngestBatch(recs[start:end]); err != nil {
+					t.Fatal(err)
+				}
+				start = end
+			}
+		}
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for date, wantJSON := range want {
+			got, ok := e.Report(date)
+			if !ok {
+				t.Fatalf("trial %d: no report for %s", trial, date)
+			}
+			if gotJSON := dailyBytes(t, got); !bytes.Equal(gotJSON, wantJSON) {
+				t.Errorf("trial %d day %s: partitioned-ingest report differs from batch", trial, date)
+			}
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

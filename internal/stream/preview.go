@@ -90,8 +90,8 @@ func (e *Engine) Preview(workers int) (PreviewReport, error) {
 	unres := make([]int, len(e.shards))
 	e.quiesce(func(i int, s *shard) {
 		parts[i] = s.part.Clone()
-		cp := make(map[string]struct{}, len(s.all))
-		for d := range s.all {
+		cp := make(map[string]struct{}, len(s.domains))
+		for d := range s.domains {
 			cp[d] = struct{}{}
 		}
 		alls[i] = cp

@@ -64,6 +64,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/maphash"
+	"math"
 	"net/netip"
 	"runtime"
 	"sort"
@@ -117,6 +118,12 @@ type Config struct {
 	// grow by one day snapshot per day forever. Default 7; negative keeps
 	// all (tests, short evaluations).
 	RetainDayReports int
+	// ShedThreshold is the queue-fullness fraction (0, 1] at which
+	// Lagging reports true — the load-shedding trigger HTTP frontends and
+	// the live listeners consult before accepting more work. Measured in
+	// queued batches against QueueDepth. 0 (or any out-of-range value)
+	// selects the default 0.9.
+	ShedThreshold float64
 	// OnReport, when set, observes every completed day. daily is nil for
 	// training days. The callback runs on the background day-close
 	// goroutine after the day is published but while the close still
@@ -146,7 +153,14 @@ func (c *Config) setDefaults() {
 	if c.RetainDayReports == 0 {
 		c.RetainDayReports = 7
 	}
+	if c.ShedThreshold <= 0 || c.ShedThreshold > 1 {
+		c.ShedThreshold = defaultShedThreshold
+	}
 }
+
+// defaultShedThreshold is the queue-fullness fraction at which Lagging
+// reports true when Config.ShedThreshold is unset.
+const defaultShedThreshold = 0.9
 
 // item is one unit of sharded work: a reduced visit, or (for records whose
 // source address had no lease) a bare domain marker that only feeds the
@@ -158,14 +172,75 @@ type item struct {
 	visit    logs.Visit
 }
 
-type pairKey struct {
-	host, domain string
+// domainState fuses a shard's per-domain day state — the distinct-domain
+// marker, the live-tracking verdict, and (for domains absent from the
+// history) the per-host live periodicity analyzers — into one struct behind
+// one map lookup. It replaces the three parallel maps (all / domains /
+// pairs keyed by a two-string composite) the apply path used to probe
+// separately for every record.
+type domainState struct {
+	// live marks a domain whose first resolved visit found it absent from
+	// the history; only live domains carry analyzers. Once live, a domain
+	// stays live for the rest of the day even if a racing day-close commit
+	// makes it historical — the day reports never depend on live state, so
+	// the skipped re-check is pure win (see applyRun).
+	live   bool
+	visits int                          // resolved visits while live
+	hosts  map[string]*histogram.Online // live analyzers by host
 }
 
-// domainLive is a shard's live accumulator for one not-yet-seen domain.
-type domainLive struct {
-	hosts  map[string]struct{}
-	visits int
+// histCache is a shard-local memo of History.SeenDomain verdicts. The
+// domain history only ever grows, so positive entries are valid forever;
+// negative entries are valid only until the next day-close commit and are
+// stamped with the History's commit epoch — one atomic epoch load replaces
+// the RLock on every negative-side consult, and positive hits pay no
+// synchronization at all. The cache deliberately survives resetDay: the
+// enterprise's working set of known domains recurs day after day, which is
+// exactly what the positive side keeps hot.
+type histCache struct {
+	epoch uint64 // History.Epoch() the negative entries were observed at
+	pos   map[string]struct{}
+	neg   map[string]struct{}
+	hits  uint64
+	miss  uint64
+}
+
+// histCacheMax bounds each side of the cache; overflow clears that side
+// (simple and rare — it takes that many *distinct* domains on one shard).
+const histCacheMax = 1 << 17
+
+// seenDomain is History.SeenDomain through the shard's cache (worker
+// goroutine only).
+func (s *shard) seenDomain(d string) bool {
+	hc := &s.hist
+	if _, ok := hc.pos[d]; ok {
+		hc.hits++
+		return true
+	}
+	if e := s.eng.hist.Epoch(); e != hc.epoch {
+		clear(hc.neg)
+		hc.epoch = e
+	} else if _, ok := hc.neg[d]; ok {
+		hc.hits++
+		return false
+	}
+	hc.miss++
+	if s.eng.hist.SeenDomain(d) {
+		if hc.pos == nil {
+			hc.pos = make(map[string]struct{})
+		} else if len(hc.pos) >= histCacheMax {
+			clear(hc.pos)
+		}
+		hc.pos[d] = struct{}{}
+		return true
+	}
+	if hc.neg == nil {
+		hc.neg = make(map[string]struct{})
+	} else if len(hc.neg) >= histCacheMax {
+		clear(hc.neg)
+	}
+	hc.neg[d] = struct{}{}
+	return false
 }
 
 type ctrlReq struct {
@@ -180,8 +255,11 @@ type shard struct {
 	batches chan *[]item
 	ctrl    chan ctrlReq
 
-	all        map[string]struct{} // distinct folded domains seen today
-	unresolved int                 // lease-less records today (count only; their domains live in all)
+	// domains is the fused per-domain day state: its key set is the
+	// shard's distinct folded domains seen today (including unresolved
+	// markers), its live entries carry the periodicity analyzers.
+	domains    map[string]*domainState
+	unresolved int // lease-less records today (count only; their domains are marker entries in domains)
 
 	// part is the shard's partial day snapshot, maintained visit by visit
 	// on the apply path so day-close merges ready-made per-shard partials
@@ -190,8 +268,8 @@ type shard struct {
 	// concurrent batches draining into the shard cannot perturb it.
 	part *profile.IncrementalBuilder
 
-	pairs   map[pairKey]*histogram.Online // live analyzers, unseen domains only
-	domains map[string]*domainLive
+	hist  histCache
+	group groupScratch
 
 	ingested atomic.Uint64
 }
@@ -201,10 +279,8 @@ func newShard(e *Engine, depth int) *shard {
 		eng:     e,
 		batches: make(chan *[]item, depth),
 		ctrl:    make(chan ctrlReq),
-		all:     make(map[string]struct{}),
+		domains: make(map[string]*domainState),
 		part:    profile.NewIncrementalBuilder(),
-		pairs:   make(map[pairKey]*histogram.Online),
-		domains: make(map[string]*domainLive),
 	}
 }
 
@@ -235,54 +311,197 @@ func (s *shard) run() {
 	}
 }
 
-// applyBatch applies one routed slice and recycles its buffer.
-func (s *shard) applyBatch(b *[]item) {
-	for i := range *b {
-		s.apply(&(*b)[i])
+// itemDomain returns the folded domain an item files under, for resolved
+// visits and unresolved markers alike.
+func itemDomain(it *item) string {
+	if it.resolved {
+		return it.visit.Domain
 	}
-	s.ingested.Add(uint64(len(*b)))
+	return it.domain
+}
+
+// groupCutoff is the batch size below which regrouping by domain is not
+// worth its two passes; tiny batches are folded as the runs they already
+// contain.
+const groupCutoff = 16
+
+// runRef is one domain run discovered by grouping: count items of the
+// batch, contiguous in the grouping permutation.
+type runRef struct {
+	domain string
+	count  int32
+}
+
+// groupScratch is a shard's reusable batch-grouping state: a stable
+// counting sort of the batch's indexes by domain. Reused across batches so
+// steady-state grouping allocates nothing.
+type groupScratch struct {
+	slots []int32          // per item: index of its run in runs
+	perm  []int32          // item indexes, grouped by run, stable within each
+	next  []int32          // per run: next write offset into perm
+	runs  []runRef         // the batch's distinct domains, in first-seen order
+	index map[string]int32 // domain -> run index, cleared after each batch
+}
+
+// group builds the stable grouping of items by domain. After it returns,
+// runs lists the batch's domains in first-seen order and perm holds the
+// item indexes, contiguous per run, preserving original order within each
+// run — which is what keeps the per-(host, domain) Observe sequence, the
+// only order-sensitive consumer, identical to ungrouped application.
+func (g *groupScratch) group(items []item) {
+	n := len(items)
+	if cap(g.slots) < n {
+		g.slots = make([]int32, n)
+		g.perm = make([]int32, n)
+	}
+	slots := g.slots[:n]
+	g.runs = g.runs[:0]
+	if g.index == nil {
+		g.index = make(map[string]int32, 64)
+	}
+	for i := range items {
+		d := itemDomain(&items[i])
+		slot, ok := g.index[d]
+		if !ok {
+			slot = int32(len(g.runs))
+			g.index[d] = slot
+			g.runs = append(g.runs, runRef{domain: d})
+		}
+		g.runs[slot].count++
+		slots[i] = slot
+	}
+	if cap(g.next) < len(g.runs) {
+		g.next = make([]int32, len(g.runs)+16)
+	}
+	next := g.next[:len(g.runs)]
+	off := int32(0)
+	for r := range g.runs {
+		next[r] = off
+		off += g.runs[r].count
+	}
+	perm := g.perm[:n]
+	for i, slot := range slots {
+		perm[next[slot]] = int32(i)
+		next[slot]++
+	}
+	clear(g.index)
+}
+
+// applyBatch folds one routed slice, regrouped into per-domain runs, and
+// recycles its buffer. Regrouping is legal because the builder's state is a
+// pure function of the (seq, visit) set (see profile.IncrementalBuilder)
+// and the grouping is stable, so each (host, domain) pair's analyzer still
+// observes its timestamps in routed order; only the interleaving between
+// different domains changes, which nothing downstream can see.
+//
+// A cheap pre-scan counts the runs the batch already contains (real feeds —
+// replay files, proxy log tails — arrive heavily domain-clustered, and
+// domain folding collapses subdomain fan-out further). Only when the batch
+// is genuinely scattered (average consecutive run shorter than two items)
+// is the counting sort worth its extra per-item map operation; otherwise
+// the existing runs are folded in place with no grouping state at all.
+func (s *shard) applyBatch(b *[]item) {
+	items := *b
+	n := len(items)
+	runs := 0
+	for i := 0; i < n; {
+		d := itemDomain(&items[i])
+		j := i + 1
+		for j < n && itemDomain(&items[j]) == d {
+			j++
+		}
+		runs++
+		i = j
+	}
+	if n < groupCutoff || runs*2 <= n {
+		for i := 0; i < n; {
+			d := itemDomain(&items[i])
+			j := i + 1
+			for j < n && itemDomain(&items[j]) == d {
+				j++
+			}
+			s.applyRun(d, items[i:j], nil)
+			i = j
+		}
+	} else {
+		g := &s.group
+		g.group(items)
+		off := int32(0)
+		for r := range g.runs {
+			cnt := g.runs[r].count
+			s.applyRun(g.runs[r].domain, items, g.perm[off:off+cnt])
+			off += cnt
+		}
+	}
+	s.ingested.Add(uint64(n))
 	s.eng.putBuf(b)
 }
 
-func (s *shard) apply(it *item) {
-	if !it.resolved {
-		s.all[it.domain] = struct{}{}
-		s.unresolved++
-		return
+// applyRun folds one run of same-domain items: one domain-state lookup,
+// one builder cursor, and at most one history check for the whole run.
+// When perm is nil the run is items in slice order; otherwise perm selects
+// the run's items (in stable grouped order) from the full batch.
+func (s *shard) applyRun(domain string, items []item, perm []int32) {
+	ds := s.domains[domain]
+	if ds == nil {
+		ds = &domainState{}
+		s.domains[domain] = ds
 	}
-	v := it.visit
-	s.all[v.Domain] = struct{}{}
-	s.part.Add(it.seq, &v)
-
+	// The builder cursor is created lazily on the run's first resolved
+	// visit: marker-only runs must not create an (empty) builder domain,
+	// which would perturb the merged day's domain statistics.
+	var cur profile.RunCursor
+	haveCur := false
 	// Live periodicity state only for domains absent from the history:
 	// anything already profiled can never be rare today, and skipping it
-	// keeps the pair map proportional to the day's new traffic rather than
-	// its full volume. A domain already in s.domains was absent from the
-	// history when first seen and stays tracked for the rest of the day,
-	// so it skips the history lookup (and its RLock) entirely; only a
-	// domain's first resolved visit consults the history. The history is
-	// safe to read here — it is internally locked, and the only writer is
-	// the background day-close committing yesterday while this shard
-	// ingests today. A read that races such a commit can at worst keep
-	// tracking live state for a domain that just became historical; the
+	// keeps the analyzer maps proportional to the day's new traffic rather
+	// than its full volume. A domain already live skips the history lookup
+	// entirely; otherwise the run's first resolved visit decides once for
+	// the whole run, through the shard's epoch-stamped cache (seenDomain).
+	// The underlying history read is safe — it is internally locked, and
+	// the only writer is the background day-close committing yesterday
+	// while this shard ingests today. A read racing such a commit can at
+	// worst keep live state for a domain that just became historical; the
 	// day reports never depend on it.
-	dl, ok := s.domains[v.Domain]
-	if !ok {
-		if s.eng.hist.SeenDomain(v.Domain) {
-			return
+	checked := false
+	n := len(items)
+	if perm != nil {
+		n = len(perm)
+	}
+	for x := 0; x < n; x++ {
+		it := &items[x]
+		if perm != nil {
+			it = &items[perm[x]]
 		}
-		dl = &domainLive{hosts: make(map[string]struct{})}
-		s.domains[v.Domain] = dl
+		if !it.resolved {
+			s.unresolved++
+			continue
+		}
+		if !haveCur {
+			cur = s.part.Run(domain)
+			haveCur = true
+		}
+		cur.Add(it.seq, &it.visit)
+		if !ds.live {
+			if checked {
+				continue
+			}
+			checked = true
+			if s.seenDomain(domain) {
+				continue
+			}
+			ds.live = true
+			ds.hosts = make(map[string]*histogram.Online)
+		}
+		v := &it.visit
+		o := ds.hosts[v.Host]
+		if o == nil {
+			o = histogram.NewOnline(s.eng.cfg.Histogram)
+			ds.hosts[v.Host] = o
+		}
+		o.Observe(v.Time)
+		ds.visits++
 	}
-	dl.hosts[v.Host] = struct{}{}
-	dl.visits++
-	key := pairKey{v.Host, v.Domain}
-	o, ok := s.pairs[key]
-	if !ok {
-		o = histogram.NewOnline(s.eng.cfg.Histogram)
-		s.pairs[key] = o
-	}
-	o.Observe(v.Time)
 }
 
 // do runs fn on the shard's worker goroutine and waits for it.
@@ -292,13 +511,14 @@ func (s *shard) do(fn func(*shard)) {
 	<-done
 }
 
-// resetDay clears the shard's day state (worker goroutine only).
+// resetDay clears the shard's day state (worker goroutine only). The
+// history cache deliberately survives: its positive side is valid across
+// days and is what makes the next day's first touches of the enterprise's
+// recurring domains lock-free.
 func (s *shard) resetDay() {
-	s.all = make(map[string]struct{})
+	s.domains = make(map[string]*domainState)
 	s.unresolved = 0
 	s.part = profile.NewIncrementalBuilder()
-	s.pairs = make(map[pairKey]*histogram.Online)
-	s.domains = make(map[string]*domainLive)
 }
 
 // Engine is the concurrent streaming ingestion engine.
@@ -308,6 +528,7 @@ type Engine struct {
 	hist   *profile.History
 	shards []*shard
 	seed   maphash.Seed
+	shedAt int // queued batches at which Lagging fires (from Config.ShedThreshold)
 
 	seq          atomic.Uint64
 	dayRecords   atomic.Uint64 // raw records ingested into the open day
@@ -395,7 +616,7 @@ type dayClose struct {
 	day        time.Time
 	date       string
 	parts      []*profile.IncrementalBuilder // per-shard partial snapshots
-	allSets    []map[string]struct{}         // per-shard distinct-domain sets
+	allSets    []map[string]*domainState     // per-shard fused domain states (key set = distinct domains)
 	unresolved int                           // lease-less records in the day
 	snap       *profile.Snapshot             // merged at close; retained on failure
 	stats      normalize.ProxyStats
@@ -421,6 +642,13 @@ func New(cfg Config, pipe *pipeline.Enterprise) *Engine {
 		dailies:   make(map[string]report.Daily),
 		closeHook: cfg.CloseHook,
 	}
+	// Precompute the shed trigger in queued batches: Lagging fires at
+	// ceil(ShedThreshold · QueueDepth), at least 1 so a threshold below
+	// one batch still sheds on a non-empty queue.
+	e.shedAt = int(math.Ceil(cfg.ShedThreshold * float64(cfg.QueueDepth)))
+	if e.shedAt < 1 {
+		e.shedAt = 1
+	}
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
 		e.shards[i] = newShard(e, cfg.QueueDepth)
@@ -432,6 +660,11 @@ func New(cfg Config, pipe *pipeline.Enterprise) *Engine {
 // Pipeline exposes the wrapped pipeline. Callers must not drive it while
 // the engine is open.
 func (e *Engine) Pipeline() *pipeline.Enterprise { return e.pipe }
+
+// Config returns the engine's resolved configuration — the caller's Config
+// with every default applied (shard count, queue depth, shed threshold,
+// ...). Introspection only; mutating the copy has no effect.
+func (e *Engine) Config() Config { return e.cfg }
 
 // shardIndex hashes a (host, domain) pair onto a shard. The caller owns the
 // hash state so a whole batch reuses one seeded maphash.Hash instead of
@@ -742,6 +975,7 @@ func (e *Engine) routeBatchLocked(recs []logs.ProxyRecord, block bool) (int, err
 	base := e.seq.Add(uint64(n)) - uint64(n)
 	var h maphash.Hash
 	h.SetSeed(e.seed)
+	single := len(e.shards) == 1 // one shard: no routing hash needed
 	var droppedIP, late uint64
 	for i := range chunk {
 		v, folded, outcome := normalize.ReduceProxyRecord(chunk[i], e.leases)
@@ -752,8 +986,25 @@ func (e *Engine) routeBatchLocked(recs []logs.ProxyRecord, block bool) (int, err
 		if e.cfg.AutoRollover && recDay(chunk[i]).Before(e.day) {
 			late++
 		}
-		it := item{seq: base + uint64(i) + 1}
-		host := ""
+		si := 0
+		if !single {
+			host := ""
+			if outcome != normalize.ProxyDroppedUnresolved {
+				host = v.Host
+			}
+			si = e.shardIndex(&h, host, folded)
+		}
+		buf := sc.bufs[si]
+		if buf == nil {
+			buf = e.getBuf()
+			sc.bufs[si] = buf
+			sc.touched = append(sc.touched, si)
+		}
+		// Append a zero item and fill it in place — one visit copy into the
+		// buffer instead of visit → stack item → buffer.
+		*buf = append(*buf, item{})
+		it := &(*buf)[len(*buf)-1]
+		it.seq = base + uint64(i) + 1
 		if outcome == normalize.ProxyDroppedUnresolved {
 			// Unresolvable source: the record still counts toward the day's
 			// distinct-domain statistic, exactly as in batch.
@@ -761,16 +1012,7 @@ func (e *Engine) routeBatchLocked(recs []logs.ProxyRecord, block bool) (int, err
 		} else {
 			it.resolved = true
 			it.visit = v
-			host = v.Host
 		}
-		si := e.shardIndex(&h, host, folded)
-		buf := sc.bufs[si]
-		if buf == nil {
-			buf = e.getBuf()
-			sc.bufs[si] = buf
-			sc.touched = append(sc.touched, si)
-		}
-		*buf = append(*buf, it)
 	}
 
 	if !block {
@@ -877,11 +1119,11 @@ func (e *Engine) beginCloseLocked(expect time.Time) (*dayClose, error) {
 	// as soon as the swap returns instead of living until the pipeline
 	// accepts the day.
 	c.parts = make([]*profile.IncrementalBuilder, len(e.shards))
-	c.allSets = make([]map[string]struct{}, len(e.shards))
+	c.allSets = make([]map[string]*domainState, len(e.shards))
 	unresolved := make([]int, len(e.shards))
 	e.quiesce(func(i int, s *shard) {
 		c.parts[i] = s.part
-		c.allSets[i] = s.all
+		c.allSets[i] = s.domains
 		unresolved[i] = s.unresolved
 		s.resetDay()
 	})
@@ -1025,12 +1267,13 @@ func (e *Engine) evictOldReportsLocked() {
 
 // ---- Introspection ----
 
-// Lagging reports whether any shard queue is at least 90% full (measured in
-// queued batches) — the signal HTTP frontends turn into 429 before
-// accepting another batch.
+// Lagging reports whether any shard queue has reached the configured shed
+// threshold (Config.ShedThreshold of QueueDepth, measured in queued
+// batches; default 90%) — the signal HTTP frontends and the live listeners
+// turn into load shedding before accepting another batch.
 func (e *Engine) Lagging() bool {
 	for _, s := range e.shards {
-		if len(s.batches)*10 >= e.cfg.QueueDepth*9 {
+		if len(s.batches) >= e.shedAt {
 			return true
 		}
 	}
@@ -1050,6 +1293,12 @@ type ShardStats struct {
 	LivePairs      int `json:"livePairs"`
 	LiveDomains    int `json:"liveDomains"`
 	AutomatedPairs int `json:"automatedPairs"`
+	// HistCacheHits/HistCacheMisses count the shard's history
+	// membership-cache outcomes since engine start: hits answered by the
+	// shard-local epoch-stamped cache, misses falling through to the
+	// locked History lookup.
+	HistCacheHits   uint64 `json:"histCacheHits"`
+	HistCacheMisses uint64 `json:"histCacheMisses"`
 }
 
 // Stats is an engine-wide snapshot.
@@ -1161,24 +1410,31 @@ func (e *Engine) Snapshot(maxLive int) (Stats, []LivePair) {
 	var outMu sync.Mutex
 	e.quiesce(func(i int, s *shard) {
 		ss := ShardStats{
-			Queue:          len(s.batches),
-			Ingested:       s.ingested.Load(),
-			BuilderDomains: s.part.Domains(),
-			LivePairs:      len(s.pairs),
-			LiveDomains:    len(s.domains),
+			Queue:           len(s.batches),
+			Ingested:        s.ingested.Load(),
+			BuilderDomains:  s.part.Domains(),
+			HistCacheHits:   s.hist.hits,
+			HistCacheMisses: s.hist.miss,
 		}
 		var local []LivePair
-		for k, o := range s.pairs {
-			v := o.Verdict()
-			if !v.Automated {
+		for d, ds := range s.domains {
+			if !ds.live {
 				continue
 			}
-			ss.AutomatedPairs++
-			if maxLive >= 0 {
-				local = append(local, LivePair{
-					Host: k.host, Domain: k.domain,
-					Period: v.Period, Divergence: v.Divergence, Samples: v.Samples,
-				})
+			ss.LiveDomains++
+			ss.LivePairs += len(ds.hosts)
+			for h, o := range ds.hosts {
+				v := o.Verdict()
+				if !v.Automated {
+					continue
+				}
+				ss.AutomatedPairs++
+				if maxLive >= 0 {
+					local = append(local, LivePair{
+						Host: h, Domain: d,
+						Period: v.Period, Divergence: v.Divergence, Samples: v.Samples,
+					})
+				}
 			}
 		}
 		st.Shards[i] = ss

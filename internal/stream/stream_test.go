@@ -179,6 +179,58 @@ func TestBackpressure(t *testing.T) {
 	}
 }
 
+// TestShedThreshold: Lagging's trigger must sit at ceil(ShedThreshold ·
+// QueueDepth) queued batches, clamped to at least one, with out-of-range
+// values falling back to the 0.9 default — the exact semantics of the
+// previously hard-coded 90% check.
+func TestShedThreshold(t *testing.T) {
+	cases := []struct {
+		thresh float64
+		depth  int
+		want   int
+	}{
+		{0, 4096, 3687},   // unset -> default 0.9, old len*10 >= depth*9 point
+		{0.9, 4096, 3687}, // explicit default matches the hard-coded era
+		{1, 8, 8},         // shed only on a truly full queue
+		{0.5, 7, 4},       // ceil, not floor
+		{0.0001, 100, 1},  // clamp: any non-empty queue sheds
+		{1.5, 10, 9},      // out of range -> default
+		{-1, 10, 9},
+	}
+	for _, c := range cases {
+		e := trainOnlyEngine(Config{Shards: 1, QueueDepth: c.depth, ShedThreshold: c.thresh})
+		if e.shedAt != c.want {
+			t.Errorf("ShedThreshold=%v QueueDepth=%d: shedAt = %d, want %d",
+				c.thresh, c.depth, e.shedAt, c.want)
+		}
+		e.Close()
+	}
+
+	// Behavioral check: with a low threshold a single queued batch flips
+	// Lagging, long before the queue is full.
+	e := trainOnlyEngine(Config{Shards: 1, QueueDepth: 8, ShedThreshold: 0.1})
+	defer e.Close()
+	if err := e.BeginDay(testDay(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Lagging() {
+		t.Fatal("Lagging() = true on an empty queue")
+	}
+	started, release := make(chan struct{}), make(chan struct{})
+	go e.shards[0].do(func(*shard) { close(started); <-release })
+	<-started
+	if err := e.TryIngestProxy(rec(testDay(), "h1", "epsilon.test", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Lagging() {
+		t.Fatal("Lagging() = false with one queued batch at ShedThreshold=0.1")
+	}
+	close(release)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestLiveAutomated(t *testing.T) {
 	e := trainOnlyEngine(Config{Shards: 2})
 	defer e.Close()
